@@ -1,0 +1,52 @@
+"""Ablation — composite mapping tables vs. per-rule provenance tables.
+
+Section 5 ("Provenance storage"): the ORCHESTRA authors found that reducing
+the number of provenance relations mattered, and that "a single provenance
+table per mapping tgd" (the composite mapping table) "performed better" than
+the direct per-rule encoding.  This ablation measures both encodings on the
+same workload and reports the table counts.
+"""
+
+from conftest import scaled
+
+from repro.bench import ablation_encoding
+from repro.provenance import ENCODING_COMPOSITE, ENCODING_PER_RULE
+
+BASE = scaled(60)
+
+
+def _cell(style: str):
+    from repro.workload import CDSSWorkloadGenerator, WorkloadConfig
+
+    def setup():
+        generator = CDSSWorkloadGenerator(
+            WorkloadConfig(peers=4, dataset="integer", seed=0)
+        )
+        cdss = generator.build_cdss(encoding_style=style)
+        generator.record_insertions(cdss, generator.insertions(BASE))
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_composite_encoding(benchmark):
+    benchmark.pedantic(_run, setup=_cell(ENCODING_COMPOSITE), rounds=3)
+
+
+def bench_per_rule_encoding(benchmark):
+    benchmark.pedantic(_run, setup=_cell(ENCODING_PER_RULE), rounds=3)
+
+
+def bench_ablation_encoding_report(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_encoding(base_per_peer=BASE), rounds=1, iterations=1
+    )
+    result.print_table()
+    composite_tables = result.value("prov_tables", style=ENCODING_COMPOSITE)
+    per_rule_tables = result.value("prov_tables", style=ENCODING_PER_RULE)
+    # Composite never uses more provenance tables than per-rule.
+    assert composite_tables <= per_rule_tables

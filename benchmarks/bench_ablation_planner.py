@@ -1,0 +1,54 @@
+"""Ablation — cost-based (DB2-style) vs. prepared (Tukwila-style) planning.
+
+Sections 5.1/5.2 describe the backend trade-off this reproduces: per-round
+cost-based optimization pays planning overhead on every fixpoint round but
+picks better join orders for bulk work; prepared plans amortize planning and
+win when "the volume of updates is significantly smaller than the base
+size".
+"""
+
+from conftest import scaled
+
+from repro.bench import ENGINE_DB2, ENGINE_TUKWILA, ablation_planner
+
+BASE = scaled(120)
+
+
+def _small_update_cell(engine: str):
+    from repro.bench.experiments import _populated
+
+    def setup():
+        generator, cdss = _populated(5, BASE, "integer", engine)
+        generator.record_insertions(cdss, generator.insertions(per_peer=2))
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_small_update_db2(benchmark):
+    benchmark.pedantic(_run, setup=_small_update_cell(ENGINE_DB2), rounds=5)
+
+
+def bench_small_update_tukwila(benchmark):
+    benchmark.pedantic(
+        _run, setup=_small_update_cell(ENGINE_TUKWILA), rounds=5
+    )
+
+
+def bench_ablation_planner_report(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_planner(base_per_peer=BASE),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+    # Prepared plans win (or tie) the small-update common case.
+    tukwila_small = result.value(
+        "seconds", engine=ENGINE_TUKWILA, phase="small"
+    )
+    db2_small = result.value("seconds", engine=ENGINE_DB2, phase="small")
+    assert tukwila_small <= db2_small * 1.3

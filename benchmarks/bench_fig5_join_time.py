@@ -1,0 +1,90 @@
+"""Figure 5 — Time to join the system.
+
+Paper setting: a peer joining triggers the initial full computation of all
+instances and provenance from 10,000 base insertions, for 2-20 peers, DB2
+vs. Tukwila and integer vs. string datasets.
+
+Paper shape: join time grows superlinearly with peers; string data costs
+more than integer; the DB2 (cost-based) engine is faster for this bulk-load
+case.
+"""
+
+from conftest import scaled
+
+from repro.bench import ENGINE_DB2, ENGINE_TUKWILA, fig5_time_to_join
+from repro.bench.harness import monotone_nondecreasing
+
+BASE = scaled(80)
+PEER_COUNTS = (2, 5, 10)
+
+
+def _join(peers: int, dataset: str, engine: str):
+    from repro.workload import CDSSWorkloadGenerator, WorkloadConfig
+    from repro.bench.experiments import ENGINES
+
+    def setup():
+        generator = CDSSWorkloadGenerator(
+            WorkloadConfig(peers=peers, dataset=dataset, seed=0)
+        )
+        cdss = generator.build_cdss(planner=ENGINES[engine]())
+        generator.record_insertions(cdss, generator.insertions(BASE))
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_join_2peers_integer_db2(benchmark):
+    benchmark.pedantic(_run, setup=_join(2, "integer", ENGINE_DB2), rounds=3)
+
+
+def bench_join_2peers_integer_tukwila(benchmark):
+    benchmark.pedantic(
+        _run, setup=_join(2, "integer", ENGINE_TUKWILA), rounds=3
+    )
+
+
+def bench_join_5peers_string_db2(benchmark):
+    benchmark.pedantic(_run, setup=_join(5, "string", ENGINE_DB2), rounds=3)
+
+
+def bench_join_5peers_string_tukwila(benchmark):
+    benchmark.pedantic(
+        _run, setup=_join(5, "string", ENGINE_TUKWILA), rounds=3
+    )
+
+
+def bench_fig5_full_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_time_to_join(
+            peer_counts=PEER_COUNTS, base_per_peer=BASE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+    # Join time grows with the number of peers for every configuration.
+    for dataset in ("integer", "string"):
+        for engine in (ENGINE_DB2, ENGINE_TUKWILA):
+            series = [
+                seconds
+                for _, seconds in result.series(
+                    "peers", "seconds", dataset=dataset, engine=engine
+                )
+            ]
+            assert monotone_nondecreasing(series, slack=0.25), (
+                f"join time should grow with peers ({dataset}/{engine}): "
+                f"{series}"
+            )
+    # String loads cost at least as much as integer loads at the largest
+    # peer count (bigger tuples, same cardinalities).
+    largest = PEER_COUNTS[-1]
+    for engine in (ENGINE_DB2, ENGINE_TUKWILA):
+        assert result.value(
+            "seconds", peers=largest, dataset="string", engine=engine
+        ) > 0.5 * result.value(
+            "seconds", peers=largest, dataset="integer", engine=engine
+        )

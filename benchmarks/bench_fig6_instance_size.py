@@ -1,0 +1,46 @@
+"""Figure 6 — Initial instance sizes.
+
+Paper setting: after the initial computation from 10,000 base insertions,
+plot the total number of tuples and the database size (MB) against the
+number of peers, for the string and integer datasets.
+
+Paper shape: #tuples grows with peers (mappings replicate data down the
+chain); the string database is several times larger than the integer one in
+bytes while holding the same number of tuples.
+"""
+
+from conftest import scaled
+
+from repro.bench import fig6_instance_size
+from repro.bench.harness import monotone_nondecreasing
+
+BASE = scaled(80)
+PEER_COUNTS = (2, 5, 10)
+
+
+def bench_fig6_initial_instance_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6_instance_size(
+            peer_counts=PEER_COUNTS, base_per_peer=BASE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+
+    # Tuple counts grow with peers.
+    tuples = [
+        value
+        for _, value in result.series("peers", "tuples", dataset="integer")
+    ]
+    assert monotone_nondecreasing(tuples)
+    assert tuples[-1] > tuples[0]
+
+    # String bytes dominate integer bytes at every size.
+    for peers in PEER_COUNTS:
+        string_bytes = result.value("bytes", peers=peers, dataset="string")
+        integer_bytes = result.value("bytes", peers=peers, dataset="integer")
+        assert string_bytes > 2 * integer_bytes, (
+            f"string DB should be much larger at {peers} peers: "
+            f"{string_bytes} vs {integer_bytes}"
+        )

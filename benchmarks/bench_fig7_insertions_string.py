@@ -1,0 +1,88 @@
+"""Figure 7 — Incremental insertion scalability, string dataset.
+
+Paper setting: starting from instances computed from 10,000 base
+insertions, time incremental propagation of 1% / 10% fresh insertions per
+peer, for 2-10 peers, DB2 vs. Tukwila.
+
+Paper shape: time grows roughly linearly with peers; 10% updates cost more
+than 1%; "the Tukwila implementation is better optimized for the common
+case, where the volume of updates is significantly smaller than the base
+size" — the prepared-plan engine wins the 1% case.
+"""
+
+from conftest import scaled
+
+from repro.bench import ENGINE_DB2, ENGINE_TUKWILA, fig7_insertions_string
+from repro.bench.harness import monotone_nondecreasing
+
+BASE = scaled(80)
+PEER_COUNTS = (2, 5, 10)
+
+
+def _cell(peers: int, engine: str, fraction: float):
+    from repro.bench.experiments import _populated
+
+    def setup():
+        generator, cdss = _populated(peers, BASE, "string", engine)
+        count = max(1, int(BASE * fraction))
+        generator.record_insertions(
+            cdss, generator.insertions(per_peer=count)
+        )
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_insert_1pct_5peers_db2(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, ENGINE_DB2, 0.01), rounds=3)
+
+
+def bench_insert_1pct_5peers_tukwila(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, ENGINE_TUKWILA, 0.01), rounds=3)
+
+
+def bench_insert_10pct_5peers_db2(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, ENGINE_DB2, 0.10), rounds=3)
+
+
+def bench_insert_10pct_5peers_tukwila(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, ENGINE_TUKWILA, 0.10), rounds=3)
+
+
+def bench_fig7_full_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_insertions_string(
+            peer_counts=PEER_COUNTS, base_per_peer=BASE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+    for engine in (ENGINE_DB2, ENGINE_TUKWILA):
+        for fraction in (0.01, 0.10):
+            series = [
+                s
+                for _, s in result.series(
+                    "peers", "seconds", engine=engine, fraction=fraction
+                )
+            ]
+            assert monotone_nondecreasing(series, slack=0.35), (
+                f"insertion time should grow with peers "
+                f"({engine}, {fraction:.0%}): {series}"
+            )
+        # 10% updates cost more than 1% at the largest size.
+        assert result.value(
+            "seconds", peers=PEER_COUNTS[-1], engine=engine, fraction=0.10
+        ) > result.value(
+            "seconds", peers=PEER_COUNTS[-1], engine=engine, fraction=0.01
+        )
+    # The prepared-plan engine wins the small-update common case.
+    assert result.value(
+        "seconds", peers=PEER_COUNTS[-1], engine=ENGINE_TUKWILA, fraction=0.01
+    ) <= result.value(
+        "seconds", peers=PEER_COUNTS[-1], engine=ENGINE_DB2, fraction=0.01
+    ) * 1.2

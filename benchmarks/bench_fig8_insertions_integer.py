@@ -1,0 +1,76 @@
+"""Figure 8 — Incremental insertion scalability, integer dataset.
+
+Same protocol as Figure 7 but with small (hashed-integer) tuples, which is
+where the paper scaled to 20 peers ("with integers the approach scaled to
+upwards of 20 peers (already larger than most real bioinformatics
+confederations)").
+"""
+
+from conftest import scaled
+
+from repro.bench import ENGINE_DB2, ENGINE_TUKWILA, fig8_insertions_integer
+from repro.bench.harness import monotone_nondecreasing
+
+BASE = scaled(80)
+PEER_COUNTS = (2, 5, 10, 20)
+
+
+def _cell(peers: int, engine: str, fraction: float):
+    from repro.bench.experiments import _populated
+
+    def setup():
+        generator, cdss = _populated(peers, BASE, "integer", engine)
+        count = max(1, int(BASE * fraction))
+        generator.record_insertions(
+            cdss, generator.insertions(per_peer=count)
+        )
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_insert_1pct_20peers_db2(benchmark):
+    benchmark.pedantic(_run, setup=_cell(20, ENGINE_DB2, 0.01), rounds=3)
+
+
+def bench_insert_1pct_20peers_tukwila(benchmark):
+    benchmark.pedantic(_run, setup=_cell(20, ENGINE_TUKWILA, 0.01), rounds=3)
+
+
+def bench_insert_10pct_10peers_db2(benchmark):
+    benchmark.pedantic(_run, setup=_cell(10, ENGINE_DB2, 0.10), rounds=3)
+
+
+def bench_insert_10pct_10peers_tukwila(benchmark):
+    benchmark.pedantic(_run, setup=_cell(10, ENGINE_TUKWILA, 0.10), rounds=3)
+
+
+def bench_fig8_full_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8_insertions_integer(
+            peer_counts=PEER_COUNTS, base_per_peer=BASE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+    for engine in (ENGINE_DB2, ENGINE_TUKWILA):
+        for fraction in (0.01, 0.10):
+            series = [
+                s
+                for _, s in result.series(
+                    "peers", "seconds", engine=engine, fraction=fraction
+                )
+            ]
+            assert monotone_nondecreasing(series, slack=0.35), (
+                f"insertion time should grow with peers "
+                f"({engine}, {fraction:.0%}): {series}"
+            )
+    # The 20-peer configuration completes — the scalability claim.
+    assert result.value(
+        "seconds", peers=20, engine=ENGINE_TUKWILA, fraction=0.10
+    ) > 0

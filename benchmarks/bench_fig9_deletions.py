@@ -1,0 +1,93 @@
+"""Figure 9 — Incremental deletion scalability.
+
+Paper setting: incremental deletions of 1% / 10% per peer on the DB2 engine
+(the paper's Tukwila backend had no deletion implementation), for 2-20
+peers, integer and string datasets.
+
+Paper shape: deletion time grows with peers; for the large string tuples,
+deletions are *cheaper* than the corresponding insertions ("our algorithm
+does the majority of its computation while only using the keys of tuples"),
+while for small integer tuples the situation reverses (more queries are
+executed in deletion).
+"""
+
+from conftest import scaled
+
+from repro.bench import fig9_deletions, fig7_insertions_string
+from repro.bench.harness import monotone_nondecreasing
+
+BASE = scaled(80)
+PEER_COUNTS = (2, 5, 10)
+
+
+def _cell(peers: int, dataset: str, fraction: float):
+    from repro.bench.experiments import ENGINE_DB2, _populated
+
+    def setup():
+        generator, cdss = _populated(peers, BASE, dataset, ENGINE_DB2)
+        count = max(1, int(BASE * fraction))
+        generator.record_deletions(
+            cdss, generator.deletions(per_peer=count)
+        )
+        return (cdss,), {}
+
+    return setup
+
+
+def _run(cdss):
+    return cdss.update_exchange()
+
+
+def bench_delete_1pct_5peers_integer(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, "integer", 0.01), rounds=3)
+
+
+def bench_delete_10pct_5peers_integer(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, "integer", 0.10), rounds=3)
+
+
+def bench_delete_1pct_5peers_string(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, "string", 0.01), rounds=3)
+
+
+def bench_delete_10pct_5peers_string(benchmark):
+    benchmark.pedantic(_run, setup=_cell(5, "string", 0.10), rounds=3)
+
+
+def bench_fig9_full_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_deletions(peer_counts=PEER_COUNTS, base_per_peer=BASE),
+        rounds=1,
+        iterations=1,
+    )
+    result.print_table()
+    for dataset in ("integer", "string"):
+        for fraction in (0.01, 0.10):
+            series = [
+                s
+                for _, s in result.series(
+                    "peers", "seconds", dataset=dataset, fraction=fraction
+                )
+            ]
+            assert monotone_nondecreasing(series, slack=0.35), (
+                f"deletion time should grow with peers "
+                f"({dataset}, {fraction:.0%}): {series}"
+            )
+        # 10% deletions cost more than 1% overall (aggregated across peer
+        # counts to damp single-cell timing noise).
+        total_10 = sum(
+            s
+            for _, s in result.series(
+                "peers", "seconds", dataset=dataset, fraction=0.10
+            )
+        )
+        total_1 = sum(
+            s
+            for _, s in result.series(
+                "peers", "seconds", dataset=dataset, fraction=0.01
+            )
+        )
+        assert total_10 > total_1 * 0.9, (
+            f"10% deletions should cost more than 1% ({dataset}): "
+            f"{total_10} vs {total_1}"
+        )

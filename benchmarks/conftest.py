@@ -1,0 +1,24 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Scales are laptop-sized (the paper ran on a 2007 Xeon server against DB2 /
+Tukwila at 2000-10000 SWISS-PROT entries per peer).  Set the environment
+variable ``REPRO_BENCH_SCALE`` to a float to scale the workloads up or down,
+e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    return max(minimum, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running bioinformatics example (Examples 1-7).
+
+Three peers — PGUS (the Genomics Unified Schema), PBioSQL (BioPerl's
+BioSQL), and PuBio (taxon synonyms) — share taxon data through four schema
+mappings.  This script walks the full lifecycle: configure, edit offline,
+run update exchange, query with certain-answer semantics, inspect
+provenance, and curate with a deletion.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CDSS
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Configure the CDSS: peers, schemas, and tgd mappings (Example 2).
+    # ------------------------------------------------------------------
+    cdss = CDSS("bioinformatics")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
+    print(cdss)
+    for mapping in cdss.mappings():
+        print(" ", mapping)
+
+    # ------------------------------------------------------------------
+    # 2. Peers edit offline (Example 3's edit logs).
+    # ------------------------------------------------------------------
+    cdss.insert("G", (1, 2, 3))
+    cdss.insert("G", (3, 5, 2))
+    cdss.insert("B", (3, 5))
+    cdss.insert("U", (2, 5))
+    print(f"\npending edits: {cdss.pending_edits()}")
+
+    # ------------------------------------------------------------------
+    # 3. Update exchange: publish logs, translate updates along mappings.
+    # ------------------------------------------------------------------
+    report = cdss.update_exchange()
+    print(
+        f"update exchange ({report.strategy}): "
+        f"{report.inserted} tuples derived in {report.seconds:.4f}s"
+    )
+    for relation in ("G", "B", "U"):
+        print(f"  {relation}: {sorted(cdss.instance(relation), key=repr)}")
+
+    # ------------------------------------------------------------------
+    # 4. Queries with certain-answer semantics (Example 3's queries).
+    #    Labeled nulls join on equality but are dropped from answers.
+    # ------------------------------------------------------------------
+    q1 = cdss.query("ans(x, y) :- U(x, z), U(y, z)")
+    q2 = cdss.query("ans(x, y) :- U(x, y)")
+    print(f"\nans(x, y) :- U(x, z), U(y, z)  ->  {sorted(q1)}")
+    print(f"ans(x, y) :- U(x, y)           ->  {sorted(q2)}")
+
+    # ------------------------------------------------------------------
+    # 5. Provenance (Examples 5 and 6): how was B(3, 2) derived?
+    # ------------------------------------------------------------------
+    print(f"\nPv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+    from repro import CountingSemiring
+
+    counts = cdss.evaluate_provenance(CountingSemiring())
+    print(f"number of derivations of B(3,2): {counts[('B', (3, 2))]}")
+
+    # ------------------------------------------------------------------
+    # 6. Curation: delete the imported tuple B(3,2) (end of Example 3).
+    #    The rejection persists and its consequences are garbage collected.
+    # ------------------------------------------------------------------
+    cdss.delete("B", (3, 2))
+    cdss.update_exchange()
+    print(f"\nafter curating away B(3,2): B = {sorted(cdss.instance('B'))}")
+    print(f"U = {sorted(cdss.instance('U'), key=repr)}")
+    print(f"rejections at B: {sorted(cdss.system().rejections('B'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Trust policies and provenance-based filtering (Examples 4 and 7).
+
+Curators rarely trust everything their neighbours publish.  This example
+shows the two complementary trust mechanisms of the paper:
+
+1. **Exchange-time filtering** — trust conditions attached to mappings are
+   enforced as tuples are derived, so untrusted data never enters a peer's
+   trusted/output tables and never propagates downstream (Example 4).
+2. **Offline evaluation over stored provenance** — any policy (including
+   token-level distrust of specific base tuples or whole peers) can be
+   evaluated after the fact against the provenance graph in the boolean
+   trust semiring (Example 7), and *ranked* trust is a one-line semiring
+   swap (the Section 8 extension).
+
+Run:  python examples/trust_policies.py
+"""
+
+from repro import CDSS
+from repro.provenance import trust_ranks
+
+
+def build() -> CDSS:
+    cdss = CDSS("trust-demo")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
+    return cdss
+
+
+def exchange_time_filtering() -> None:
+    print("=== Exchange-time trust conditions (Example 4) ===")
+    cdss = build()
+    # "PBioSQL distrusts any tuple B(i, n) if the data came from PGUS and
+    # n >= 3" — mapping m1 carries GUS data into B.
+    cdss.set_trust_condition(
+        "PBioSQL", "m1", lambda row: row[1] < 3,
+        description="distrust GUS-derived B tuples with n >= 3",
+    )
+    # "PBioSQL distrusts any tuple B(i, n) that came from mapping (m4)
+    # if n != 2".
+    cdss.set_trust_condition(
+        "PBioSQL", "m4", lambda row: row[1] == 2,
+        description="distrust m4-derived B tuples with n != 2",
+    )
+    cdss.insert("G", (1, 2, 3))
+    cdss.insert("G", (3, 5, 2))
+    cdss.insert("B", (3, 5))
+    cdss.insert("U", (2, 5))
+    cdss.update_exchange()
+
+    print(f"B            = {sorted(cdss.instance('B'))}")
+    print("  B(1,3) rejected by the first condition;")
+    print("  B(3,3) rejected by the second; B(3,2) survives via m1.")
+    system = cdss.system()
+    print(f"B input      = {sorted(system.input_instance('B'))}  (unfiltered)")
+    print(f"B trusted    = {sorted(system.trusted_instance('B'))}")
+    print(
+        "U has no (3, c3) row:",
+        sorted(cdss.instance("U"), key=repr),
+    )
+
+
+def offline_evaluation() -> None:
+    print("\n=== Offline trust over stored provenance (Example 7) ===")
+    cdss = build()
+    cdss.insert("G", (1, 2, 3))
+    cdss.insert("G", (3, 5, 2))
+    cdss.insert("B", (3, 5))
+    cdss.insert("U", (2, 5))
+    cdss.update_exchange()
+    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+
+    # PBioSQL trusts p1 (its own B(3,5)) and p3 (GUS's G(3,5,2)) but
+    # distrusts PuBio's p2 = U(2,5).  T.T + T.T.D = T.
+    cdss.distrust_token("PBioSQL", "U", (2, 5))
+    verdict = cdss.trust_of("PBioSQL", "B", (3, 2))
+    print(f"PBioSQL trusts B(3,2) with p2 distrusted?  {verdict}")
+
+    # Distrusting the whole PuBio peer changes nothing for B(3,2) either —
+    # the m1 derivation from GUS suffices.
+    cdss.distrust_peer("PBioSQL", "PuBio")
+    print(
+        "  ... even distrusting all of PuBio:",
+        cdss.trust_of("PBioSQL", "B", (3, 2)),
+    )
+
+
+def ranked_trust() -> None:
+    print("\n=== Ranked trust via the tropical semiring (Section 8) ===")
+    cdss = build()
+    cdss.insert("G", (3, 5, 2))
+    cdss.insert("B", (3, 5))
+    cdss.insert("U", (2, 5))
+    cdss.update_exchange()
+    # Cost 0 for locally curated data; each mapping hop adds distrust.
+    ranks = trust_ranks(
+        cdss.provenance_graph(),
+        mapping_costs={"m1": 1.0, "m2": 1.0, "m3": 2.0, "m4": 1.0},
+    )
+    for (relation, row), cost in sorted(ranks.items(), key=lambda kv: repr(kv)):
+        print(f"  rank[{relation}{row!r}] = {cost}")
+    print("  (lower = more authoritative; B(3,2)'s best path costs 1.0)")
+
+
+if __name__ == "__main__":
+    exchange_time_filtering()
+    offline_evaluation()
+    ranked_trust()

@@ -1,0 +1,61 @@
+"""repro — a complete reproduction of *Update Exchange with Mappings and
+Provenance* (Green, Karvounarakis, Ives, Tannen; VLDB 2007 / UPenn TR
+MS-CIS-07-26): the ORCHESTRA collaborative data sharing system.
+
+Quickstart::
+
+    from repro import CDSS
+
+    cdss = CDSS("bio")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.insert("G", (3, 5, 2))
+    cdss.update_exchange()
+    print(cdss.instance("B"))          # {(3, 2)}
+    print(cdss.provenance_of("B", (3, 2)))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .core import (
+    CDSS,
+    STRATEGY_DRED,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_RECOMPUTE,
+    ExchangeSystem,
+)
+from .provenance import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    TropicalSemiring,
+    TrustCondition,
+    TrustPolicy,
+    WhySemiring,
+)
+from .schema import PeerSchema, RelationSchema, SchemaMapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanSemiring",
+    "CDSS",
+    "CountingSemiring",
+    "ExchangeSystem",
+    "LineageSemiring",
+    "PeerSchema",
+    "RelationSchema",
+    "STRATEGY_DRED",
+    "STRATEGY_INCREMENTAL",
+    "STRATEGY_RECOMPUTE",
+    "SchemaMapping",
+    "TropicalSemiring",
+    "TrustCondition",
+    "TrustPolicy",
+    "WhySemiring",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness and figure-reproduction drivers (paper Section 6)."""
+
+from .experiments import (
+    ENGINE_DB2,
+    ENGINE_TUKWILA,
+    ENGINES,
+    ablation_encoding,
+    ablation_planner,
+    fig4_deletion_alternatives,
+    fig5_time_to_join,
+    fig6_instance_size,
+    fig7_insertions_string,
+    fig8_insertions_integer,
+    fig9_deletions,
+    fig10_cycles,
+)
+from .harness import ExperimentResult, Measurement, monotone_nondecreasing, timed
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_DB2",
+    "ENGINE_TUKWILA",
+    "ExperimentResult",
+    "Measurement",
+    "ablation_encoding",
+    "ablation_planner",
+    "fig10_cycles",
+    "fig4_deletion_alternatives",
+    "fig5_time_to_join",
+    "fig6_instance_size",
+    "fig7_insertions_string",
+    "fig8_insertions_integer",
+    "fig9_deletions",
+    "monotone_nondecreasing",
+    "timed",
+]

@@ -1,0 +1,119 @@
+"""Measurement harness shared by the figure-reproduction benchmarks.
+
+Provides small structured containers for experiment results plus ASCII table
+rendering, so every ``benchmarks/bench_figN_*.py`` prints the same rows or
+series the paper's figure reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One data point of an experiment: parameters -> metrics."""
+
+    params: dict[str, object]
+    metrics: dict[str, float]
+
+    def param(self, key: str) -> object:
+        return self.params[key]
+
+    def metric(self, key: str) -> float:
+        return self.metrics[key]
+
+
+@dataclass
+class ExperimentResult:
+    """All measurements of one figure reproduction."""
+
+    name: str
+    description: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def add(self, params: dict[str, object], **metrics: float) -> Measurement:
+        measurement = Measurement(dict(params), dict(metrics))
+        self.measurements.append(measurement)
+        return measurement
+
+    def series(
+        self, x: str, y: str, **fixed: object
+    ) -> list[tuple[object, float]]:
+        """(x, y) points for the measurements matching ``fixed`` params."""
+        points = []
+        for m in self.measurements:
+            if all(m.params.get(k) == v for k, v in fixed.items()):
+                points.append((m.params[x], m.metrics[y]))
+        return sorted(points, key=lambda p: (str(type(p[0])), p[0]))
+
+    def value(self, y: str, **fixed: object) -> float:
+        matches = [
+            m.metrics[y]
+            for m in self.measurements
+            if all(m.params.get(k) == v for k, v in fixed.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} measurements match {fixed!r} in {self.name}"
+            )
+        return matches[0]
+
+    def to_table(self) -> str:
+        """Render all measurements as an aligned ASCII table."""
+        if not self.measurements:
+            return f"{self.name}: (no measurements)"
+        param_keys = sorted(
+            {k for m in self.measurements for k in m.params}
+        )
+        metric_keys = sorted(
+            {k for m in self.measurements for k in m.metrics}
+        )
+        headers = param_keys + metric_keys
+        rows = []
+        for m in self.measurements:
+            row = [str(m.params.get(k, "")) for k in param_keys]
+            for k in metric_keys:
+                value = m.metrics.get(k)
+                row.append("" if value is None else f"{value:.4f}")
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            f"== {self.name}: {self.description} ==",
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def print_table(self) -> None:
+        print()
+        print(self.to_table())
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning (result, wall seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def monotone_nondecreasing(values: Iterable[float], slack: float = 0.0) -> bool:
+    """True if the sequence never drops by more than ``slack`` (relative).
+
+    Benchmarks use this for qualitative shape assertions ("time grows with
+    #peers") while tolerating measurement noise.
+    """
+    values = list(values)
+    for previous, current in zip(values, values[1:]):
+        if current < previous * (1.0 - slack):
+            return False
+    return True

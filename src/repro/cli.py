@@ -1,0 +1,170 @@
+"""Command-line interface: run the paper's experiments and demos.
+
+Usage::
+
+    python -m repro quickstart            # the paper's running example
+    python -m repro fig4 --scale 0.5      # reproduce one figure
+    python -m repro all --scale 0.25      # every figure + ablations
+    python -m repro list                  # what is available
+
+Each figure command regenerates the corresponding data series from
+Section 6 and prints it as a table (see EXPERIMENTS.md for the shapes the
+series should exhibit).  ``--scale`` multiplies the default workload sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .bench import (
+    ablation_encoding,
+    ablation_planner,
+    fig4_deletion_alternatives,
+    fig5_time_to_join,
+    fig6_instance_size,
+    fig7_insertions_string,
+    fig8_insertions_integer,
+    fig9_deletions,
+    fig10_cycles,
+)
+from .bench.harness import ExperimentResult
+
+
+def _scaled(n: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(n * scale))
+
+
+def _run_fig4(scale: float) -> ExperimentResult:
+    return fig4_deletion_alternatives(base_per_peer=_scaled(120, scale))
+
+
+def _run_fig5(scale: float) -> ExperimentResult:
+    return fig5_time_to_join(base_per_peer=_scaled(80, scale))
+
+
+def _run_fig6(scale: float) -> ExperimentResult:
+    return fig6_instance_size(base_per_peer=_scaled(80, scale))
+
+
+def _run_fig7(scale: float) -> ExperimentResult:
+    return fig7_insertions_string(base_per_peer=_scaled(80, scale))
+
+
+def _run_fig8(scale: float) -> ExperimentResult:
+    return fig8_insertions_integer(base_per_peer=_scaled(80, scale))
+
+
+def _run_fig9(scale: float) -> ExperimentResult:
+    return fig9_deletions(base_per_peer=_scaled(80, scale))
+
+
+def _run_fig10(scale: float) -> ExperimentResult:
+    return fig10_cycles(
+        base_per_peer=_scaled(30, scale), insert_per_peer=_scaled(4, scale)
+    )
+
+
+def _run_ablation_encoding(scale: float) -> ExperimentResult:
+    return ablation_encoding(base_per_peer=_scaled(60, scale))
+
+
+def _run_ablation_planner(scale: float) -> ExperimentResult:
+    return ablation_planner(base_per_peer=_scaled(120, scale))
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[float], ExperimentResult]]] = {
+    "fig4": ("deletion alternatives (incremental / DRed / recompute)", _run_fig4),
+    "fig5": ("time to join the system", _run_fig5),
+    "fig6": ("initial instance sizes", _run_fig6),
+    "fig7": ("incremental insertions, string dataset", _run_fig7),
+    "fig8": ("incremental insertions, integer dataset", _run_fig8),
+    "fig9": ("incremental deletions", _run_fig9),
+    "fig10": ("effect of mapping cycles", _run_fig10),
+    "ablation-encoding": (
+        "composite vs. per-rule provenance tables",
+        _run_ablation_encoding,
+    ),
+    "ablation-planner": (
+        "cost-based vs. prepared planning",
+        _run_ablation_planner,
+    ),
+}
+
+
+def _quickstart() -> None:
+    """Inline version of examples/quickstart.py for `python -m repro`."""
+    from . import CDSS
+
+    cdss = CDSS("bioinformatics")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
+    for relation, row in (
+        ("G", (1, 2, 3)),
+        ("G", (3, 5, 2)),
+        ("B", (3, 5)),
+        ("U", (2, 5)),
+    ):
+        cdss.insert(relation, row)
+    report = cdss.update_exchange()
+    print(f"update exchange: {report.inserted} tuples in {report.seconds:.4f}s")
+    for relation in ("G", "B", "U"):
+        print(f"  {relation}: {sorted(cdss.instance(relation), key=repr)}")
+    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+    print(
+        "certain answers to ans(x,y) :- U(x,z), U(y,z):",
+        sorted(cdss.query("ans(x, y) :- U(x, z), U(y, z)")),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Update Exchange with Mappings and Provenance' "
+            "(VLDB 2007) — run the paper's running example or regenerate "
+            "its experimental figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("quickstart", help="run the paper's running example")
+    sub.add_parser("list", help="list available experiments")
+    for name, (description, _) in EXPERIMENTS.items():
+        cmd = sub.add_parser(name, help=description)
+        cmd.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="workload size multiplier (default 1.0)",
+        )
+    all_cmd = sub.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "quickstart":
+        _quickstart()
+        return 0
+    if args.command == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:<20} {description}")
+        return 0
+    if args.command == "all":
+        for name, (_, runner) in EXPERIMENTS.items():
+            runner(args.scale).print_table()
+        return 0
+    _, runner = EXPERIMENTS[args.command]
+    runner(args.scale).print_table()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The CDSS core: edit logs, update exchange, incremental maintenance.
+
+Subpackages S11-S17 of DESIGN.md (paper Sections 2, 3, 4).
+"""
+
+from .cdss import CDSS, Peer
+from .derivation import DerivabilityVerdict, DerivationTest
+from .dred import DRedMaintainer, DRedReport
+from .editlog import EditLog, PublishDelta, Update, publish
+from .exchange import (
+    STRATEGIES,
+    STRATEGY_DRED,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_RECOMPUTE,
+    ExchangeError,
+    ExchangeReport,
+    ExchangeSystem,
+)
+from .incremental import (
+    DeletionReport,
+    IncrementalMaintainer,
+    InsertionReport,
+)
+from .query import QueryError, answer_program, answer_query, certain_rows
+
+__all__ = [
+    "CDSS",
+    "DRedMaintainer",
+    "DRedReport",
+    "DeletionReport",
+    "DerivabilityVerdict",
+    "DerivationTest",
+    "EditLog",
+    "ExchangeError",
+    "ExchangeReport",
+    "ExchangeSystem",
+    "IncrementalMaintainer",
+    "InsertionReport",
+    "Peer",
+    "PublishDelta",
+    "QueryError",
+    "STRATEGIES",
+    "STRATEGY_DRED",
+    "STRATEGY_INCREMENTAL",
+    "STRATEGY_RECOMPUTE",
+    "Update",
+    "answer_program",
+    "answer_query",
+    "certain_rows",
+    "publish",
+]

@@ -1,0 +1,353 @@
+"""The CDSS facade: peers, mappings, trust policies, and update exchange.
+
+This is the public entry point of the library — the programmatic equivalent
+of the ORCHESTRA system of Section 5.  A typical session (the paper's
+running example) looks like::
+
+    cdss = CDSS("bioinformatics")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
+
+    cdss.insert("G", (1, 2, 3))
+    cdss.insert("G", (3, 5, 2))
+    cdss.insert("B", (3, 5))
+    cdss.insert("U", (2, 5))
+    cdss.update_exchange()
+
+    cdss.instance("B")                       # the local instance of B
+    cdss.query("ans(x, y) :- U(x, z), U(y, z)")
+    cdss.provenance_of("B", (3, 2))          # m1(...) + m4(... * ...)
+
+Peers edit offline (:meth:`insert` / :meth:`delete` append to edit logs);
+:meth:`update_exchange` publishes the logs and brings the system to a
+consistent state with the configured maintenance strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..datalog.planner import Planner
+from ..provenance.expression import ProvenanceExpression
+from ..provenance.graph import ProvenanceGraph, build_provenance_graph
+from ..provenance.relations import ENCODING_COMPOSITE
+from ..provenance.semiring import Semiring, Token
+from ..provenance.trust import TrustCondition, TrustPolicy, evaluate_trust
+from ..schema.internal import InternalSchema
+from ..schema.relation import PeerSchema, RelationSchema, SchemaError
+from ..schema.tgd import SchemaMapping
+from ..storage.instance import Row
+from .editlog import EditLog, PublishDelta, publish
+from .exchange import (
+    STRATEGY_INCREMENTAL,
+    ExchangeReport,
+    ExchangeSystem,
+)
+from .query import answer_query, certain_rows
+
+
+@dataclass
+class Peer:
+    """One participant: schema, edit log, and trust policy."""
+
+    name: str
+    schema: PeerSchema
+    edit_log: EditLog = field(default=None)  # type: ignore[assignment]
+    policy: TrustPolicy = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.edit_log is None:
+            self.edit_log = EditLog(self.name)
+        if self.policy is None:
+            self.policy = TrustPolicy(self.name)
+
+
+class CDSS:
+    """A collaborative data sharing system (Section 2).
+
+    Configuration (peers, mappings, trust) may be extended at any time;
+    the internal schema, provenance encoding, and database are (re)built
+    lazily on first use after a configuration change.
+    """
+
+    def __init__(
+        self,
+        name: str = "cdss",
+        planner: Planner | None = None,
+        encoding_style: str = ENCODING_COMPOSITE,
+        perspective: str | None = None,
+        strategy: str = STRATEGY_INCREMENTAL,
+    ) -> None:
+        self.name = name
+        self.strategy = strategy
+        self._planner = planner
+        self._encoding_style = encoding_style
+        self._perspective = perspective
+        self._peers: dict[str, Peer] = {}
+        self._mappings: dict[str, SchemaMapping] = {}
+        self._relation_owner: dict[str, str] = {}
+        self._system: ExchangeSystem | None = None
+        self._previous_system: ExchangeSystem | None = None
+        self.exchange_reports: list[ExchangeReport] = []
+
+    # -- configuration -------------------------------------------------------
+
+    def add_peer(
+        self,
+        name: str,
+        relations: Mapping[str, Sequence[str]] | Iterable[RelationSchema],
+    ) -> Peer:
+        """Register a peer with its relations.
+
+        ``relations`` is either a mapping ``{relation: (attr, ...)}`` or an
+        iterable of :class:`RelationSchema`.
+        """
+        if name in self._peers:
+            raise SchemaError(f"peer {name!r} already exists")
+        if isinstance(relations, Mapping):
+            schemas = tuple(
+                RelationSchema(rel, tuple(attrs))
+                for rel, attrs in relations.items()
+            )
+        else:
+            schemas = tuple(relations)
+        peer = Peer(name, PeerSchema(name, schemas))
+        for schema in schemas:
+            if schema.name in self._relation_owner:
+                raise SchemaError(
+                    f"relation {schema.name!r} already owned by peer "
+                    f"{self._relation_owner[schema.name]!r}"
+                )
+        for schema in schemas:
+            self._relation_owner[schema.name] = name
+        self._peers[name] = peer
+        self._invalidate()
+        return peer
+
+    def add_mapping(self, name: str, tgd: str | SchemaMapping) -> SchemaMapping:
+        """Register a schema mapping, given as tgd text or an object."""
+        if name in self._mappings:
+            raise SchemaError(f"mapping {name!r} already exists")
+        mapping = (
+            SchemaMapping.parse(name, tgd) if isinstance(tgd, str) else tgd
+        )
+        self._mappings[name] = mapping
+        self._invalidate()
+        return mapping
+
+    def set_trust_condition(
+        self,
+        peer: str,
+        mapping: str,
+        condition: TrustCondition | Callable[[Row], bool],
+        description: str | None = None,
+    ) -> None:
+        """Attach peer ``peer``'s trust condition to mapping ``mapping``."""
+        if not isinstance(condition, TrustCondition):
+            condition = TrustCondition(
+                description or f"{peer} condition on {mapping}", condition
+            )
+        self._peer(peer).policy.set_mapping_condition(mapping, condition)
+        self._invalidate()
+
+    def distrust_token(
+        self, peer: str, relation: str, row: Iterable[object]
+    ) -> None:
+        """Peer ``peer`` assigns D to a specific base tuple (Section 3.3)."""
+        self._peer(peer).policy.distrust_token(relation, row)
+        self._invalidate()
+
+    def distrust_peer(self, peer: str, other: str) -> None:
+        """Peer ``peer`` distrusts all of ``other``'s base contributions."""
+        self._peer(peer).policy.distrust_peer(other)
+        self._invalidate()
+
+    # -- editing (offline) -------------------------------------------------------
+
+    def insert(self, relation: str, row: Iterable[object]) -> None:
+        """Record an insertion in the owning peer's edit log."""
+        peer = self._owner_peer(relation)
+        peer.edit_log.insert(relation, row)
+
+    def delete(self, relation: str, row: Iterable[object]) -> None:
+        """Record a deletion (curation) in the owning peer's edit log."""
+        peer = self._owner_peer(relation)
+        peer.edit_log.delete(relation, row)
+
+    def pending_edits(self) -> int:
+        return sum(len(peer.edit_log) for peer in self._peers.values())
+
+    # -- update exchange ------------------------------------------------------------
+
+    def update_exchange(
+        self,
+        peers: Iterable[str] | None = None,
+        strategy: str | None = None,
+    ) -> ExchangeReport:
+        """Publish edit logs and bring the system to a consistent state.
+
+        ``peers`` limits which peers publish (default: all); other peers'
+        unpublished edits stay invisible, matching Section 2's operational
+        model.
+        """
+        system = self.system()
+        delta = PublishDelta()
+        names = tuple(peers) if peers is not None else tuple(self._peers)
+        for name in names:
+            delta.merge(publish(self._peer(name).edit_log, system.db))
+        report = system.apply_delta(delta, strategy or self.strategy)
+        self.exchange_reports.append(report)
+        return report
+
+    def recompute(self) -> ExchangeReport:
+        report = self.system().recompute()
+        self.exchange_reports.append(report)
+        return report
+
+    # -- inspection --------------------------------------------------------------------
+
+    def system(self) -> ExchangeSystem:
+        """The underlying exchange system (rebuilt on demand).
+
+        Reconfiguring (new peers, mappings, or trust) after data has been
+        loaded preserves the base data — local contributions and rejections
+        carry over and the derived state is recomputed under the new
+        configuration.
+        """
+        if self._system is not None:
+            return self._system
+        internal = InternalSchema(
+            tuple(p.schema for p in self._peers.values()),
+            tuple(self._mappings.values()),
+        )
+        system = ExchangeSystem(
+            internal,
+            policies={
+                name: peer.policy for name, peer in self._peers.items()
+            },
+            planner=self._planner,
+            encoding_style=self._encoding_style,
+            perspective=self._perspective,
+        )
+        if self._previous_system is not None:
+            from ..schema.internal import local_name, rejection_name
+
+            carried = False
+            for relation in internal.relation_names():
+                old_db = self._previous_system.db
+                for name_fn in (local_name, rejection_name):
+                    old = old_db.get(name_fn(relation))
+                    if old is not None and len(old):
+                        system.db[name_fn(relation)].insert_many(old)
+                        carried = True
+            if carried:
+                system.recompute()
+            self._previous_system = None
+        self._system = system
+        return system
+
+    @property
+    def internal_schema(self) -> InternalSchema:
+        return self.system().internal
+
+    def peers(self) -> tuple[str, ...]:
+        return tuple(self._peers)
+
+    def mappings(self) -> tuple[SchemaMapping, ...]:
+        return tuple(self._mappings.values())
+
+    def instance(self, relation: str) -> frozenset[Row]:
+        """The current local instance of ``relation`` (after last exchange)."""
+        return self.system().instance(relation)
+
+    def certain_instance(self, relation: str) -> frozenset[Row]:
+        """The instance with labeled-null rows dropped (certain answers)."""
+        return certain_rows(self.instance(relation))
+
+    def query(self, text: str, certain: bool = True) -> frozenset[Row]:
+        system = self.system()
+        return answer_query(text, system.db, system.internal, certain=certain)
+
+    def query_program(
+        self, text: str, answer: str = "ans", certain: bool = True
+    ) -> frozenset[Row]:
+        """Evaluate a recursive datalog program over the peer instances.
+
+        Bodies reference user relations; the program may define auxiliary
+        intensional predicates (evaluated to fixpoint in scratch space).
+        Returns the extension of the ``answer`` predicate.
+        """
+        from .query import answer_program
+
+        system = self.system()
+        return answer_program(
+            text, system.db, system.internal, answer=answer, certain=certain
+        )
+
+    # -- provenance & trust -------------------------------------------------------------
+
+    def provenance_graph(self) -> ProvenanceGraph:
+        system = self.system()
+        return build_provenance_graph(system.db, system.encoding)
+
+    def provenance_of(
+        self, relation: str, row: Iterable[object], max_depth: int = 8
+    ) -> ProvenanceExpression:
+        """The provenance expression of a tuple (Example 6)."""
+        return self.provenance_graph().expression_for(
+            relation, row, max_depth=max_depth
+        )
+
+    def evaluate_provenance(
+        self,
+        semiring: Semiring,
+        token_value: Callable[[Token], object] | None = None,
+    ) -> dict[Token, object]:
+        """Solve the provenance equations of the whole system in a semiring."""
+        return self.provenance_graph().evaluate(semiring, token_value)
+
+    def trust_of(
+        self, peer: str, relation: str, row: Iterable[object]
+    ) -> bool:
+        """Evaluate ``peer``'s trust of a tuple against stored provenance
+        (Example 7's offline calculation)."""
+        verdicts = evaluate_trust(
+            self.provenance_graph(),
+            self._peer(peer).policy,
+            internal=self.internal_schema,
+            extra_policies={
+                name: p.policy for name, p in self._peers.items()
+            },
+        )
+        return verdicts.get((relation, tuple(row)), False)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _peer(self, name: str) -> Peer:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise SchemaError(f"unknown peer {name!r}") from None
+
+    def _owner_peer(self, relation: str) -> Peer:
+        owner = self._relation_owner.get(relation)
+        if owner is None:
+            raise SchemaError(f"unknown relation {relation!r}")
+        return self._peers[owner]
+
+    def _invalidate(self) -> None:
+        if self._system is not None:
+            self._previous_system = self._system
+        self._system = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<CDSS {self.name}: {len(self._peers)} peers, "
+            f"{len(self._mappings)} mappings>"
+        )

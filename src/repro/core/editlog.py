@@ -1,0 +1,181 @@
+"""Edit logs and publish semantics (Sections 2 and 3.1).
+
+Users edit their peer's local instance "offline"; every insertion and
+deletion is appended to the peer's edit log ``Delta R``.  On *publish*, the
+log is folded into the internal edb relations:
+
+* ``R__l`` (local contributions) gains inserted tuples and loses locally
+  contributed tuples the log later deletes;
+* ``R__r`` (rejections) gains deleted tuples that were *not* local
+  contributions — the curation deletions that keep imported data rejected
+  across future update exchanges ("that data remains rejected by P in future
+  update exchanges", Section 2) — and loses tuples the user re-inserts
+  (un-rejection).
+
+:func:`publish` computes the **net** delta between the current internal
+state and the state the log prescribes; the exchange engine then applies it
+with any of the three maintenance strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..schema.internal import local_name, rejection_name
+from ..storage.database import Database
+from ..storage.instance import Row
+
+
+@dataclass(frozen=True)
+class Update:
+    """One edit-log entry: ``(d, row)`` with d in {'+', '-'}."""
+
+    relation: str
+    row: Row
+    is_insert: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row", tuple(self.row))
+
+    @property
+    def sign(self) -> str:
+        return "+" if self.is_insert else "-"
+
+    def __repr__(self) -> str:
+        return f"({self.sign} | {self.relation}{self.row!r})"
+
+
+class EditLog:
+    """The ordered edit log of one peer (covering all its relations)."""
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self._entries: list[Update] = []
+
+    def insert(self, relation: str, row: Iterable[object]) -> Update:
+        update = Update(relation, tuple(row), is_insert=True)
+        self._entries.append(update)
+        return update
+
+    def delete(self, relation: str, row: Iterable[object]) -> Update:
+        update = Update(relation, tuple(row), is_insert=False)
+        self._entries.append(update)
+        return update
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def drain(self) -> tuple[Update, ...]:
+        """Return all entries and empty the log (publish consumes it)."""
+        entries = tuple(self._entries)
+        self._entries.clear()
+        return entries
+
+    def __repr__(self) -> str:
+        return f"<EditLog {self.peer}: {len(self._entries)} entries>"
+
+
+@dataclass
+class PublishDelta:
+    """Net changes to the internal edb relations implied by an edit log.
+
+    All four maps are keyed by *user* relation name.
+    """
+
+    local_inserts: dict[str, set[Row]] = field(default_factory=dict)
+    local_deletes: dict[str, set[Row]] = field(default_factory=dict)
+    rejection_inserts: dict[str, set[Row]] = field(default_factory=dict)
+    rejection_deletes: dict[str, set[Row]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not any(
+            any(rows for rows in bucket.values())
+            for bucket in (
+                self.local_inserts,
+                self.local_deletes,
+                self.rejection_inserts,
+                self.rejection_deletes,
+            )
+        )
+
+    def merge(self, other: "PublishDelta") -> "PublishDelta":
+        """Combine deltas from different peers (disjoint schemas, so no
+        relation appears in both)."""
+        for mine, theirs in (
+            (self.local_inserts, other.local_inserts),
+            (self.local_deletes, other.local_deletes),
+            (self.rejection_inserts, other.rejection_inserts),
+            (self.rejection_deletes, other.rejection_deletes),
+        ):
+            for relation, rows in theirs.items():
+                mine.setdefault(relation, set()).update(rows)
+        return self
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "local_inserts": sum(len(r) for r in self.local_inserts.values()),
+            "local_deletes": sum(len(r) for r in self.local_deletes.values()),
+            "rejection_inserts": sum(
+                len(r) for r in self.rejection_inserts.values()
+            ),
+            "rejection_deletes": sum(
+                len(r) for r in self.rejection_deletes.values()
+            ),
+        }
+
+
+def publish(log: EditLog, db: Database) -> PublishDelta:
+    """Fold an edit log into a net :class:`PublishDelta` against ``db``.
+
+    The log is replayed in order against the current ``R__l`` / ``R__r``
+    contents to obtain the *desired* final state per touched row; the delta
+    is the difference.  The log is drained (its entries are consumed).
+    """
+    desired_local: dict[tuple[str, Row], bool] = {}
+    desired_rejected: dict[tuple[str, Row], bool] = {}
+
+    def currently_local(relation: str, row: Row) -> bool:
+        key = (relation, row)
+        if key in desired_local:
+            return desired_local[key]
+        return row in db[local_name(relation)]
+
+    def currently_rejected(relation: str, row: Row) -> bool:
+        key = (relation, row)
+        if key in desired_rejected:
+            return desired_rejected[key]
+        return row in db[rejection_name(relation)]
+
+    for update in log.drain():
+        key = (update.relation, update.row)
+        if update.is_insert:
+            desired_local[key] = True
+            if currently_rejected(update.relation, update.row):
+                desired_rejected[key] = False  # re-insertion un-rejects
+        else:
+            if currently_local(update.relation, update.row):
+                desired_local[key] = False
+            else:
+                desired_rejected[key] = True
+
+    delta = PublishDelta()
+    for (relation, row), want in desired_local.items():
+        have = row in db[local_name(relation)]
+        if want and not have:
+            delta.local_inserts.setdefault(relation, set()).add(row)
+        elif have and not want:
+            delta.local_deletes.setdefault(relation, set()).add(row)
+    for (relation, row), want in desired_rejected.items():
+        have = row in db[rejection_name(relation)]
+        if want and not have:
+            delta.rejection_inserts.setdefault(relation, set()).add(row)
+        elif have and not want:
+            delta.rejection_deletes.setdefault(relation, set()).add(row)
+    return delta

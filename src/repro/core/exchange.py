@@ -1,0 +1,229 @@
+"""The update-exchange engine: full and incremental computation of a
+consistent CDSS state (Sections 3 and 4).
+
+:class:`ExchangeSystem` owns the internal database (edb tables ``R__l`` /
+``R__r``, derived tables ``R__i`` / ``R__t`` / ``R__o``, and provenance
+tables), the compiled internal program, and the trust filters.  It exposes
+three maintenance strategies, compared in the paper's Figure 4:
+
+* ``recompute``   — clear all derived state and re-run the fixpoint from the
+  edbs (the "complete recomputation" baseline);
+* ``incremental`` — insertion delta rules + PropagateDelete (the paper's
+  contribution);
+* ``dred``        — insertion delta rules + DRed deletion (the [18]
+  baseline).
+
+After any strategy the database is in a *consistent state* (Definition 3.1
+as amended by the erratum: the instance computed by the chase/datalog
+program from the current edbs) — a property the test suite checks by
+cross-strategy comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..datalog.ast import Program
+from ..datalog.engine import SemiNaiveEngine
+from ..datalog.planner import Planner
+from ..provenance.relations import ENCODING_COMPOSITE, ProvenanceEncoding
+from ..provenance.trust import TrustPolicy, exchange_head_filters
+from ..schema.internal import (
+    InternalSchema,
+    input_name,
+    local_name,
+    output_name,
+    rejection_name,
+    trusted_name,
+)
+from ..storage.database import Database
+from ..storage.instance import Row
+from .dred import DRedMaintainer
+from .editlog import PublishDelta
+from .incremental import IncrementalMaintainer
+
+STRATEGY_INCREMENTAL = "incremental"
+STRATEGY_DRED = "dred"
+STRATEGY_RECOMPUTE = "recompute"
+STRATEGIES = (STRATEGY_INCREMENTAL, STRATEGY_DRED, STRATEGY_RECOMPUTE)
+
+
+class ExchangeError(Exception):
+    """Raised on invalid exchange operations."""
+
+
+@dataclass
+class ExchangeReport:
+    """Summary of one update-exchange operation."""
+
+    strategy: str
+    seconds: float = 0.0
+    inserted: int = 0
+    deleted: int = 0
+    details: dict[str, object] = field(default_factory=dict)
+
+
+class ExchangeSystem:
+    """Update exchange over one internal schema + provenance encoding."""
+
+    def __init__(
+        self,
+        internal: InternalSchema,
+        policies: Mapping[str, TrustPolicy] | None = None,
+        planner: Planner | None = None,
+        encoding_style: str = ENCODING_COMPOSITE,
+        perspective: str | None = None,
+        db: Database | None = None,
+    ) -> None:
+        self.internal = internal
+        self.policies: dict[str, TrustPolicy] = dict(policies or {})
+        self.perspective = perspective
+        self.encoding = ProvenanceEncoding(internal, style=encoding_style)
+        self.program: Program = self.encoding.full_program()
+        self.head_filters = exchange_head_filters(
+            internal, self.encoding, self.policies, perspective
+        )
+        self.engine = SemiNaiveEngine(planner, head_filters=self.head_filters)
+        self.db = db if db is not None else Database()
+        self.encoding.setup_database(self.db)
+        self._maintainer = IncrementalMaintainer(
+            self.db, self.encoding, self.program, self.engine
+        )
+        self._dred = DRedMaintainer(
+            self.db, self.encoding, self.program, self.engine
+        )
+
+    # -- state access ----------------------------------------------------------
+
+    def instance(self, relation: str) -> frozenset[Row]:
+        """The local instance of a user relation (its ``R__o`` table)."""
+        return self.db[output_name(relation)].rows()
+
+    def local_contributions(self, relation: str) -> frozenset[Row]:
+        return self.db[local_name(relation)].rows()
+
+    def rejections(self, relation: str) -> frozenset[Row]:
+        return self.db[rejection_name(relation)].rows()
+
+    def input_instance(self, relation: str) -> frozenset[Row]:
+        return self.db[input_name(relation)].rows()
+
+    def trusted_instance(self, relation: str) -> frozenset[Row]:
+        return self.db[trusted_name(relation)].rows()
+
+    def snapshot_outputs(self) -> dict[str, frozenset[Row]]:
+        return {
+            relation: self.instance(relation)
+            for relation in self.internal.relation_names()
+        }
+
+    def total_tuples(self) -> int:
+        return self.db.total_rows()
+
+    def estimated_bytes(self) -> int:
+        return self.db.estimated_bytes()
+
+    # -- full recomputation --------------------------------------------------------
+
+    def recompute(self) -> ExchangeReport:
+        """Clear all derived state; re-run the fixpoint from the edbs."""
+        start = time.perf_counter()
+        for relation in self.internal.relation_names():
+            for derived in (
+                input_name(relation),
+                trusted_name(relation),
+                output_name(relation),
+            ):
+                self.db[derived].clear()
+        for name in self.encoding.provenance_relation_names():
+            self.db[name].clear()
+        self.engine.planner.invalidate()
+        result = self.engine.run(self.program, self.db)
+        return ExchangeReport(
+            strategy=STRATEGY_RECOMPUTE,
+            seconds=time.perf_counter() - start,
+            inserted=result.total_inserted,
+            details={"rounds": result.rounds},
+        )
+
+    # -- incremental application -----------------------------------------------------
+
+    def apply_delta(
+        self, delta: PublishDelta, strategy: str = STRATEGY_INCREMENTAL
+    ) -> ExchangeReport:
+        """Apply a published delta with the chosen maintenance strategy."""
+        if strategy not in STRATEGIES:
+            raise ExchangeError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        start = time.perf_counter()
+        if strategy == STRATEGY_RECOMPUTE:
+            report = self._apply_by_recompute(delta)
+        else:
+            maintainer = (
+                self._dred if strategy == STRATEGY_DRED else self._maintainer
+            )
+            deletion_report = maintainer.propagate_deletions(
+                delta.local_deletes, delta.rejection_inserts
+            )
+            unreject_report = maintainer.apply_unrejections(
+                delta.rejection_deletes
+            )
+            insert_report = maintainer.apply_insertions(delta.local_inserts)
+            deleted = (
+                deletion_report.total_deleted
+                if hasattr(deletion_report, "total_deleted")
+                else deletion_report.overdeleted - deletion_report.rederived
+            )
+            report = ExchangeReport(
+                strategy=strategy,
+                inserted=insert_report.total_derived
+                + unreject_report.total_derived,
+                deleted=deleted,
+                details={
+                    "deletion": deletion_report,
+                    "insertion": insert_report,
+                },
+            )
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def _apply_by_recompute(self, delta: PublishDelta) -> ExchangeReport:
+        for relation, rows in delta.local_deletes.items():
+            self.db[local_name(relation)].delete_many(rows)
+        for relation, rows in delta.local_inserts.items():
+            self.db[local_name(relation)].insert_many(rows)
+        for relation, rows in delta.rejection_inserts.items():
+            self.db[rejection_name(relation)].insert_many(rows)
+        for relation, rows in delta.rejection_deletes.items():
+            self.db[rejection_name(relation)].delete_many(rows)
+        inner = self.recompute()
+        inner.strategy = STRATEGY_RECOMPUTE
+        return inner
+
+    # -- consistency (used heavily by tests) -------------------------------------------
+
+    def is_consistent(self) -> bool:
+        """Check Definition 3.1: derived state equals a fresh fixpoint from
+        the current edbs."""
+        reference = ExchangeSystem(
+            self.internal,
+            self.policies,
+            encoding_style=self.encoding.style,
+            perspective=self.perspective,
+        )
+        for relation in self.internal.relation_names():
+            reference.db[local_name(relation)].insert_many(
+                self.db[local_name(relation)]
+            )
+            reference.db[rejection_name(relation)].insert_many(
+                self.db[rejection_name(relation)]
+            )
+        reference.recompute()
+        for name in self.db.relation_names():
+            other = reference.db.get(name)
+            if other is None or other.rows() != self.db[name].rows():
+                return False
+        return True

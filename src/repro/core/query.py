@@ -1,0 +1,171 @@
+"""Query answering over peer instances with certain-answer semantics.
+
+Section 2.1: queries are answered using only the local peer instance
+(``R__o``); labeled nulls are "internal bookkeeping (e.g., queries can join
+on their equality), but tuples with labeled nulls are discarded in order to
+produce certain answers".  Optionally a superset including labeled nulls can
+be returned ("which may be desirable for some applications").
+
+Queries are conjunctive queries with safe negation, written in datalog
+syntax over *user* relation names, e.g. Example 3's
+
+    ``ans(x, y) :- U(x, z), U(y, z)``
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..datalog.ast import Atom, Rule, tuple_has_labeled_null
+from ..datalog.parser import parse_rule
+from ..datalog.plan import execute_plan
+from ..datalog.planner import Planner, PreparedPlanner
+from ..schema.internal import InternalSchema, output_name
+from ..storage.database import Database
+from ..storage.instance import Instance, Row
+
+
+class QueryError(Exception):
+    """Raised for malformed queries."""
+
+
+def _rewrite_to_internal(rule: Rule, internal: InternalSchema) -> Rule:
+    """Rewrite body atoms from user relation names to their ``R__o`` tables."""
+    body = []
+    for atom in rule.body:
+        if atom.predicate not in internal.catalog:
+            raise QueryError(
+                f"query references unknown relation {atom.predicate!r}"
+            )
+        if internal.arity_of(atom.predicate) != atom.arity:
+            raise QueryError(
+                f"query uses {atom.predicate!r} with arity {atom.arity}, "
+                f"schema says {internal.arity_of(atom.predicate)}"
+            )
+        body.append(
+            Atom(output_name(atom.predicate), atom.terms, negated=atom.negated)
+        )
+    return Rule(rule.head, tuple(body), label=rule.label)
+
+
+def answer_query(
+    query: str | Rule,
+    db: Database,
+    internal: InternalSchema,
+    certain: bool = True,
+    planner: Planner | None = None,
+) -> frozenset[Row]:
+    """Evaluate a conjunctive query against the peers' local instances.
+
+    With ``certain=True`` (default), answers containing labeled nulls are
+    discarded — the certain-answer semantics validated by "over a decade of
+    use in data integration and data exchange" (Section 2.1).  With
+    ``certain=False`` the superset including labeled nulls is returned.
+    """
+    rule = parse_rule(query) if isinstance(query, str) else query
+    if not rule.body:
+        raise QueryError("query must have a non-empty body")
+    rule.check_safety()
+    internal_rule = _rewrite_to_internal(rule, internal)
+    plan = (planner or PreparedPlanner()).plan(internal_rule, db, None)
+
+    def resolve(_index: int, atom: Atom):
+        if atom.predicate in db:
+            return db[atom.predicate]
+        return Instance(atom.predicate, atom.arity)
+
+    answers = {row for row, _ in execute_plan(plan, resolve)}
+    if certain:
+        answers = {
+            row for row in answers if not tuple_has_labeled_null(row)
+        }
+    return frozenset(answers)
+
+
+def certain_rows(rows: Iterable[Row]) -> frozenset[Row]:
+    """Filter labeled-null-carrying rows out of a relation instance."""
+    return frozenset(
+        row for row in rows if not tuple_has_labeled_null(row)
+    )
+
+
+def answer_program(
+    program: "str | object",
+    db: Database,
+    internal: InternalSchema,
+    answer: str = "ans",
+    certain: bool = True,
+    planner: Planner | None = None,
+) -> frozenset[Row]:
+    """Evaluate a (possibly recursive) datalog program over peer instances.
+
+    The program's extensional predicates are user relation names (resolved
+    to their ``R__o`` tables); its intensional predicates are scratch
+    relations evaluated to fixpoint without touching the exchanged state.
+    The extension of ``answer`` is returned, with labeled-null rows dropped
+    under certain-answer semantics.
+
+    Example — reachability over a synonym relation::
+
+        answer_program('''
+            Reach(x, y) :- U(x, y)
+            Reach(x, z) :- Reach(x, y), U(y, z)
+            ans(x, y) :- Reach(x, y)
+        ''', db, internal)
+    """
+    from ..datalog.ast import Program
+    from ..datalog.engine import SemiNaiveEngine
+    from ..datalog.parser import parse_program
+
+    parsed: Program = (
+        parse_program(program) if isinstance(program, str) else program  # type: ignore[assignment]
+    )
+    if answer not in parsed.idb_predicates():
+        raise QueryError(
+            f"program does not define the answer predicate {answer!r}"
+        )
+    idb = parsed.idb_predicates()
+    for predicate in idb:
+        if predicate in internal.catalog:
+            raise QueryError(
+                f"query program redefines peer relation {predicate!r}"
+            )
+    rewritten = []
+    for rule in parsed:
+        body = []
+        for atom in rule.body:
+            if atom.predicate in idb:
+                body.append(atom)
+            elif atom.predicate in internal.catalog:
+                if internal.arity_of(atom.predicate) != atom.arity:
+                    raise QueryError(
+                        f"query uses {atom.predicate!r} with arity "
+                        f"{atom.arity}, schema says "
+                        f"{internal.arity_of(atom.predicate)}"
+                    )
+                body.append(
+                    Atom(
+                        output_name(atom.predicate),
+                        atom.terms,
+                        negated=atom.negated,
+                    )
+                )
+            else:
+                raise QueryError(
+                    f"query references unknown relation {atom.predicate!r}"
+                )
+        rewritten.append(Rule(rule.head, tuple(body), label=rule.label))
+
+    scratch = Database()
+    for relation in internal.relation_names():
+        instance = db.get(output_name(relation))
+        if instance is not None:
+            scratch.attach(instance)
+    engine = SemiNaiveEngine(planner)
+    from ..datalog.ast import Program as ProgramCls
+
+    engine.run(ProgramCls(tuple(rewritten), name="query"), scratch)
+    answers = scratch[answer].rows()
+    if certain:
+        answers = certain_rows(answers)
+    return frozenset(answers)

@@ -1,0 +1,68 @@
+"""Datalog with Skolem functions: AST, parser, planners, and engines.
+
+This subpackage is substrate S1/S3/S4/S5 of DESIGN.md — the query language
+and evaluation machinery that update exchange compiles schema mappings into
+(paper Sections 4.1.1 and 5).
+"""
+
+from .ast import (
+    Atom,
+    Constant,
+    DatalogError,
+    Program,
+    Rule,
+    SafetyError,
+    SkolemFunction,
+    SkolemTerm,
+    SkolemValue,
+    Variable,
+    is_labeled_null,
+    make_atom,
+    tuple_has_labeled_null,
+)
+from .engine import (
+    EvaluationResult,
+    IncrementalUnsoundError,
+    NaiveEngine,
+    SemiNaiveEngine,
+    ensure_idb_relations,
+)
+from .parser import ParseError, ParsedTgd, parse_program, parse_rule, parse_tgd
+from .plan import PlanError, RulePlan, execute_plan
+from .planner import CostBasedPlanner, Planner, PreparedPlanner
+from .stratify import Stratification, StratificationError, stratify
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "CostBasedPlanner",
+    "DatalogError",
+    "EvaluationResult",
+    "IncrementalUnsoundError",
+    "NaiveEngine",
+    "ParseError",
+    "ParsedTgd",
+    "PlanError",
+    "Planner",
+    "PreparedPlanner",
+    "Program",
+    "Rule",
+    "RulePlan",
+    "SafetyError",
+    "SemiNaiveEngine",
+    "SkolemFunction",
+    "SkolemTerm",
+    "SkolemValue",
+    "Stratification",
+    "StratificationError",
+    "Variable",
+    "ensure_idb_relations",
+    "execute_plan",
+    "is_labeled_null",
+    "make_atom",
+    "parse_program",
+    "parse_rule",
+    "parse_tgd",
+    "stratify",
+    "tuple_has_labeled_null",
+]

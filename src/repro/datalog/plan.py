@@ -1,0 +1,176 @@
+"""Physical plans for rule bodies: bind-join pipelines.
+
+A rule body is executed as a left-deep pipeline of *bind joins*: atoms are
+visited in a planner-chosen order; for each partial substitution the executor
+probes the next atom's relation on its already-bound columns (using the
+storage layer's hash indexes) and extends the substitution with each matching
+row.  Negated atoms become anti-join filters and are scheduled only once all
+their variables are bound.
+
+This is the executor shared by both of the paper's backends; they differ
+only in *how the atom order is chosen* (see :mod:`repro.datalog.planner`) —
+mirroring Section 5, where the same datalog is run either through an RDBMS
+optimizer or through Tukwila's fixed heuristic plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Protocol, Sequence
+
+from .ast import (
+    Atom,
+    Constant,
+    DatalogError,
+    Rule,
+    SkolemTerm,
+    Variable,
+    instantiate_atom,
+    match_atom,
+)
+
+Row = tuple[object, ...]
+
+
+class RowSource(Protocol):
+    """What the executor needs from a relation: scan + indexed lookup."""
+
+    def __iter__(self) -> Iterator[Row]: ...
+
+    def __contains__(self, row: Sequence[object]) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def lookup(
+        self, columns: Sequence[int], values: Sequence[object]
+    ) -> frozenset[Row]: ...
+
+
+SourceResolver = Callable[[int, Atom], RowSource]
+"""Maps (body atom index, atom) to the source it reads this round.
+
+Semi-naive evaluation points one atom occurrence at a delta source and the
+rest at the full instances.
+"""
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """An execution order for one rule's body atoms.
+
+    ``order`` is a permutation of body-atom indices.  The plan is valid iff
+    every negated atom appears after all its variables are bound by earlier
+    positive atoms; :func:`check_plan` verifies this.
+    """
+
+    rule: Rule
+    order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        check_plan(self.rule, self.order)
+
+
+class PlanError(DatalogError):
+    """An invalid physical plan was constructed."""
+
+
+def check_plan(rule: Rule, order: Sequence[int]) -> None:
+    if sorted(order) != list(range(len(rule.body))):
+        raise PlanError(
+            f"order {order!r} is not a permutation of body atoms of {rule!r}"
+        )
+    bound: set[Variable] = set()
+    for index in order:
+        atom = rule.body[index]
+        if atom.negated:
+            unbound = atom.variable_set() - bound
+            if unbound:
+                raise PlanError(
+                    f"negated atom {atom!r} scheduled before variables "
+                    f"{unbound!r} are bound in {rule!r}"
+                )
+        else:
+            bound |= atom.variable_set()
+
+
+def bound_columns(
+    atom: Atom, bound: set[Variable]
+) -> tuple[tuple[int, ...], tuple[object, ...] | None]:
+    """Columns of ``atom`` probeable given the ``bound`` variable set.
+
+    Returns (columns, constants) where ``constants`` is the tuple of constant
+    values for constant columns, or None when values depend on the current
+    substitution.  Repeated variables are handled by ``match_atom`` during
+    row matching, so only the first occurrence matters for probing.
+    """
+    cols: list[int] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            cols.append(position)
+        elif isinstance(term, Variable) and term in bound:
+            cols.append(position)
+    return tuple(cols), None
+
+
+def execute_plan(
+    plan: RulePlan,
+    resolve: SourceResolver,
+    head_filter: Callable[[Row, Mapping[Variable, object]], bool] | None = None,
+) -> Iterator[tuple[Row, dict[Variable, object]]]:
+    """Run a rule plan, yielding (head row, substitution) pairs.
+
+    ``head_filter`` (if given) drops derivations before they are yielded —
+    this is where trust conditions are applied during update exchange
+    (Section 4.2: "we simply apply the associated trust conditions to ensure
+    that we only derive new trusted tuples").
+    """
+    rule = plan.rule
+    substitutions: list[dict[Variable, object]] = [{}]
+    for index in plan.order:
+        atom = rule.body[index]
+        source = resolve(index, atom)
+        if atom.negated:
+            substitutions = [
+                subst
+                for subst in substitutions
+                if instantiate_atom(atom, subst) not in source
+            ]
+            continue
+        next_substitutions: list[dict[Variable, object]] = []
+        for subst in substitutions:
+            probe_cols: list[int] = []
+            probe_vals: list[object] = []
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    probe_cols.append(position)
+                    probe_vals.append(term.value)
+                elif isinstance(term, Variable) and term in subst:
+                    probe_cols.append(position)
+                    probe_vals.append(subst[term])
+                elif isinstance(term, SkolemTerm) and all(
+                    isinstance(a, Constant)
+                    or (isinstance(a, Variable) and a in subst)
+                    for a in term.args
+                ):
+                    # A fully bound Skolem pattern probes as its value.
+                    probe_cols.append(position)
+                    probe_vals.append(
+                        instantiate_atom(Atom("_", (term,)), subst)[0]
+                    )
+            if probe_cols:
+                candidates: Sequence[Row] | frozenset[Row] = source.lookup(
+                    probe_cols, probe_vals
+                )
+            else:
+                candidates = tuple(source)
+            for row in candidates:
+                extended = match_atom(atom, row, subst)
+                if extended is not None:
+                    next_substitutions.append(extended)
+        substitutions = next_substitutions
+        if not substitutions:
+            return
+    for subst in substitutions:
+        head_row = instantiate_atom(rule.head, subst)
+        if head_filter is None or head_filter(head_row, subst):
+            yield head_row, subst

@@ -1,0 +1,367 @@
+"""Provenance expressions: the free structure of Section 3.2.
+
+The provenance of a base tuple is its own token; the provenance of a derived
+tuple is an expression built from tokens with ``+`` (alternative
+derivations), ``.`` (conjunction in a join), and one unary function per
+mapping (``m1(p3) + m4(p1 p2)`` in Example 6).  When mappings form cycles a
+tuple may have infinitely many derivations; following the paper, cyclic
+provenance is represented *finitely* as a system of equations whose
+variables are :class:`TupleRef` nodes (Section 3.2: "the provenances are
+finitely representable through a system of equations").
+
+Expressions are immutable, hashable, and normalized on construction
+(flattened, zero/one-simplified, sums and products sorted) so structural
+equality is meaningful in tests.
+
+Evaluation into any :class:`~repro.provenance.semiring.Semiring` is the
+homomorphism of [16]: tokens are valued by a caller-supplied function,
+``+``/``.`` map to the semiring operations, and mapping applications map to
+``Semiring.map_apply`` (optionally specialized per mapping node by the trust
+machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .semiring import Semiring, Token
+
+
+class ProvenanceError(Exception):
+    """Raised for malformed provenance structures."""
+
+
+@dataclass(frozen=True)
+class ProvenanceExpression:
+    """Base class for provenance expression nodes."""
+
+    def __add__(self, other: "ProvenanceExpression") -> "ProvenanceExpression":
+        return sum_of((self, other))
+
+    def __mul__(self, other: "ProvenanceExpression") -> "ProvenanceExpression":
+        return product_of((self, other))
+
+    # Subclasses override:
+    def evaluate(
+        self,
+        semiring: Semiring,
+        token_value: Callable[[Token], object],
+        ref_value: Callable[[Token], object] | None = None,
+        mapping_value: Callable[[str, object], object] | None = None,
+    ) -> object:
+        raise NotImplementedError
+
+    def tokens(self) -> frozenset[Token]:
+        """All base tokens mentioned."""
+        return frozenset()
+
+    def refs(self) -> frozenset[Token]:
+        """All tuple references (equation variables) mentioned."""
+        return frozenset()
+
+    def mapping_names(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Zero(ProvenanceExpression):
+    """No derivation."""
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        return semiring.zero
+
+    def __repr__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class One(ProvenanceExpression):
+    """The empty derivation (multiplicative identity)."""
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        return semiring.one
+
+    def __repr__(self) -> str:
+        return "1"
+
+
+ZERO = Zero()
+ONE = One()
+
+
+@dataclass(frozen=True)
+class TokenLeaf(ProvenanceExpression):
+    """A base-tuple provenance token (the tuple is its own id, §4.1.2)."""
+
+    relation: str
+    row: tuple[object, ...]
+
+    @property
+    def token(self) -> Token:
+        return (self.relation, self.row)
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        return token_value(self.token)
+
+    def tokens(self) -> frozenset[Token]:
+        return frozenset({self.token})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.row)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class TupleRef(ProvenanceExpression):
+    """A reference to another tuple's provenance: the variable ``Pv(t)``
+    appearing in the equation system for cyclic provenance."""
+
+    relation: str
+    row: tuple[object, ...]
+
+    @property
+    def token(self) -> Token:
+        return (self.relation, self.row)
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        if ref_value is None:
+            raise ProvenanceError(
+                f"cannot evaluate {self!r}: no ref_value supplied "
+                "(expression is part of an equation system)"
+            )
+        return ref_value(self.token)
+
+    def refs(self) -> frozenset[Token]:
+        return frozenset({self.token})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.row)
+        return f"Pv[{self.relation}({inner})]"
+
+
+@dataclass(frozen=True)
+class Sum(ProvenanceExpression):
+    """Alternative derivations: ``a + b``."""
+
+    args: tuple[ProvenanceExpression, ...]
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        return semiring.sum(
+            arg.evaluate(semiring, token_value, ref_value, mapping_value)
+            for arg in self.args
+        )
+
+    def tokens(self) -> frozenset[Token]:
+        return frozenset().union(*(a.tokens() for a in self.args))
+
+    def refs(self) -> frozenset[Token]:
+        return frozenset().union(*(a.refs() for a in self.args))
+
+    def mapping_names(self) -> frozenset[str]:
+        return frozenset().union(*(a.mapping_names() for a in self.args))
+
+    def __repr__(self) -> str:
+        return " + ".join(repr(a) for a in self.args)
+
+
+@dataclass(frozen=True)
+class Product(ProvenanceExpression):
+    """Joint derivation through a join: ``a . b``."""
+
+    args: tuple[ProvenanceExpression, ...]
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        return semiring.product(
+            arg.evaluate(semiring, token_value, ref_value, mapping_value)
+            for arg in self.args
+        )
+
+    def tokens(self) -> frozenset[Token]:
+        return frozenset().union(*(a.tokens() for a in self.args))
+
+    def refs(self) -> frozenset[Token]:
+        return frozenset().union(*(a.refs() for a in self.args))
+
+    def mapping_names(self) -> frozenset[str]:
+        return frozenset().union(*(a.mapping_names() for a in self.args))
+
+    def __repr__(self) -> str:
+        parts = []
+        for arg in self.args:
+            text = repr(arg)
+            if isinstance(arg, Sum):
+                text = f"({text})"
+            parts.append(text)
+        return " * ".join(parts)
+
+
+@dataclass(frozen=True)
+class MappingApp(ProvenanceExpression):
+    """Application of a mapping's unary function: ``m1(p3)``."""
+
+    mapping: str
+    arg: ProvenanceExpression
+
+    def evaluate(self, semiring, token_value, ref_value=None, mapping_value=None):
+        inner = self.arg.evaluate(semiring, token_value, ref_value, mapping_value)
+        if mapping_value is not None:
+            return mapping_value(self.mapping, inner)
+        return semiring.map_apply(self.mapping, inner)
+
+    def tokens(self) -> frozenset[Token]:
+        return self.arg.tokens()
+
+    def refs(self) -> frozenset[Token]:
+        return self.arg.refs()
+
+    def mapping_names(self) -> frozenset[str]:
+        return self.arg.mapping_names() | {self.mapping}
+
+    def __repr__(self) -> str:
+        return f"{self.mapping}({self.arg!r})"
+
+
+# ---------------------------------------------------------------------------
+# Normalizing constructors
+# ---------------------------------------------------------------------------
+
+
+def _expr_sort_key(expr: ProvenanceExpression) -> str:
+    return repr(expr)
+
+
+def sum_of(args: Iterable[ProvenanceExpression]) -> ProvenanceExpression:
+    """Build a normalized sum: flattened, zeros dropped, args deduplicated
+    and sorted.  (Deduplication is sound for the idempotent semirings used
+    for trust; the counting semiring consumers build expressions without
+    duplicate summands by construction.)"""
+    flat: list[ProvenanceExpression] = []
+    for arg in args:
+        if isinstance(arg, Sum):
+            flat.extend(arg.args)
+        elif isinstance(arg, Zero):
+            continue
+        else:
+            flat.append(arg)
+    unique = sorted(set(flat), key=_expr_sort_key)
+    if not unique:
+        return ZERO
+    if len(unique) == 1:
+        return unique[0]
+    return Sum(tuple(unique))
+
+
+def product_of(args: Iterable[ProvenanceExpression]) -> ProvenanceExpression:
+    """Build a normalized product: flattened, ones dropped, zero-annihilated,
+    args sorted (commutativity)."""
+    flat: list[ProvenanceExpression] = []
+    for arg in args:
+        if isinstance(arg, Product):
+            flat.extend(arg.args)
+        elif isinstance(arg, One):
+            continue
+        elif isinstance(arg, Zero):
+            return ZERO
+        else:
+            flat.append(arg)
+    if not flat:
+        return ONE
+    if len(flat) == 1:
+        return flat[0]
+    return Product(tuple(sorted(flat, key=_expr_sort_key)))
+
+
+def token(relation: str, row: Sequence[object]) -> TokenLeaf:
+    return TokenLeaf(relation, tuple(row))
+
+
+def ref(relation: str, row: Sequence[object]) -> TupleRef:
+    return TupleRef(relation, tuple(row))
+
+
+def mapping_app(mapping: str, arg: ProvenanceExpression) -> ProvenanceExpression:
+    if isinstance(arg, Zero):
+        return ZERO
+    return MappingApp(mapping, arg)
+
+
+# ---------------------------------------------------------------------------
+# Equation systems
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EquationSystem:
+    """``Pv(t) = expression`` for every tuple ``t`` in the system.
+
+    The solution in an omega-continuous semiring is the least fixpoint of
+    jointly iterating the equations from zero — computed by :meth:`solve`.
+    """
+
+    equations: Mapping[Token, ProvenanceExpression]
+
+    def solve(
+        self,
+        semiring: Semiring,
+        token_value: Callable[[Token], object],
+        mapping_value: Callable[[str, object], object] | None = None,
+        max_rounds: int = 10_000,
+    ) -> dict[Token, object]:
+        """Least-fixpoint solution by Kleene iteration.
+
+        Raises :class:`ProvenanceError` if no fixpoint is reached within
+        ``max_rounds`` (possible only for non-omega-continuous semirings).
+        """
+        values: dict[Token, object] = {
+            key: semiring.zero for key in self.equations
+        }
+        for _ in range(max_rounds):
+            changed = False
+            for key, expr in self.equations.items():
+                new = expr.evaluate(
+                    semiring,
+                    token_value,
+                    ref_value=lambda tok: values.get(tok, semiring.zero),
+                    mapping_value=mapping_value,
+                )
+                if new != values[key]:
+                    values[key] = new
+                    changed = True
+            if not changed:
+                return values
+        raise ProvenanceError(
+            f"equation system did not converge within {max_rounds} rounds "
+            f"in {semiring!r}"
+        )
+
+    def expand(self, start: Token, max_depth: int = 8) -> ProvenanceExpression:
+        """Unfold the equations from ``start`` into a (depth-bounded)
+        expression over tokens only.
+
+        References still present at the depth bound evaluate as zero when the
+        result is evaluated — i.e. the expansion enumerates all derivation
+        trees of depth <= ``max_depth``, a finite approximation of the
+        paper's formal power series.
+        """
+
+        def unfold(expr: ProvenanceExpression, depth: int) -> ProvenanceExpression:
+            if isinstance(expr, TupleRef):
+                if depth <= 0:
+                    return ZERO
+                target = self.equations.get(expr.token)
+                if target is None:
+                    return ZERO
+                return unfold(target, depth - 1)
+            if isinstance(expr, Sum):
+                return sum_of(unfold(a, depth) for a in expr.args)
+            if isinstance(expr, Product):
+                return product_of(unfold(a, depth) for a in expr.args)
+            if isinstance(expr, MappingApp):
+                return mapping_app(expr.mapping, unfold(expr.arg, depth))
+            return expr
+
+        root = self.equations.get(start)
+        if root is None:
+            return ZERO
+        return unfold(root, max_depth)

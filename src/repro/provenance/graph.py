@@ -1,0 +1,341 @@
+"""The provenance graph (Definition 3.2) and its evaluation.
+
+Two kinds of nodes: *tuple nodes* — one per user-level tuple in the system —
+and *mapping nodes* — one per instantiation of a mapping's tgd (i.e. one per
+provenance-table row).  Arcs run from source tuple nodes into the mapping
+node (conjunction) and from the mapping node to the tuples it derives.
+Tuples inserted locally additionally carry a provenance token (the tuple
+itself, Section 4.1.2).
+
+The graph is reconstructed from the relational encoding
+(:mod:`repro.provenance.relations`): each row of each provenance table *is*
+a mapping node.  From the graph one can
+
+* generate the system of provenance equations (Section 3.2) and solve it in
+  any omega-continuous semiring (:meth:`ProvenanceGraph.evaluate`),
+* extract the provenance expression of a tuple (Example 6) via bounded
+  unfolding of the equations, and
+* compute derivability from a set of base tuples — the well-founded
+  "grounded" set used to reason about deletion (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..schema.internal import local_name
+from ..storage.database import Database
+from ..storage.instance import Row
+from .expression import (
+    EquationSystem,
+    ProvenanceExpression,
+    ZERO,
+    mapping_app,
+    product_of,
+    ref,
+    sum_of,
+    token as token_leaf,
+)
+from .relations import ProvenanceEncoding
+from .semiring import Semiring, Token
+
+
+@dataclass(frozen=True)
+class MappingNode:
+    """One instantiation of a mapping tgd (one provenance-table row)."""
+
+    mapping: str
+    table: str
+    row: Row  # the provenance-table row (values of the tgd's LHS variables)
+    sources: tuple[Token, ...]
+    targets: tuple[Token, ...]
+
+    def __repr__(self) -> str:
+        return f"<{self.mapping}:{self.row!r}>"
+
+
+@dataclass(frozen=True)
+class DerivationTree:
+    """One derivation tree of a tuple — "every summand in a provenance
+    expression corresponds to a derivation tree" (Section 3.2).
+
+    ``mapping`` is None for a base-token leaf; otherwise the tree's root was
+    derived by that mapping from the children's roots.
+    """
+
+    root: Token
+    mapping: str | None = None
+    children: tuple["DerivationTree", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.mapping is None
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def leaves(self) -> tuple[Token, ...]:
+        if self.is_leaf:
+            return (self.root,)
+        out: list[Token] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        name = f"{self.root[0]}{self.root[1]!r}"
+        if self.is_leaf:
+            return name
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{name}<-{self.mapping}({inner})"
+
+
+@dataclass
+class ProvenanceGraph:
+    """Tuple nodes, mapping nodes, and local-insertion tokens."""
+
+    tuple_nodes: set[Token] = field(default_factory=set)
+    mapping_nodes: list[MappingNode] = field(default_factory=list)
+    local_tokens: set[Token] = field(default_factory=set)
+    incoming: dict[Token, list[MappingNode]] = field(default_factory=dict)
+    outgoing: dict[Token, list[MappingNode]] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def add_tuple(self, node: Token) -> None:
+        if node not in self.tuple_nodes:
+            self.tuple_nodes.add(node)
+            self.incoming.setdefault(node, [])
+            self.outgoing.setdefault(node, [])
+
+    def add_local_token(self, node: Token) -> None:
+        self.add_tuple(node)
+        self.local_tokens.add(node)
+
+    def add_mapping_node(self, node: MappingNode) -> None:
+        self.mapping_nodes.append(node)
+        for source in node.sources:
+            self.add_tuple(source)
+            self.outgoing[source].append(node)
+        for target in node.targets:
+            self.add_tuple(target)
+            self.incoming[target].append(node)
+
+    # -- equations ------------------------------------------------------------
+
+    def equation_for(self, node: Token) -> ProvenanceExpression:
+        """``Pv(node)`` as an immediate-consequents expression over tokens and
+        ``Pv(.)`` references (the body of the node's equation, Section 3.2)."""
+        summands: list[ProvenanceExpression] = []
+        if node in self.local_tokens:
+            summands.append(token_leaf(node[0], node[1]))
+        for mapping_node in self.incoming.get(node, ()):
+            factors = [
+                ref(source[0], source[1]) for source in mapping_node.sources
+            ]
+            summands.append(
+                mapping_app(mapping_node.mapping, product_of(factors))
+            )
+        return sum_of(summands)
+
+    def equation_system(self) -> EquationSystem:
+        return EquationSystem(
+            {node: self.equation_for(node) for node in self.tuple_nodes}
+        )
+
+    def expression_for(
+        self, relation: str, row: Iterable[object], max_depth: int = 8
+    ) -> ProvenanceExpression:
+        """The provenance expression of one tuple, with cycles unfolded to
+        ``max_depth`` (finite for acyclic provenance of depth <= max_depth)."""
+        node = (relation, tuple(row))
+        if node not in self.tuple_nodes:
+            return ZERO
+        return self.equation_system().expand(node, max_depth=max_depth)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(
+        self,
+        semiring: Semiring,
+        token_value: Callable[[Token], object] | None = None,
+        mapping_value: Callable[[str, object], object] | None = None,
+    ) -> dict[Token, object]:
+        """Solve the provenance equations in ``semiring`` by Kleene iteration.
+
+        ``token_value`` defaults to ``semiring.one`` for every local token.
+        ``mapping_value(mapping_name, inner)`` defaults to
+        ``semiring.map_apply``.
+        """
+        if token_value is None:
+            token_value = lambda _tok: semiring.one  # noqa: E731
+        return self.equation_system().solve(
+            semiring, token_value, mapping_value=mapping_value
+        )
+
+    def evaluate_with_conditions(
+        self,
+        semiring: Semiring,
+        token_value: Callable[[Token], object],
+        node_value: Callable[[MappingNode, Token, object], object],
+    ) -> dict[Token, object]:
+        """Like :meth:`evaluate`, but the mapping-function interpretation may
+        inspect the concrete mapping node and the target tuple it derives,
+        which is what data-dependent trust conditions need (Example 4:
+        "distrusts any tuple B(i,n) ... if n >= 3").
+
+        Evaluated directly over the graph rather than the equation system,
+        because distinct mapping nodes of the same mapping — and distinct
+        targets of one node — may be valued differently.
+        """
+        values: dict[Token, object] = {
+            node: semiring.zero for node in self.tuple_nodes
+        }
+        for _ in range(len(self.tuple_nodes) + len(self.mapping_nodes) + 1):
+            changed = False
+            for node in self.tuple_nodes:
+                summands = []
+                if node in self.local_tokens:
+                    summands.append(token_value(node))
+                for mapping_node in self.incoming.get(node, ()):
+                    inner = semiring.product(
+                        values[source] for source in mapping_node.sources
+                    )
+                    summands.append(node_value(mapping_node, node, inner))
+                new = semiring.sum(summands)
+                if new != values[node]:
+                    values[node] = new
+                    changed = True
+            if not changed:
+                break
+        return values
+
+    # -- derivation trees ---------------------------------------------------------
+
+    def derivation_trees(
+        self,
+        relation: str,
+        row: Iterable[object],
+        max_depth: int = 6,
+        limit: int = 100,
+    ) -> list[DerivationTree]:
+        """Enumerate derivation trees of a tuple, bounded by depth and count.
+
+        With cyclic mappings a tuple can have "infinitely many derivations,
+        as well as ... derivations [that are] arbitrarily large"
+        (Section 3.2); the bounds keep the enumeration finite.  Trees are
+        returned smallest-first.
+        """
+        target = (relation, tuple(row))
+
+        def expand(node: Token, depth: int) -> list[DerivationTree]:
+            results: list[DerivationTree] = []
+            if node in self.local_tokens:
+                results.append(DerivationTree(node))
+            if depth <= 0:
+                return results
+            for mapping_node in self.incoming.get(node, ()):
+                child_options = [
+                    expand(source, depth - 1)
+                    for source in mapping_node.sources
+                ]
+                if any(not options for options in child_options):
+                    continue
+                combos: list[tuple[DerivationTree, ...]] = [()]
+                for options in child_options:
+                    combos = [
+                        prefix + (option,)
+                        for prefix in combos
+                        for option in options
+                    ]
+                    if len(combos) > limit:
+                        combos = combos[:limit]
+                for combo in combos:
+                    results.append(
+                        DerivationTree(node, mapping_node.mapping, combo)
+                    )
+                    if len(results) >= limit:
+                        return results
+            return results
+
+        trees = expand(target, max_depth)
+        # De-duplicate (cycles can re-create identical trees at different
+        # depth budgets) and order smallest-first.
+        unique = sorted(set(trees), key=lambda t: (t.size(), repr(t)))
+        return unique[:limit]
+
+    # -- derivability ------------------------------------------------------------
+
+    def grounded(self, base: Iterable[Token] | None = None) -> set[Token]:
+        """Tuples derivable (well-foundedly) from ``base`` tokens.
+
+        ``base`` defaults to all local tokens.  A tuple is grounded iff it is
+        a base token or some incoming mapping node has all sources grounded —
+        the least fixpoint, so cyclic mutual support does *not* ground
+        anything (the "garbage" Section 4.2's deletion algorithm collects).
+        """
+        grounded: set[Token] = set(
+            self.local_tokens if base is None else base
+        ) & self.tuple_nodes
+        frontier = set(grounded)
+        while frontier:
+            candidates: set[MappingNode] = set()
+            for node in frontier:
+                candidates.update(self.outgoing.get(node, ()))
+            frontier = set()
+            for mapping_node in candidates:
+                if all(s in grounded for s in mapping_node.sources):
+                    for target in mapping_node.targets:
+                        if target not in grounded:
+                            grounded.add(target)
+                            frontier.add(target)
+        return grounded
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProvenanceGraph: {len(self.tuple_nodes)} tuples, "
+            f"{len(self.mapping_nodes)} mapping nodes, "
+            f"{len(self.local_tokens)} local tokens>"
+        )
+
+
+def build_provenance_graph(
+    db: Database, encoding: ProvenanceEncoding
+) -> ProvenanceGraph:
+    """Reconstruct the provenance graph from the relational encoding.
+
+    Tuple nodes are user-level (relation, row) pairs; rows of each provenance
+    table become mapping nodes; membership in ``R__l`` marks local tokens.
+    """
+    graph = ProvenanceGraph()
+    for relation in encoding.internal.relation_names():
+        local = db.get(local_name(relation))
+        if local is not None:
+            for row in local:
+                graph.add_local_token((relation, row))
+    for table in encoding.tables:
+        instance = db.get(table.relation)
+        if instance is None:
+            continue
+        for row in instance:
+            sources = table.source_tuples(row)
+            targets = tuple(
+                (head.user_relation, table.head_row(head, row))
+                for head in table.heads
+            )
+            graph.add_mapping_node(
+                MappingNode(
+                    mapping=table.mapping,
+                    table=table.relation,
+                    row=row,
+                    sources=sources,
+                    targets=targets,
+                )
+            )
+    return graph

@@ -1,0 +1,277 @@
+"""Trust conditions and policies (Sections 2.2 and 3.3).
+
+Each peer annotates
+
+* every schema mapping ``mi`` with a *trust condition* ``Theta_i`` — a
+  predicate over the values of the tuple the mapping derives, and
+* base data with token-level judgments (``T`` / ``D``): distrust of specific
+  tuples or of everything a peer contributes.
+
+A derived tuple is trusted iff *some* derivation uses only trusted base
+tuples and satisfies the trust conditions along every mapping — exactly the
+boolean-semiring evaluation of its provenance expression (Section 3.3), with
+``.`` as AND, ``+`` as OR and each mapping application ANDing in its
+condition.
+
+Trust is enforced in two complementary ways, matching the paper:
+
+* **during update exchange** — conditions become head filters on the
+  per-mapping (iR) trust rules, so untrusted tuples never reach ``R__t``
+  and therefore never propagate downstream ("we simply apply the associated
+  trust conditions to ensure that we only derive new trusted tuples",
+  Section 4.2); and
+* **offline over stored provenance** — :func:`evaluate_trust` replays any
+  policy against the provenance graph (Example 7's calculation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..schema.internal import InternalSchema
+from ..schema.relation import RelationSchema
+from ..storage.instance import Row
+from .graph import MappingNode, ProvenanceGraph
+from .relations import ProvenanceEncoding
+from .semiring import BooleanSemiring, Token
+
+
+@dataclass(frozen=True)
+class TrustCondition:
+    """A predicate over the values of a derived tuple."""
+
+    description: str
+    predicate: Callable[[Row], bool] = field(compare=False)
+
+    def __call__(self, row: Row) -> bool:
+        return bool(self.predicate(row))
+
+    @classmethod
+    def always(cls) -> "TrustCondition":
+        return TRUST_ALL
+
+    @classmethod
+    def never(cls) -> "TrustCondition":
+        return DISTRUST_ALL
+
+    @classmethod
+    def from_attributes(
+        cls,
+        schema: RelationSchema,
+        predicate: Callable[[dict[str, object]], bool],
+        description: str | None = None,
+    ) -> "TrustCondition":
+        """Build a condition whose predicate sees an attribute-name dict."""
+
+        def over_row(row: Row) -> bool:
+            return bool(predicate(dict(zip(schema.attributes, row))))
+
+        return cls(
+            description or f"condition over {schema.name}", over_row
+        )
+
+    def conjoin(self, other: "TrustCondition") -> "TrustCondition":
+        if self is TRUST_ALL:
+            return other
+        if other is TRUST_ALL:
+            return self
+        return TrustCondition(
+            f"({self.description}) and ({other.description})",
+            lambda row: self(row) and other(row),
+        )
+
+    def __repr__(self) -> str:
+        return f"<TrustCondition: {self.description}>"
+
+
+TRUST_ALL = TrustCondition("trust everything", lambda _row: True)
+DISTRUST_ALL = TrustCondition("distrust everything", lambda _row: False)
+
+
+@dataclass
+class TrustPolicy:
+    """One peer's trust policy.
+
+    ``mapping_conditions`` maps a mapping name to the condition this peer
+    imposes on tuples derived through that mapping (missing = trivially
+    trusted).  ``distrusted_tokens`` and ``distrusted_peers`` assign ``D`` to
+    base data; everything else is ``T`` by default, matching Section 3.3's
+    per-tuple T/D annotation.
+    """
+
+    peer: str
+    mapping_conditions: dict[str, TrustCondition] = field(default_factory=dict)
+    distrusted_tokens: set[Token] = field(default_factory=set)
+    distrusted_peers: set[str] = field(default_factory=set)
+
+    # -- construction helpers ------------------------------------------------
+
+    def set_mapping_condition(
+        self, mapping: str, condition: TrustCondition
+    ) -> "TrustPolicy":
+        existing = self.mapping_conditions.get(mapping)
+        self.mapping_conditions[mapping] = (
+            condition if existing is None else existing.conjoin(condition)
+        )
+        return self
+
+    def distrust_token(self, relation: str, row: Iterable[object]) -> "TrustPolicy":
+        self.distrusted_tokens.add((relation, tuple(row)))
+        return self
+
+    def distrust_peer(self, peer: str) -> "TrustPolicy":
+        self.distrusted_peers.add(peer)
+        return self
+
+    # -- evaluation -------------------------------------------------------------
+
+    def condition_for(self, mapping: str) -> TrustCondition:
+        return self.mapping_conditions.get(mapping, TRUST_ALL)
+
+    def trusts_token(
+        self, token: Token, owner_of: Mapping[str, str] | None = None
+    ) -> bool:
+        if token in self.distrusted_tokens:
+            return False
+        if owner_of is not None and self.distrusted_peers:
+            owner = owner_of.get(token[0])
+            if owner is not None and owner in self.distrusted_peers:
+                return False
+        return True
+
+    def is_trivial(self) -> bool:
+        return (
+            not self.mapping_conditions
+            and not self.distrusted_tokens
+            and not self.distrusted_peers
+        )
+
+
+def compose_conditions(
+    policies: Iterable[TrustPolicy], mapping: str
+) -> TrustCondition:
+    """AND together the conditions several peers place on one mapping.
+
+    Section 3.3: "the trust conditions specified by a given peer are
+    combined (ANDed) with the additional trust conditions specified by
+    anyone mapping data from that peer".
+    """
+    combined = TRUST_ALL
+    for policy in policies:
+        combined = combined.conjoin(policy.condition_for(mapping))
+    return combined
+
+
+def exchange_head_filters(
+    internal: InternalSchema,
+    encoding: ProvenanceEncoding,
+    policies: Mapping[str, TrustPolicy],
+    perspective: str | None = None,
+) -> dict[str, Callable[[Row], bool]]:
+    """Head filters (keyed by rule label) enforcing trust during exchange.
+
+    For each mapping head deriving relation ``R`` of peer ``P``, the filter
+    on the (iR) trust rule is ``P``'s condition for that mapping — ANDed
+    with the perspective peer's condition when a perspective is given
+    (computing *that peer's copy* of the instances, Section 4).  With a
+    perspective, token-level distrust filters the (lR) local-contribution
+    rules as well.
+    """
+    filters: dict[str, Callable[[Row], bool]] = {}
+    perspective_policy = (
+        policies.get(perspective) if perspective is not None else None
+    )
+    for table, head in encoding.iter_heads():
+        target_peer = internal.peer_of_relation(head.user_relation)
+        condition = TRUST_ALL
+        target_policy = policies.get(target_peer)
+        if target_policy is not None:
+            condition = condition.conjoin(
+                target_policy.condition_for(table.mapping)
+            )
+        if perspective_policy is not None and perspective_policy is not target_policy:
+            condition = condition.conjoin(
+                perspective_policy.condition_for(table.mapping)
+            )
+        if condition is not TRUST_ALL:
+            filters[head.trust_label] = condition
+    if perspective_policy is not None and (
+        perspective_policy.distrusted_tokens
+        or perspective_policy.distrusted_peers
+    ):
+        from ..schema.internal import LOCAL_RULE_PREFIX
+
+        for relation in internal.relation_names():
+            owner_of = internal.owner_of
+
+            def token_filter(
+                row: Row, _relation: str = relation
+            ) -> bool:
+                return perspective_policy.trusts_token(
+                    (_relation, row), owner_of
+                )
+
+            filters[LOCAL_RULE_PREFIX + relation] = token_filter
+    return filters
+
+
+def evaluate_trust(
+    graph: ProvenanceGraph,
+    policy: TrustPolicy,
+    internal: InternalSchema | None = None,
+    extra_policies: Mapping[str, TrustPolicy] | None = None,
+) -> dict[Token, bool]:
+    """Evaluate a policy against stored provenance (Example 7).
+
+    Returns the T/D verdict for every tuple node of the graph under
+    ``policy``: boolean-semiring evaluation where base tokens get the
+    policy's T/D assignment and each mapping application ANDs in the
+    applicable conditions (the evaluating peer's own, plus — when
+    ``extra_policies`` is given — the condition of the mapping target's
+    owner, realizing the delegation/composition rule of Section 3.3).
+    """
+    semiring = BooleanSemiring()
+    owner_of = internal.owner_of if internal is not None else None
+
+    def token_value(token: Token) -> bool:
+        return policy.trusts_token(token, owner_of)
+
+    def node_value(node: MappingNode, target: Token, inner: object) -> bool:
+        if not inner:
+            return False
+        target_row = target[1]
+        if not policy.condition_for(node.mapping)(target_row):
+            return False
+        if extra_policies is not None and internal is not None:
+            owner = internal.peer_of_relation(target[0])
+            owner_policy = extra_policies.get(owner)
+            if owner_policy is not None and owner_policy is not policy:
+                if not owner_policy.condition_for(node.mapping)(target_row):
+                    return False
+        return True
+
+    return graph.evaluate_with_conditions(semiring, token_value, node_value)
+
+
+def trust_ranks(
+    graph: ProvenanceGraph,
+    token_costs: Callable[[Token], float] | None = None,
+    mapping_costs: Mapping[str, float] | None = None,
+) -> dict[Token, float]:
+    """Ranked trust (the Section 8 extension): cheapest-derivation cost of
+    every tuple in the weighted tropical semiring.
+
+    ``token_costs`` assigns a cost to each base token (default 0.0 —
+    fully trusted); ``mapping_costs`` adds a cost per mapping traversal.
+    Lower is more trusted; unreachable tuples get ``inf``.
+    """
+    from .semiring import WeightedTropicalSemiring
+
+    semiring = WeightedTropicalSemiring(dict(mapping_costs or {}))
+    if token_costs is None:
+        token_costs = lambda _tok: 0.0  # noqa: E731
+    return graph.evaluate(
+        semiring,
+        token_value=token_costs,
+    )

@@ -1,0 +1,47 @@
+"""Schemas, peers, tgd mappings, weak acyclicity, internal expansion.
+
+Subpackages S6/S7 of DESIGN.md (paper Sections 2 and 3.1).
+"""
+
+from .internal import (
+    InternalSchema,
+    LOCAL_RULE_PREFIX,
+    TRUST_RULE_PREFIX,
+    build_internal_schema,
+    input_name,
+    local_name,
+    output_name,
+    rejection_name,
+    trusted_name,
+)
+from .relation import PeerSchema, RelationSchema, SchemaError
+from .tgd import SchemaMapping, skolem_function_name
+from .weak_acyclic import (
+    DependencyGraph,
+    build_dependency_graph,
+    is_weakly_acyclic,
+    require_weakly_acyclic,
+    weak_acyclicity_violations,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "InternalSchema",
+    "LOCAL_RULE_PREFIX",
+    "PeerSchema",
+    "RelationSchema",
+    "SchemaError",
+    "SchemaMapping",
+    "TRUST_RULE_PREFIX",
+    "build_dependency_graph",
+    "build_internal_schema",
+    "input_name",
+    "is_weakly_acyclic",
+    "local_name",
+    "output_name",
+    "rejection_name",
+    "require_weakly_acyclic",
+    "skolem_function_name",
+    "trusted_name",
+    "weak_acyclicity_violations",
+]

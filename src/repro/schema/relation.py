@@ -1,0 +1,91 @@
+"""Relation schemas and peer schemas.
+
+A :class:`RelationSchema` names a relation and its attributes; a
+:class:`PeerSchema` groups the relations of one peer.  Peers' schemas are
+assumed disjoint (Section 2: "Without loss of generality, we assume that each
+peer has a schema disjoint from the others"), which :class:`PeerSchema`
+enforces at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or schema/mapping mismatches."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation with named attributes."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attribute names in relation {self.name!r}: "
+                f"{self.attributes!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self.attributes)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class PeerSchema:
+    """The schema of one peer: a set of relations with distinct names."""
+
+    peer: str
+    relations: tuple[RelationSchema, ...]
+    _by_name: dict[str, RelationSchema] = field(
+        default=None, compare=False, repr=False
+    )  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", tuple(self.relations))
+        by_name: dict[str, RelationSchema] = {}
+        for relation in self.relations:
+            if relation.name in by_name:
+                raise SchemaError(
+                    f"peer {self.peer!r} declares relation "
+                    f"{relation.name!r} twice"
+                )
+            by_name[relation.name] = relation
+        object.__setattr__(self, "_by_name", by_name)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"peer {self.peer!r} has no relation {name!r}"
+            ) from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(r) for r in self.relations)
+        return f"<PeerSchema {self.peer}: {inner}>"

@@ -1,0 +1,188 @@
+"""Schema mappings as tgds, and their compilation to Skolemized datalog.
+
+A :class:`SchemaMapping` is a named tuple-generating dependency
+
+    ``forall x,y ( phi(x, y) -> exists z  psi(x, z) )``
+
+relating relations of (possibly several) peers — Section 2.  Compilation to
+datalog follows Section 4.1.1 exactly:
+
+* the tgd is split into one rule per RHS atom (``If psi contains multiple
+  atoms in its RHS, we will get multiple datalog rules``);
+* each existential variable ``z`` is replaced by a Skolem term over the
+  variables *in common between LHS and RHS* (the exported variables), using
+  *a separate Skolem function for each existentially quantified variable in
+  each tgd*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping as TMapping
+
+from ..datalog.ast import (
+    Atom,
+    Rule,
+    SkolemFunction,
+    SkolemTerm,
+    Term,
+    Variable,
+)
+from ..datalog.parser import parse_tgd
+from .relation import RelationSchema, SchemaError
+
+
+def skolem_function_name(mapping_name: str, variable: Variable) -> str:
+    """The canonical Skolem function name for an existential variable."""
+    return f"f_{mapping_name}_{variable.name}"
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """A named tgd between peer schemas."""
+
+    name: str
+    lhs: tuple[Atom, ...]
+    rhs: tuple[Atom, ...]
+    existential_vars: frozenset[Variable]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(self.lhs))
+        object.__setattr__(self, "rhs", tuple(self.rhs))
+        object.__setattr__(
+            self, "existential_vars", frozenset(self.existential_vars)
+        )
+        if not self.rhs:
+            raise SchemaError(f"mapping {self.name!r} has an empty RHS")
+        for atom in self.rhs:
+            if atom.negated:
+                raise SchemaError(
+                    f"mapping {self.name!r} has a negated RHS atom: {atom!r}"
+                )
+
+    @classmethod
+    def parse(cls, name: str, text: str) -> "SchemaMapping":
+        parsed = parse_tgd(text)
+        return cls(name, parsed.lhs, parsed.rhs, parsed.existential_vars)
+
+    # -- variable classification ------------------------------------------
+
+    def lhs_variables(self) -> frozenset[Variable]:
+        out: set[Variable] = set()
+        for atom in self.lhs:
+            out |= atom.variable_set()
+        return frozenset(out)
+
+    def rhs_variables(self) -> frozenset[Variable]:
+        out: set[Variable] = set()
+        for atom in self.rhs:
+            out |= atom.variable_set()
+        return frozenset(out)
+
+    def exported_variables(self) -> tuple[Variable, ...]:
+        """Variables in common between LHS and RHS, in first-RHS-use order.
+
+        These parameterize the Skolem functions (Section 4.1.1 — "produces
+        universal solutions ... while guaranteeing termination for weakly
+        acyclic mappings").
+        """
+        lhs_vars = self.lhs_variables()
+        seen: list[Variable] = []
+        for atom in self.rhs:
+            for var in atom.variables():
+                if var in lhs_vars and var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    # -- relation usage ------------------------------------------------------
+
+    def source_relations(self) -> frozenset[str]:
+        return frozenset(a.predicate for a in self.lhs)
+
+    def target_relations(self) -> frozenset[str]:
+        return frozenset(a.predicate for a in self.rhs)
+
+    def relations(self) -> frozenset[str]:
+        return self.source_relations() | self.target_relations()
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, catalog: TMapping[str, RelationSchema]) -> None:
+        """Check every atom against the relation catalog (name + arity)."""
+        for atom in (*self.lhs, *self.rhs):
+            schema = catalog.get(atom.predicate)
+            if schema is None:
+                raise SchemaError(
+                    f"mapping {self.name!r} references unknown relation "
+                    f"{atom.predicate!r}"
+                )
+            if schema.arity != atom.arity:
+                raise SchemaError(
+                    f"mapping {self.name!r} uses {atom.predicate!r} with "
+                    f"arity {atom.arity}, schema says {schema.arity}"
+                )
+        for var in self.existential_vars:
+            if var in self.lhs_variables():
+                raise SchemaError(
+                    f"mapping {self.name!r}: existential variable {var!r} "
+                    "also occurs on the LHS"
+                )
+
+    # -- compilation -------------------------------------------------------------
+
+    def skolem_terms(self) -> dict[Variable, SkolemTerm]:
+        """The Skolem term substituted for each existential variable."""
+        exported = tuple(self.exported_variables())
+        return {
+            var: SkolemTerm(
+                SkolemFunction(skolem_function_name(self.name, var)),
+                exported,
+            )
+            for var in sorted(self.existential_vars, key=lambda v: v.name)
+        }
+
+    def to_rules(
+        self, rename: Callable[[str, str], str] | None = None
+    ) -> tuple[Rule, ...]:
+        """Compile to datalog: one rule per RHS atom, Skolemized.
+
+        ``rename(relation, side)`` maps user relation names to internal
+        names, with ``side`` one of ``"source"`` / ``"target"`` — this is how
+        the internal schema substitutes ``R_o`` on the LHS and ``R_i`` on the
+        RHS (Section 3.1).  Identity by default.
+        """
+        if rename is None:
+            rename = lambda relation, _side: relation  # noqa: E731
+        skolems = self.skolem_terms()
+
+        def substitute(term: Term) -> Term:
+            if isinstance(term, Variable) and term in skolems:
+                return skolems[term]
+            return term
+
+        body = tuple(
+            Atom(
+                rename(atom.predicate, "source"),
+                atom.terms,
+                negated=atom.negated,
+            )
+            for atom in self.lhs
+        )
+        rules = []
+        for atom in self.rhs:
+            head = Atom(
+                rename(atom.predicate, "target"),
+                tuple(substitute(t) for t in atom.terms),
+            )
+            rules.append(Rule(head, body, label=self.name))
+        return tuple(rules)
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(repr(a) for a in self.lhs)
+        rhs = ", ".join(repr(a) for a in self.rhs)
+        if self.existential_vars:
+            names = ",".join(
+                sorted(v.name for v in self.existential_vars)
+            )
+            rhs = f"exists {names} . {rhs}"
+        return f"({self.name}) {lhs} -> {rhs}"

@@ -1,0 +1,183 @@
+"""Weak acyclicity of a set of tgds.
+
+Query answering is undecidable for arbitrary cyclic mappings, so the CDSS
+restricts the topology of schema mappings to be *at most weakly acyclic*
+(Section 3.1, citing Fagin et al.).  Weak acyclicity also guarantees the
+datalog program of Section 4.1.1 terminates.
+
+The standard test: build the *dependency graph* over positions (relation,
+column).  For every tgd, every universally quantified variable ``x`` that is
+exported to the RHS, every LHS position ``p`` where ``x`` occurs, and every
+RHS atom:
+
+* a **regular edge** ``p -> q`` for every RHS position ``q`` where ``x``
+  occurs, and
+* a **special edge** ``p -*-> q`` for every RHS position ``q`` holding an
+  existential variable.
+
+The set is weakly acyclic iff no cycle goes through a special edge — i.e. no
+special edge connects two positions in the same strongly connected component
+of the full graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datalog.ast import Variable
+from .tgd import SchemaMapping
+
+Position = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """Positions and (regular, special) edges, plus the acyclicity verdict."""
+
+    positions: frozenset[Position]
+    regular_edges: frozenset[tuple[Position, Position]]
+    special_edges: frozenset[tuple[Position, Position]]
+
+    def all_edges(self) -> frozenset[tuple[Position, Position]]:
+        return self.regular_edges | self.special_edges
+
+
+def build_dependency_graph(
+    mappings: Iterable[SchemaMapping],
+) -> DependencyGraph:
+    positions: set[Position] = set()
+    regular: set[tuple[Position, Position]] = set()
+    special: set[tuple[Position, Position]] = set()
+    for mapping in mappings:
+        lhs_positions: dict[Variable, list[Position]] = {}
+        for atom in mapping.lhs:
+            if atom.negated:
+                # Negated atoms do not generate values, so they contribute
+                # no outgoing edges (their variables are bound positively
+                # elsewhere by safety).
+                continue
+            for column, term in enumerate(atom.terms):
+                positions.add((atom.predicate, column))
+                if isinstance(term, Variable):
+                    lhs_positions.setdefault(term, []).append(
+                        (atom.predicate, column)
+                    )
+        rhs_value_positions: dict[Variable, list[Position]] = {}
+        rhs_existential_positions: list[Position] = []
+        for atom in mapping.rhs:
+            for column, term in enumerate(atom.terms):
+                positions.add((atom.predicate, column))
+                if not isinstance(term, Variable):
+                    continue
+                if term in mapping.existential_vars:
+                    rhs_existential_positions.append((atom.predicate, column))
+                else:
+                    rhs_value_positions.setdefault(term, []).append(
+                        (atom.predicate, column)
+                    )
+        for var, sources in lhs_positions.items():
+            targets = rhs_value_positions.get(var, [])
+            if not targets and var not in mapping.rhs_variables():
+                continue
+            for source in sources:
+                for target in targets:
+                    regular.add((source, target))
+                for target in rhs_existential_positions:
+                    special.add((source, target))
+    return DependencyGraph(
+        frozenset(positions), frozenset(regular), frozenset(special)
+    )
+
+
+def _sccs(
+    nodes: Sequence[Position],
+    edges: Iterable[tuple[Position, Position]],
+) -> dict[Position, int]:
+    """Map each node to an SCC id (iterative Tarjan)."""
+    successors: dict[Position, list[Position]] = {n: [] for n in nodes}
+    for src, dst in edges:
+        successors[src].append(dst)
+    index_of: dict[Position, int] = {}
+    lowlink: dict[Position, int] = {}
+    on_stack: set[Position] = set()
+    stack: list[Position] = []
+    component: dict[Position, int] = {}
+    counter = 0
+    comp_count = 0
+    for start in nodes:
+        if start in index_of:
+            continue
+        work: list[tuple[Position, int]] = [(start, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_count
+                    if member == node:
+                        break
+                comp_count += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+def is_weakly_acyclic(mappings: Iterable[SchemaMapping]) -> bool:
+    """True iff the mapping set is weakly acyclic."""
+    return not weak_acyclicity_violations(mappings)
+
+
+def weak_acyclicity_violations(
+    mappings: Iterable[SchemaMapping],
+) -> tuple[tuple[Position, Position], ...]:
+    """Special edges lying inside a cycle (empty iff weakly acyclic)."""
+    graph = build_dependency_graph(mappings)
+    if not graph.special_edges:
+        return ()
+    component = _sccs(sorted(graph.positions), graph.all_edges())
+    return tuple(
+        sorted(
+            (src, dst)
+            for src, dst in graph.special_edges
+            if component[src] == component[dst]
+        )
+    )
+
+
+def require_weakly_acyclic(mappings: Sequence[SchemaMapping]) -> None:
+    """Raise :class:`~repro.schema.relation.SchemaError` if not weakly acyclic."""
+    from .relation import SchemaError
+
+    violations = weak_acyclicity_violations(mappings)
+    if violations:
+        details = "; ".join(
+            f"{src[0]}.{src[1]} -*-> {dst[0]}.{dst[1]}"
+            for src, dst in violations
+        )
+        raise SchemaError(
+            "mapping set is not weakly acyclic — special edges in cycles: "
+            + details
+        )

@@ -1,0 +1,31 @@
+"""Relational storage substrate: instances, indexes, B+-tree, statistics.
+
+This subpackage is substrate S2 of DESIGN.md — the stand-in for the RDBMS
+tables and Berkeley DB storage of the paper's Section 5.
+"""
+
+from .btree import BPlusTree, BTreeError
+from .database import Database, UnknownRelationError
+from .instance import ArityError, Instance, Row, StorageError
+from .kvstore import KeyValueStore, RelationStore
+from .persistence import checkpoint, checkpoint_equal, restore
+from .stats import StatisticsCache, TableStats, compute_stats
+
+__all__ = [
+    "ArityError",
+    "BPlusTree",
+    "BTreeError",
+    "Database",
+    "Instance",
+    "KeyValueStore",
+    "RelationStore",
+    "Row",
+    "StatisticsCache",
+    "StorageError",
+    "TableStats",
+    "UnknownRelationError",
+    "checkpoint",
+    "checkpoint_equal",
+    "compute_stats",
+    "restore",
+]

@@ -1,0 +1,349 @@
+"""An in-memory B+-tree, standing in for the Oracle Berkeley DB substrate.
+
+The paper's Tukwila backend (Section 5.2) "added operators to support local
+B-Tree indexing and retrieval capabilities via Oracle Berkeley DB 4.4".  We
+reproduce that substrate with a classic order-``t`` B+-tree supporting point
+lookup, insertion, deletion (with rebalancing), and ordered range scans.
+
+The tree maps keys to values; keys must be mutually comparable.  The storage
+layer uses it for ordered secondary indexes and the key-value store in
+:mod:`repro.storage.kvstore` builds on it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class BTreeError(Exception):
+    """Raised for invalid B+-tree operations."""
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[object] = []
+        # Internal nodes use `children`; leaves use `values` and `next_leaf`.
+        self.children: list[_Node] | None = None if leaf else []
+        self.values: list[object] | None = [] if leaf else None
+        self.next_leaf: _Node | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+def _bisect_right(keys: list[object], key: object) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:  # type: ignore[operator]
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _bisect_left(keys: list[object], key: object) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:  # type: ignore[operator]
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """Order-``branching`` B+-tree mapping keys to values.
+
+    ``branching`` is the maximum number of children of an internal node; each
+    node holds at most ``branching - 1`` keys and at least
+    ``ceil(branching / 2) - 1`` (except the root).
+    """
+
+    def __init__(self, branching: int = 32) -> None:
+        if branching < 3:
+            raise BTreeError("branching factor must be at least 3")
+        self._branching = branching
+        self._max_keys = branching - 1
+        self._min_keys = (branching + 1) // 2 - 1
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: object) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def get(self, key: object, default: object = None) -> object:
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[_bisect_right(node.keys, key)]
+        idx = _bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            assert node.values is not None
+            return node.values[idx]
+        return default
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        """All (key, value) pairs in ascending key order."""
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        while node is not None:
+            assert node.values is not None
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def keys(self) -> Iterator[object]:
+        for key, _ in self.items():
+            yield key
+
+    def range(
+        self, low: object = None, high: object = None
+    ) -> Iterator[tuple[object, object]]:
+        """(key, value) pairs with ``low <= key <= high`` in order.
+
+        ``None`` bounds are open.
+        """
+        node = self._root
+        if low is None:
+            while not node.is_leaf:
+                assert node.children is not None
+                node = node.children[0]
+            idx = 0
+        else:
+            while not node.is_leaf:
+                assert node.children is not None
+                node = node.children[_bisect_right(node.keys, low)]
+            idx = _bisect_left(node.keys, low)
+        while node is not None:
+            assert node.values is not None
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high is not None and high < key:  # type: ignore[operator]
+                    return
+                yield key, node.values[idx]
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def min_key(self) -> object:
+        if not self._size:
+            raise BTreeError("min_key() on empty tree")
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> object:
+        if not self._size:
+            raise BTreeError("max_key() on empty tree")
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: object, value: object) -> None:
+        """Insert or overwrite ``key``."""
+        root = self._root
+        if len(root.keys) > self._max_keys:
+            raise AssertionError("root overfull before insert")
+        inserted = self._insert(root, key, value)
+        if inserted:
+            self._size += 1
+        if len(root.keys) > self._max_keys:
+            # Split the root, growing the tree by one level.
+            new_root = _Node(leaf=False)
+            assert new_root.children is not None
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+
+    def _insert(self, node: _Node, key: object, value: object) -> bool:
+        if node.is_leaf:
+            assert node.values is not None
+            idx = _bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return False
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            return True
+        assert node.children is not None
+        idx = _bisect_right(node.keys, key)
+        inserted = self._insert(node.children[idx], key, value)
+        if len(node.children[idx].keys) > self._max_keys:
+            self._split_child(node, idx)
+        return inserted
+
+    def _split_child(self, parent: _Node, idx: int) -> None:
+        assert parent.children is not None
+        child = parent.children[idx]
+        mid = len(child.keys) // 2
+        if child.is_leaf:
+            assert child.values is not None
+            right = _Node(leaf=True)
+            assert right.values is not None
+            right.keys = child.keys[mid:]
+            right.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            right.next_leaf = child.next_leaf
+            child.next_leaf = right
+            parent.keys.insert(idx, right.keys[0])
+            parent.children.insert(idx + 1, right)
+        else:
+            assert child.children is not None
+            right = _Node(leaf=False)
+            assert right.children is not None
+            promote = child.keys[mid]
+            right.keys = child.keys[mid + 1 :]
+            right.children = child.children[mid + 1 :]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+            parent.keys.insert(idx, promote)
+            parent.children.insert(idx + 1, right)
+
+    # -- deletion ----------------------------------------------------------
+
+    def delete(self, key: object) -> bool:
+        """Delete ``key``; return True if it was present."""
+        removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+        root = self._root
+        if not root.is_leaf and root.children is not None:
+            if len(root.children) == 1:
+                self._root = root.children[0]
+        return removed
+
+    def _delete(self, node: _Node, key: object) -> bool:
+        if node.is_leaf:
+            assert node.values is not None
+            idx = _bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                return True
+            return False
+        assert node.children is not None
+        idx = _bisect_right(node.keys, key)
+        removed = self._delete(node.children[idx], key)
+        if removed and len(node.children[idx].keys) < self._min_keys:
+            self._rebalance(node, idx)
+        return removed
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        assert parent.children is not None
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (
+            parent.children[idx + 1]
+            if idx + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and len(left.keys) > self._min_keys:
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys:
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        else:
+            assert right is not None
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(
+        self, parent: _Node, idx: int, left: _Node, child: _Node
+    ) -> None:
+        if child.is_leaf:
+            assert left.values is not None and child.values is not None
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            assert left.children is not None and child.children is not None
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node, idx: int, child: _Node, right: _Node
+    ) -> None:
+        if child.is_leaf:
+            assert right.values is not None and child.values is not None
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            assert right.children is not None and child.children is not None
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Node, left_idx: int, left: _Node, right: _Node
+    ) -> None:
+        assert parent.children is not None
+        if left.is_leaf:
+            assert left.values is not None and right.values is not None
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            assert left.children is not None and right.children is not None
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # -- invariants (used by tests) -----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises AssertionError on violation."""
+        leaves_depth: set[int] = set()
+
+        def walk(node: _Node, depth: int, lo: object, hi: object) -> None:
+            assert node.keys == sorted(node.keys), "keys unsorted"  # type: ignore[type-var]
+            for key in node.keys:
+                if lo is not None:
+                    assert not key < lo  # type: ignore[operator]
+                if hi is not None:
+                    assert key < hi  # type: ignore[operator]
+            if node is not self._root:
+                assert len(node.keys) >= self._min_keys, "underfull node"
+            assert len(node.keys) <= self._max_keys, "overfull node"
+            if node.is_leaf:
+                assert node.values is not None
+                assert len(node.values) == len(node.keys)
+                leaves_depth.add(depth)
+            else:
+                assert node.children is not None
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lo, *node.keys, hi]
+                for i, child in enumerate(node.children):
+                    walk(child, depth + 1, bounds[i], bounds[i + 1])
+
+        walk(self._root, 0, None, None)
+        assert len(leaves_depth) <= 1, "leaves at differing depths"
+        assert sum(1 for _ in self.items()) == self._size
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

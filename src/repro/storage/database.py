@@ -1,0 +1,132 @@
+"""The database catalog: a named collection of relation instances.
+
+A :class:`Database` is the mutable state the datalog engine evaluates
+against; the update-exchange engine keeps all internal relations (``R_l``,
+``R_r``, ``R_i``, ``R_t``, ``R_o`` and provenance tables) in one database,
+mirroring the paper's "auxiliary storage alongside the original DBMS"
+(Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .instance import Instance, Row, StorageError
+from .stats import StatisticsCache, TableStats
+
+
+class UnknownRelationError(StorageError):
+    """A relation name is not present in the catalog."""
+
+
+class Database:
+    """A catalog mapping relation names to :class:`Instance` objects."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Instance] = {}
+        self._stats = StatisticsCache()
+
+    # -- catalog management -------------------------------------------------
+
+    def create(self, name: str, arity: int, rows: Iterable[Row] = ()) -> Instance:
+        """Create relation ``name``; error if it already exists."""
+        if name in self._relations:
+            raise StorageError(f"relation {name!r} already exists")
+        instance = Instance(name, arity, rows)
+        self._relations[name] = instance
+        return instance
+
+    def ensure(self, name: str, arity: int) -> Instance:
+        """Create relation ``name`` if missing; verify arity if present."""
+        instance = self._relations.get(name)
+        if instance is None:
+            return self.create(name, arity)
+        if instance.arity != arity:
+            raise StorageError(
+                f"relation {name!r} exists with arity {instance.arity}, "
+                f"requested {arity}"
+            )
+        return instance
+
+    def attach(self, instance: Instance) -> Instance:
+        """Register an *existing* instance under its own name.
+
+        The instance is shared, not copied — used to expose another
+        database's relations (e.g. the ``R__o`` tables) to a scratch
+        database for side-effect-free query evaluation.
+        """
+        if instance.name in self._relations:
+            raise StorageError(f"relation {instance.name!r} already exists")
+        self._relations[instance.name] = instance
+        return instance
+
+    def drop(self, name: str) -> bool:
+        self._stats.invalidate(name)
+        return self._relations.pop(name, None) is not None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Instance:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    def get(self, name: str) -> Instance | None:
+        return self._relations.get(name)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._relations.values())
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats_for(self, name: str) -> TableStats:
+        return self._stats.stats_for(self[name])
+
+    # -- convenience -----------------------------------------------------------
+
+    def insert(self, name: str, row: Row) -> bool:
+        return self[name].insert(row)
+
+    def delete(self, name: str, row: Row) -> bool:
+        return self[name].delete(row)
+
+    def total_rows(self) -> int:
+        return sum(len(inst) for inst in self._relations.values())
+
+    def estimated_bytes(self) -> int:
+        return sum(inst.estimated_bytes() for inst in self._relations.values())
+
+    def snapshot(self) -> dict[str, frozenset[Row]]:
+        """Frozen copy of the full database contents (for tests/rollback)."""
+        return {name: inst.rows() for name, inst in self._relations.items()}
+
+    def restore(self, snapshot: Mapping[str, frozenset[Row]]) -> None:
+        """Restore contents saved by :meth:`snapshot`.
+
+        Relations present in the database but absent from the snapshot are
+        emptied; relations in the snapshot must already exist in the catalog.
+        """
+        for name, instance in self._relations.items():
+            rows = snapshot.get(name)
+            if rows is None:
+                instance.clear()
+            else:
+                instance.replace(rows)
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for name, instance in self._relations.items():
+            clone.create(name, instance.arity, instance)
+        return clone
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(inst)})"
+            for name, inst in sorted(self._relations.items())
+        )
+        return f"<Database: {parts}>"

@@ -1,0 +1,206 @@
+"""Relation instances: set-semantics tuple stores with hash indexes.
+
+This is the storage substrate that stands in for the RDBMS tables of the
+paper's Section 5.  An :class:`Instance` stores the extension of one relation
+as a set of fixed-arity tuples, and lazily builds hash indexes on the column
+subsets that query plans probe.  Index maintenance is incremental: inserts
+and deletes update every materialized index.
+
+Set semantics matches the paper: "in a set-based relational model ... a tuple
+is uniquely identified by its values" (Section 4.1.2), which is also what
+makes tuples usable as their own provenance tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+Row = tuple[object, ...]
+
+
+class StorageError(Exception):
+    """Base class for storage-layer errors."""
+
+
+class ArityError(StorageError):
+    """A row's arity does not match the relation's arity."""
+
+
+class Instance:
+    """The extension of a single relation, with lazy hash indexes.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used in error messages and statistics).
+    arity:
+        Number of columns; every stored row must have exactly this length.
+    rows:
+        Optional initial contents.
+    """
+
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_version")
+
+    def __init__(
+        self, name: str, arity: int, rows: Iterable[Row] = ()
+    ) -> None:
+        self.name = name
+        self.arity = arity
+        self._rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
+        self._version = 0
+        for row in rows:
+            self.insert(row)
+
+    # -- basic collection protocol ---------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._rows
+
+    def __repr__(self) -> str:
+        return f"<Instance {self.name}/{self.arity}: {len(self)} rows>"
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation (used by stats caches)."""
+        return self._version
+
+    def rows(self) -> frozenset[Row]:
+        """A frozen snapshot of the current contents."""
+        return frozenset(self._rows)
+
+    # -- mutation ---------------------------------------------------------
+
+    def _check_arity(self, row: Row) -> None:
+        if len(row) != self.arity:
+            raise ArityError(
+                f"relation {self.name} has arity {self.arity}, "
+                f"got row of length {len(row)}: {row!r}"
+            )
+
+    def insert(self, row: Sequence[object]) -> bool:
+        """Insert ``row``; return True if it was new."""
+        row = tuple(row)
+        self._check_arity(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        self._version += 1
+        for cols, index in self._indexes.items():
+            key = tuple(row[c] for c in cols)
+            index.setdefault(key, set()).add(row)
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
+        """Insert many rows; return the number actually added."""
+        added = 0
+        for row in rows:
+            if self.insert(row):
+                added += 1
+        return added
+
+    def delete(self, row: Sequence[object]) -> bool:
+        """Delete ``row``; return True if it was present."""
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        self._version += 1
+        for cols, index in self._indexes.items():
+            key = tuple(row[c] for c in cols)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def delete_many(self, rows: Iterable[Sequence[object]]) -> int:
+        removed = 0
+        for row in rows:
+            if self.delete(row):
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+        self._version += 1
+
+    def replace(self, rows: Iterable[Sequence[object]]) -> None:
+        """Replace the whole extension (drops indexes)."""
+        self.clear()
+        for row in rows:
+            self.insert(row)
+
+    # -- indexes ----------------------------------------------------------
+
+    def ensure_index(self, columns: Sequence[int]) -> None:
+        """Materialize a hash index on ``columns`` if absent."""
+        cols = tuple(columns)
+        for c in cols:
+            if not 0 <= c < self.arity:
+                raise StorageError(
+                    f"index column {c} out of range for {self.name}/{self.arity}"
+                )
+        if cols in self._indexes:
+            return
+        index: dict[Row, set[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[c] for c in cols)
+            index.setdefault(key, set()).add(row)
+        self._indexes[cols] = index
+
+    def lookup(
+        self, columns: Sequence[int], values: Sequence[object]
+    ) -> frozenset[Row]:
+        """All rows whose ``columns`` equal ``values`` (index-accelerated)."""
+        cols = tuple(columns)
+        if not cols:
+            return self.rows()
+        self.ensure_index(cols)
+        bucket = self._indexes[cols].get(tuple(values))
+        return frozenset(bucket) if bucket else frozenset()
+
+    def index_key_count(self, columns: Sequence[int]) -> int:
+        """Number of distinct keys in the index on ``columns``."""
+        cols = tuple(columns)
+        self.ensure_index(cols)
+        return len(self._indexes[cols])
+
+    def indexed_columns(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(self._indexes.keys())
+
+    # -- bulk helpers -----------------------------------------------------
+
+    def select(self, predicate: Callable[[Row], bool]) -> frozenset[Row]:
+        return frozenset(row for row in self._rows if predicate(row))
+
+    def project(self, columns: Sequence[int]) -> frozenset[Row]:
+        cols = tuple(columns)
+        return frozenset(tuple(row[c] for c in cols) for row in self._rows)
+
+    def copy(self, name: str | None = None) -> "Instance":
+        return Instance(name or self.name, self.arity, self._rows)
+
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint, mirroring the paper's "DB size" metric.
+
+        Strings count their UTF-8 length; everything else counts a fixed
+        8-byte word.  This is deliberately simple: Figure 6 only needs the
+        string-vs-integer contrast and growth trend to be faithful.
+        """
+        total = 0
+        for row in self._rows:
+            for value in row:
+                if isinstance(value, str):
+                    total += len(value.encode("utf-8"))
+                else:
+                    total += 8
+        return total

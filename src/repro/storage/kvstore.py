@@ -1,0 +1,122 @@
+"""A Berkeley-DB-style ordered key-value store built on the B+-tree.
+
+The paper's Tukwila backend persists relation and provenance data in Oracle
+Berkeley DB (Section 5.2).  :class:`KeyValueStore` reproduces the interface
+that backend relies on: named ordered buckets with put/get/delete/cursor
+operations.  :class:`RelationStore` layers a relation-per-bucket encoding on
+top, which the prepared (Tukwila-style) engine can use as its auxiliary
+storage for provenance tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .btree import BPlusTree
+
+Row = tuple[object, ...]
+
+
+class KeyValueStore:
+    """A collection of named, ordered buckets (one B+-tree each)."""
+
+    def __init__(self, branching: int = 32) -> None:
+        self._branching = branching
+        self._buckets: dict[str, BPlusTree] = {}
+
+    def bucket(self, name: str) -> BPlusTree:
+        """Get (or create) the bucket called ``name``."""
+        tree = self._buckets.get(name)
+        if tree is None:
+            tree = BPlusTree(self._branching)
+            self._buckets[name] = tree
+        return tree
+
+    def drop(self, name: str) -> bool:
+        return self._buckets.pop(name, None) is not None
+
+    def bucket_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._buckets))
+
+    def put(self, bucket: str, key: object, value: object) -> None:
+        self.bucket(bucket).insert(key, value)
+
+    def get(self, bucket: str, key: object, default: object = None) -> object:
+        tree = self._buckets.get(bucket)
+        if tree is None:
+            return default
+        return tree.get(key, default)
+
+    def delete(self, bucket: str, key: object) -> bool:
+        tree = self._buckets.get(bucket)
+        if tree is None:
+            return False
+        return tree.delete(key)
+
+    def cursor(
+        self, bucket: str, low: object = None, high: object = None
+    ) -> Iterator[tuple[object, object]]:
+        tree = self._buckets.get(bucket)
+        if tree is None:
+            return iter(())
+        return tree.range(low, high)
+
+    def size(self, bucket: str) -> int:
+        tree = self._buckets.get(bucket)
+        return 0 if tree is None else len(tree)
+
+
+def _row_key(row: Row) -> tuple[str, ...]:
+    """An order-preserving-enough, totally ordered encoding of a row.
+
+    Heterogeneous Python values are not mutually comparable, so rows are
+    keyed by ``(type-tag, repr)`` pairs per column.  Equality is exact, which
+    is all set-semantics relation storage needs; ordering is merely *some*
+    deterministic total order for the B+-tree.
+    """
+    return tuple(f"{type(v).__name__}:{v!r}" for v in row)
+
+
+class RelationStore:
+    """Relation-per-bucket storage over a :class:`KeyValueStore`.
+
+    Rows are stored under an order-normalized key with the row itself as the
+    value, giving the prepared engine deterministic full scans and cheap
+    existence probes — the access pattern the paper's fixpoint operator uses.
+    """
+
+    def __init__(self, store: KeyValueStore | None = None) -> None:
+        self._store = store or KeyValueStore()
+
+    def insert(self, relation: str, row: Row) -> bool:
+        key = _row_key(row)
+        bucket = self._store.bucket(relation)
+        existed = key in bucket
+        bucket.insert(key, row)
+        return not existed
+
+    def insert_many(self, relation: str, rows: Iterable[Row]) -> int:
+        return sum(1 for row in rows if self.insert(relation, row))
+
+    def delete(self, relation: str, row: Row) -> bool:
+        return self._store.delete(relation, _row_key(row))
+
+    def contains(self, relation: str, row: Row) -> bool:
+        return self._store.get(relation, _row_key(row), _MISSING) is not _MISSING
+
+    def scan(self, relation: str) -> Iterator[Row]:
+        for _, row in self._store.cursor(relation):
+            yield row  # type: ignore[misc]
+
+    def count(self, relation: str) -> int:
+        return self._store.size(relation)
+
+    def relations(self) -> tuple[str, ...]:
+        return self._store.bucket_names()
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

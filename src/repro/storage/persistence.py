@@ -1,0 +1,80 @@
+"""Checkpointing databases into the ordered key-value store.
+
+ORCHESTRA persists peer instances and provenance tables in auxiliary storage
+(Berkeley DB for the Tukwila backend — Section 5: "Auxiliary storage holds
+and indexes provenance tables for peer instances"; "Between update exchange
+operations, it maintains copies of all relations, enabling future operations
+to be incremental").  This module provides that persistence for the
+reproduction: a :class:`~repro.storage.database.Database` can be
+checkpointed into a :class:`~repro.storage.kvstore.KeyValueStore` and
+restored later, preserving labeled nulls.
+
+The representation: one bucket per relation holding (row-key -> row), plus a
+catalog bucket recording relation arities.
+"""
+
+from __future__ import annotations
+
+from .database import Database
+from .instance import Row, StorageError
+from .kvstore import KeyValueStore, _row_key
+
+CATALOG_BUCKET = "__catalog__"
+DATA_PREFIX = "rel::"
+
+
+def checkpoint(
+    db: Database, store: KeyValueStore | None = None
+) -> KeyValueStore:
+    """Write a full copy of ``db`` into a key-value store.
+
+    An existing store is wiped of stale relation buckets first, so the
+    result always mirrors ``db`` exactly.
+    """
+    if store is None:
+        store = KeyValueStore()
+    for bucket in store.bucket_names():
+        if bucket.startswith(DATA_PREFIX) or bucket == CATALOG_BUCKET:
+            store.drop(bucket)
+    for instance in db:
+        store.put(CATALOG_BUCKET, instance.name, instance.arity)
+        bucket = DATA_PREFIX + instance.name
+        for row in instance:
+            store.put(bucket, _row_key(row), row)
+    return store
+
+
+def restore(store: KeyValueStore, into: Database | None = None) -> Database:
+    """Rebuild a database from a checkpoint.
+
+    When ``into`` is given, relations are created/verified there (useful for
+    loading a checkpoint into a freshly configured exchange system);
+    otherwise a new database is returned.
+    """
+    db = into if into is not None else Database()
+    names = [name for name, _ in store.cursor(CATALOG_BUCKET)]
+    if not names:
+        raise StorageError("store contains no checkpoint catalog")
+    for name in names:
+        arity = store.get(CATALOG_BUCKET, name)
+        assert isinstance(name, str) and isinstance(arity, int)
+        instance = db.ensure(name, arity)
+        instance.clear()
+        for _, row in store.cursor(DATA_PREFIX + name):
+            instance.insert(row)  # type: ignore[arg-type]
+    return db
+
+
+def checkpoint_equal(db: Database, store: KeyValueStore) -> bool:
+    """True iff ``store`` holds exactly the contents of ``db``."""
+    names = {name for name, _ in store.cursor(CATALOG_BUCKET)}
+    if names != set(db.relation_names()):
+        return False
+    for instance in db:
+        bucket = DATA_PREFIX + instance.name
+        if store.size(bucket) != len(instance):
+            return False
+        for _, row in store.cursor(bucket):
+            if row not in instance:  # type: ignore[operator]
+                return False
+    return True

@@ -1,0 +1,80 @@
+"""Table statistics for the cost-based planner.
+
+The paper's DB2 backend relies on the RDBMS query optimizer, which picks join
+orders from table statistics (Section 5.1: "getting good and consistent
+performance required extensive tuning, as the query optimizer occasionally
+chose poor plans").  Our cost-based planner consumes the statistics computed
+here: cardinalities and per-column numbers of distinct values (NDV), from
+which it estimates bind-join fan-outs.
+
+Statistics are cached per instance version so repeated planning rounds over
+an unchanged table do not rescan it — and deliberately go stale *within* a
+planning round, as real optimizer statistics do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instance import Instance
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Summary statistics for one relation instance."""
+
+    name: str
+    cardinality: int
+    distinct: tuple[int, ...]  # per-column NDV
+
+    def selectivity(self, columns: tuple[int, ...]) -> float:
+        """Estimated fraction of rows matching an equality probe on
+        ``columns``, under the standard independence + uniformity assumptions.
+        """
+        if self.cardinality == 0:
+            return 0.0
+        fraction = 1.0
+        for col in columns:
+            ndv = max(1, self.distinct[col])
+            fraction /= ndv
+        return fraction
+
+    def fanout(self, columns: tuple[int, ...]) -> float:
+        """Estimated number of rows returned by an equality probe."""
+        return self.cardinality * self.selectivity(columns)
+
+
+def compute_stats(instance: Instance) -> TableStats:
+    """Scan ``instance`` and compute cardinality and per-column NDV."""
+    if instance.arity == 0:
+        return TableStats(instance.name, len(instance), ())
+    seen: list[set[object]] = [set() for _ in range(instance.arity)]
+    for row in instance:
+        for col, value in enumerate(row):
+            seen[col].add(value)
+    return TableStats(
+        instance.name,
+        len(instance),
+        tuple(len(values) for values in seen),
+    )
+
+
+class StatisticsCache:
+    """Version-aware cache of :class:`TableStats` keyed by relation name."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, tuple[int, TableStats]] = {}
+
+    def stats_for(self, instance: Instance) -> TableStats:
+        cached = self._cache.get(instance.name)
+        if cached is not None and cached[0] == instance.version:
+            return cached[1]
+        stats = compute_stats(instance)
+        self._cache[instance.name] = (instance.version, stats)
+        return stats
+
+    def invalidate(self, name: str | None = None) -> None:
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)

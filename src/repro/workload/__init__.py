@@ -1,0 +1,37 @@
+"""Synthetic SWISS-PROT-based workload generation (paper Section 6.1)."""
+
+from .generator import (
+    CDSSWorkloadGenerator,
+    DATASET_INTEGER,
+    DATASET_STRING,
+    EntryUpdate,
+    PeerLayout,
+    TOPOLOGY_CHAIN,
+    TOPOLOGY_PAIRS,
+    WorkloadConfig,
+    zipf_choice,
+)
+from .swissprot import (
+    ARITY,
+    SWISSPROT_ATTRIBUTES,
+    SwissProtEntry,
+    SwissProtGenerator,
+    string_hash,
+)
+
+__all__ = [
+    "ARITY",
+    "CDSSWorkloadGenerator",
+    "DATASET_INTEGER",
+    "DATASET_STRING",
+    "EntryUpdate",
+    "PeerLayout",
+    "SWISSPROT_ATTRIBUTES",
+    "SwissProtEntry",
+    "SwissProtGenerator",
+    "TOPOLOGY_CHAIN",
+    "TOPOLOGY_PAIRS",
+    "WorkloadConfig",
+    "string_hash",
+    "zipf_choice",
+]

@@ -1,0 +1,323 @@
+"""Synthetic CDSS configuration + update workload generator (Section 6.1).
+
+Reproduces the paper's generator:
+
+* a single universal relation (synthetic SWISS-PROT, 25 attributes);
+* per peer, a number of relations drawn with **Zipfian skew** from an input
+  maximum; a set of attributes, **partitioned** across those relations; and
+  a **shared key attribute** added to every relation "to preserve
+  losslessness";
+* **mappings** between peers: "a mapping source is the join of all relations
+  at a peer, and the target is the join of all relations with these
+  attributes in the target peer" — attributes the target has but the source
+  lacks become existential variables;
+* **insertions** sample fresh SWISS-PROT entries "generating a new key by
+  which the partitions may be rejoined"; **deletions** sample among the
+  insertions;
+* the **string** dataset keeps the large SWISS-PROT strings; the
+  **integer** dataset replaces each string with a stable hash.
+
+Topologies: ``chain`` (the n-1-mapping scale-up layout of Section 6.4) and
+``pairs`` (bidirectional chain ≈ "2 neighbors each", Section 6.5), plus
+``extra_cycles`` back-edges for the Figure 10 experiment.  With
+``uniform_attributes=True`` (default) every peer draws the same attribute
+set, making all mappings *full* tgds (no existentials) — the "full mappings"
+setting of Figure 4; set it False to exercise labeled nulls.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.cdss import CDSS
+from ..datalog.ast import Atom, Variable
+from ..schema.relation import PeerSchema, RelationSchema
+from ..schema.tgd import SchemaMapping
+from .swissprot import ARITY, SWISSPROT_ATTRIBUTES, SwissProtGenerator, string_hash
+
+DATASET_STRING = "string"
+DATASET_INTEGER = "integer"
+
+TOPOLOGY_CHAIN = "chain"
+TOPOLOGY_PAIRS = "pairs"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one synthetic CDSS configuration."""
+
+    peers: int = 5
+    max_relations_per_peer: int = 3
+    attributes_per_peer: int = 8
+    dataset: str = DATASET_STRING
+    topology: str = TOPOLOGY_CHAIN
+    extra_cycles: int = 0
+    uniform_attributes: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peers < 1:
+            raise ValueError("need at least one peer")
+        if not 1 <= self.attributes_per_peer <= ARITY:
+            raise ValueError(
+                f"attributes_per_peer must be in 1..{ARITY}"
+            )
+        if self.dataset not in (DATASET_STRING, DATASET_INTEGER):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.topology not in (TOPOLOGY_CHAIN, TOPOLOGY_PAIRS):
+            raise ValueError(f"unknown topology {self.topology!r}")
+
+
+def zipf_choice(rng: random.Random, maximum: int, skew: float = 1.5) -> int:
+    """Draw from {1..maximum} with Zipfian weights 1/k**skew."""
+    weights = [1.0 / (k**skew) for k in range(1, maximum + 1)]
+    return rng.choices(range(1, maximum + 1), weights=weights, k=1)[0]
+
+
+@dataclass
+class PeerLayout:
+    """How one peer partitions its attribute subset into relations."""
+
+    name: str
+    attribute_indices: tuple[int, ...]  # into SWISSPROT_ATTRIBUTES
+    partitions: tuple[tuple[int, ...], ...]  # one per relation
+
+    def relation_name(self, part: int) -> str:
+        return f"{self.name}_R{part}"
+
+    def relation_schemas(self) -> tuple[RelationSchema, ...]:
+        return tuple(
+            RelationSchema(
+                self.relation_name(part),
+                ("entry_key",)
+                + tuple(SWISSPROT_ATTRIBUTES[i] for i in partition),
+            )
+            for part, partition in enumerate(self.partitions)
+        )
+
+
+@dataclass
+class EntryUpdate:
+    """One universal-relation entry normalized into a peer's relations."""
+
+    peer: str
+    key: object
+    rows: dict[str, tuple[object, ...]] = field(default_factory=dict)
+
+
+class CDSSWorkloadGenerator:
+    """Builds CDSS configurations and update streams per the paper's §6.1."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._swissprot = SwissProtGenerator(seed=config.seed)
+        self.layouts: list[PeerLayout] = []
+        self._build_layouts()
+        self.mappings: list[SchemaMapping] = []
+        self._build_mappings()
+        self._next_entry_index = 0
+        self.inserted_entries: dict[str, list[EntryUpdate]] = {
+            layout.name: [] for layout in self.layouts
+        }
+
+    # -- layout ------------------------------------------------------------
+
+    def _build_layouts(self) -> None:
+        config = self.config
+        uniform_attrs: tuple[int, ...] | None = None
+        if config.uniform_attributes:
+            uniform_attrs = tuple(
+                sorted(
+                    self._rng.sample(range(ARITY), config.attributes_per_peer)
+                )
+            )
+        for index in range(config.peers):
+            name = f"peer{index}"
+            if uniform_attrs is not None:
+                attrs = uniform_attrs
+            else:
+                attrs = tuple(
+                    sorted(
+                        self._rng.sample(
+                            range(ARITY), config.attributes_per_peer
+                        )
+                    )
+                )
+            relations = zipf_choice(self._rng, config.max_relations_per_peer)
+            relations = min(relations, len(attrs))
+            shuffled = list(attrs)
+            self._rng.shuffle(shuffled)
+            partitions: list[list[int]] = [[] for _ in range(relations)]
+            for position, attr in enumerate(shuffled):
+                partitions[position % relations].append(attr)
+            self.layouts.append(
+                PeerLayout(
+                    name=name,
+                    attribute_indices=attrs,
+                    partitions=tuple(
+                        tuple(sorted(p)) for p in partitions
+                    ),
+                )
+            )
+
+    def peer_schemas(self) -> tuple[PeerSchema, ...]:
+        return tuple(
+            PeerSchema(layout.name, layout.relation_schemas())
+            for layout in self.layouts
+        )
+
+    # -- mappings ------------------------------------------------------------
+
+    def _edges(self) -> list[tuple[int, int]]:
+        n = self.config.peers
+        edges: list[tuple[int, int]] = []
+        if n > 1:
+            for i in range(n - 1):
+                edges.append((i, i + 1))
+            if self.config.topology == TOPOLOGY_PAIRS:
+                for i in range(n - 1):
+                    edges.append((i + 1, i))
+        # Figure 10's "manually added cycles": back-edges to peer 0.  With
+        # the pairs topology the immediate back-edge (1, 0) already exists,
+        # so added cycles start from peer 2 there.
+        start = 2 if self.config.topology == TOPOLOGY_PAIRS else 1
+        for cycle in range(self.config.extra_cycles):
+            if n <= start:
+                break
+            source = start + cycle % (n - start)
+            edge = (source, 0)
+            if edge not in edges:
+                edges.append(edge)
+        return edges
+
+    def _build_mappings(self) -> None:
+        for number, (src, dst) in enumerate(self._edges()):
+            self.mappings.append(
+                self._mapping_between(number, self.layouts[src], self.layouts[dst])
+            )
+
+    def _mapping_between(
+        self, number: int, source: PeerLayout, target: PeerLayout
+    ) -> SchemaMapping:
+        """LHS: join of all source relations on the key; RHS: all target
+        relations, sharing variables on common attributes."""
+        key_var = Variable("k")
+        source_attrs = set(source.attribute_indices)
+
+        def var_for(attr_index: int) -> Variable:
+            return Variable(f"a{attr_index}")
+
+        lhs = tuple(
+            Atom(
+                source.relation_name(part),
+                (key_var,) + tuple(var_for(a) for a in partition),
+            )
+            for part, partition in enumerate(source.partitions)
+        )
+        existentials: set[Variable] = set()
+        rhs_atoms: list[Atom] = []
+        for part, partition in enumerate(target.partitions):
+            terms: list[Variable] = [key_var]
+            for attr in partition:
+                if attr in source_attrs:
+                    terms.append(var_for(attr))
+                else:
+                    evar = Variable(f"e{attr}")
+                    existentials.add(evar)
+                    terms.append(evar)
+            rhs_atoms.append(
+                Atom(target.relation_name(part), tuple(terms))
+            )
+        return SchemaMapping(
+            name=f"m{number}_{source.name}_to_{target.name}",
+            lhs=lhs,
+            rhs=tuple(rhs_atoms),
+            existential_vars=frozenset(existentials),
+        )
+
+    # -- CDSS assembly ------------------------------------------------------------
+
+    def build_cdss(self, **cdss_kwargs: object) -> CDSS:
+        """A fully configured (but empty) CDSS for this workload."""
+        cdss = CDSS(name=f"workload-{self.config.seed}", **cdss_kwargs)  # type: ignore[arg-type]
+        for layout in self.layouts:
+            cdss.add_peer(
+                layout.name,
+                layout.relation_schemas(),
+            )
+        for mapping in self.mappings:
+            cdss.add_mapping(mapping.name, mapping)
+        return cdss
+
+    # -- update streams ---------------------------------------------------------------
+
+    def _value(self, entry, attr_index: int) -> object:
+        raw = entry[attr_index]
+        if self.config.dataset == DATASET_INTEGER:
+            return string_hash(raw)
+        return raw
+
+    def fresh_entry(self, layout: PeerLayout) -> EntryUpdate:
+        """Normalize the next fresh SWISS-PROT entry into ``layout``'s
+        relations under a brand-new shared key."""
+        index = self._next_entry_index
+        self._next_entry_index += 1
+        entry = self._swissprot.entry(index)
+        key: object = f"{layout.name}:{index}"
+        if self.config.dataset == DATASET_INTEGER:
+            key = string_hash(str(key))
+        update = EntryUpdate(peer=layout.name, key=key)
+        for part, partition in enumerate(layout.partitions):
+            update.rows[layout.relation_name(part)] = (key,) + tuple(
+                self._value(entry, a) for a in partition
+            )
+        return update
+
+    def insertions(self, per_peer: int) -> list[EntryUpdate]:
+        """Fresh insertions: ``per_peer`` entries at every peer."""
+        updates: list[EntryUpdate] = []
+        for layout in self.layouts:
+            for _ in range(per_peer):
+                update = self.fresh_entry(layout)
+                self.inserted_entries[layout.name].append(update)
+                updates.append(update)
+        return updates
+
+    def deletions(self, per_peer: int) -> list[EntryUpdate]:
+        """Deletions sampled among previously generated insertions."""
+        updates: list[EntryUpdate] = []
+        for layout in self.layouts:
+            pool = self.inserted_entries[layout.name]
+            count = min(per_peer, len(pool))
+            chosen = self._rng.sample(range(len(pool)), count)
+            for position in sorted(chosen, reverse=True):
+                updates.append(pool.pop(position))
+        return updates
+
+    # -- applying updates to a CDSS ------------------------------------------------------
+
+    @staticmethod
+    def record_insertions(cdss: CDSS, updates: list[EntryUpdate]) -> int:
+        """Append insertion updates to the owning peers' edit logs."""
+        count = 0
+        for update in updates:
+            for relation, row in update.rows.items():
+                cdss.insert(relation, row)
+                count += 1
+        return count
+
+    @staticmethod
+    def record_deletions(cdss: CDSS, updates: list[EntryUpdate]) -> int:
+        count = 0
+        for update in updates:
+            for relation, row in update.rows.items():
+                cdss.delete(relation, row)
+                count += 1
+        return count
+
+    def populate(self, cdss: CDSS, base_per_peer: int) -> None:
+        """Insert ``base_per_peer`` fresh entries per peer and exchange."""
+        self.record_insertions(cdss, self.insertions(base_per_peer))
+        cdss.update_exchange()

@@ -1,0 +1,209 @@
+"""Synthetic SWISS-PROT-like universal relation (Section 6.1).
+
+The paper's workload generator "takes as input a single universal relation
+based on the SWISS-PROT protein database, which has 25 attributes"; tuples
+carry "many large strings".  SWISS-PROT itself is a licensed download, so we
+synthesize a faithful stand-in: a deterministic generator of 25-attribute
+entries whose string fields have SWISS-PROT-like shapes and sizes
+(accessions, organism names, keyword lists, long sequence fragments), plus
+the paper's "integer" variant where every string is replaced by a stable
+integer hash ("we also experimented with the impact of smaller tuples").
+
+Determinism: all data derives from a seeded :class:`random.Random`, so every
+experiment is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The 25 attributes of the universal relation.  Column 0 is the entry key
+#: ("a shared key attribute to preserve losslessness" is added separately by
+#: the config generator when partitioning).
+SWISSPROT_ATTRIBUTES: tuple[str, ...] = (
+    "accession",
+    "entry_name",
+    "protein_name",
+    "gene_name",
+    "organism",
+    "taxonomy_id",
+    "lineage",
+    "sequence_length",
+    "sequence_mass",
+    "sequence_fragment",
+    "keywords",
+    "feature_table",
+    "ec_number",
+    "subcellular_location",
+    "tissue_specificity",
+    "function_comment",
+    "catalytic_activity",
+    "pathway",
+    "interaction",
+    "disease",
+    "ptm",
+    "similarity",
+    "created_date",
+    "modified_date",
+    "evidence_level",
+)
+
+ARITY = len(SWISSPROT_ATTRIBUTES)
+
+_AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+_ORGANISMS = (
+    "Homo sapiens",
+    "Mus musculus",
+    "Saccharomyces cerevisiae",
+    "Escherichia coli",
+    "Drosophila melanogaster",
+    "Arabidopsis thaliana",
+    "Caenorhabditis elegans",
+    "Rattus norvegicus",
+    "Danio rerio",
+    "Plasmodium falciparum",
+)
+_KEYWORDS = (
+    "ATP-binding",
+    "Cytoplasm",
+    "Glycoprotein",
+    "Hydrolase",
+    "Kinase",
+    "Membrane",
+    "Metal-binding",
+    "Nucleus",
+    "Phosphoprotein",
+    "Receptor",
+    "Repeat",
+    "Signal",
+    "Transferase",
+    "Transmembrane",
+    "Zinc-finger",
+)
+_LOCATIONS = (
+    "Cytoplasm",
+    "Nucleus",
+    "Membrane; Single-pass membrane protein",
+    "Secreted",
+    "Mitochondrion matrix",
+    "Endoplasmic reticulum membrane",
+)
+_WORDS = (
+    "catalyzes",
+    "the",
+    "reversible",
+    "phosphorylation",
+    "of",
+    "protein",
+    "substrates",
+    "involved",
+    "in",
+    "signal",
+    "transduction",
+    "and",
+    "regulation",
+    "cell",
+    "cycle",
+    "progression",
+    "required",
+    "for",
+    "assembly",
+    "complex",
+    "binding",
+    "domain",
+    "mediates",
+    "interaction",
+    "with",
+    "membrane",
+    "transport",
+)
+
+
+def _sentence(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words)).capitalize() + "."
+
+
+@dataclass(frozen=True)
+class SwissProtEntry:
+    """One universal-relation entry, exposed as a 25-tuple of strings."""
+
+    values: tuple[str, ...]
+
+    def as_row(self) -> tuple[str, ...]:
+        return self.values
+
+    def as_integer_row(self) -> tuple[int, ...]:
+        return tuple(string_hash(value) for value in self.values)
+
+    def __getitem__(self, index: int) -> str:
+        return self.values[index]
+
+
+def string_hash(value: str) -> int:
+    """A stable 32-bit hash used for the "integer" dataset variant."""
+    return zlib.crc32(value.encode("utf-8"))
+
+
+class SwissProtGenerator:
+    """Deterministic generator of synthetic SWISS-PROT entries."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def entry(self, index: int) -> SwissProtEntry:
+        """The ``index``-th entry (deterministic in ``(seed, index)``)."""
+        rng = random.Random((self._seed << 32) ^ index)
+        organism = rng.choice(_ORGANISMS)
+        gene = "".join(rng.choice("ABCDEFGHKLMNPRST") for _ in range(4))
+        seq_len = rng.randint(80, 600)
+        fragment_len = rng.randint(60, 240)
+        values = (
+            f"P{index:05d}{rng.randint(0, 9)}",
+            f"{gene}_{organism.split()[0][:5].upper()}",
+            f"{_sentence(rng, 4)[:-1]} {rng.randint(1, 12)}",
+            f"{gene}{rng.randint(1, 9)}",
+            organism,
+            str(9600 + _ORGANISMS.index(organism)),
+            " > ".join(
+                rng.sample(
+                    ("Eukaryota", "Metazoa", "Chordata", "Mammalia",
+                     "Fungi", "Bacteria", "Viridiplantae", "Nematoda"),
+                    3,
+                )
+            ),
+            str(seq_len),
+            str(seq_len * 110 + rng.randint(-500, 500)),
+            "".join(rng.choice(_AMINO_ACIDS) for _ in range(fragment_len)),
+            "; ".join(rng.sample(_KEYWORDS, rng.randint(3, 7))),
+            "; ".join(
+                f"{rng.choice(('DOMAIN', 'ACT_SITE', 'BINDING', 'HELIX'))} "
+                f"{rng.randint(1, seq_len)}..{rng.randint(1, seq_len)}"
+                for _ in range(rng.randint(2, 6))
+            ),
+            f"{rng.randint(1, 6)}.{rng.randint(1, 20)}."
+            f"{rng.randint(1, 20)}.{rng.randint(1, 99)}",
+            rng.choice(_LOCATIONS),
+            _sentence(rng, rng.randint(5, 12)),
+            _sentence(rng, rng.randint(10, 30)),
+            _sentence(rng, rng.randint(8, 18)),
+            _sentence(rng, rng.randint(4, 10)),
+            f"Interacts with {gene}{rng.randint(1, 9)} and "
+            f"{rng.choice('QRSTUVWXYZ')}{rng.randint(10, 99)}",
+            _sentence(rng, rng.randint(6, 16)),
+            _sentence(rng, rng.randint(4, 12)),
+            f"Belongs to the {rng.choice(_WORDS)} family",
+            f"{rng.randint(1990, 2007)}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}",
+            f"{rng.randint(1990, 2007)}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}",
+            str(rng.randint(1, 5)),
+        )
+        assert len(values) == ARITY
+        return SwissProtEntry(values)
+
+    def entries(self, count: int, start: int = 0) -> Iterator[SwissProtEntry]:
+        for index in range(start, start + count):
+            yield self.entry(index)

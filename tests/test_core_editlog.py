@@ -1,0 +1,123 @@
+"""Unit tests for edit logs and publish semantics (Section 3.1)."""
+
+from repro.core.editlog import EditLog, PublishDelta, Update, publish
+from repro.schema import InternalSchema, PeerSchema, RelationSchema
+from repro.storage import Database
+
+
+def fresh_db() -> Database:
+    internal = InternalSchema(
+        (PeerSchema("P", (RelationSchema("R", ("a",)),)),), ()
+    )
+    db = Database()
+    internal.setup_database(db)
+    return db
+
+
+class TestUpdate:
+    def test_sign_and_repr(self):
+        plus = Update("R", (1,), is_insert=True)
+        minus = Update("R", (1,), is_insert=False)
+        assert plus.sign == "+"
+        assert minus.sign == "-"
+        assert "R" in repr(plus)
+
+    def test_row_normalized_to_tuple(self):
+        update = Update("R", [1, 2][:1], is_insert=True)
+        assert update.row == (1,)
+
+
+class TestEditLog:
+    def test_append_and_iterate(self):
+        log = EditLog("P")
+        log.insert("R", (1,))
+        log.delete("R", (2,))
+        assert len(log) == 2
+        assert [u.sign for u in log] == ["+", "-"]
+
+    def test_drain_consumes(self):
+        log = EditLog("P")
+        log.insert("R", (1,))
+        entries = log.drain()
+        assert len(entries) == 1
+        assert len(log) == 0
+
+
+class TestPublish:
+    def test_simple_insert(self):
+        db = fresh_db()
+        log = EditLog("P")
+        log.insert("R", (1,))
+        delta = publish(log, db)
+        assert delta.local_inserts == {"R": {(1,)}}
+        assert delta.local_deletes == {}
+        assert len(log) == 0  # consumed
+
+    def test_insert_then_delete_nets_to_nothing(self):
+        db = fresh_db()
+        log = EditLog("P")
+        log.insert("R", (1,))
+        log.delete("R", (1,))
+        delta = publish(log, db)
+        assert delta.is_empty()
+
+    def test_delete_of_local_contribution(self):
+        db = fresh_db()
+        db["R__l"].insert((1,))
+        log = EditLog("P")
+        log.delete("R", (1,))
+        delta = publish(log, db)
+        assert delta.local_deletes == {"R": {(1,)}}
+        assert delta.rejection_inserts == {}
+
+    def test_delete_of_imported_data_becomes_rejection(self):
+        db = fresh_db()  # (1,) not in R__l: must have been imported
+        log = EditLog("P")
+        log.delete("R", (1,))
+        delta = publish(log, db)
+        assert delta.rejection_inserts == {"R": {(1,)}}
+        assert delta.local_deletes == {}
+
+    def test_reinsert_unrejects(self):
+        db = fresh_db()
+        db["R__r"].insert((1,))
+        log = EditLog("P")
+        log.insert("R", (1,))
+        delta = publish(log, db)
+        assert delta.rejection_deletes == {"R": {(1,)}}
+        assert delta.local_inserts == {"R": {(1,)}}
+
+    def test_delete_insert_delete_sequence(self):
+        db = fresh_db()
+        log = EditLog("P")
+        log.delete("R", (1,))  # rejection
+        log.insert("R", (1,))  # un-reject + local
+        log.delete("R", (1,))  # delete the local contribution again
+        delta = publish(log, db)
+        # Final state: not local, not rejected -> empty net delta.
+        assert delta.is_empty()
+
+    def test_noop_reinsert_of_existing_local(self):
+        db = fresh_db()
+        db["R__l"].insert((1,))
+        log = EditLog("P")
+        log.insert("R", (1,))
+        delta = publish(log, db)
+        assert delta.is_empty()
+
+    def test_counts(self):
+        db = fresh_db()
+        log = EditLog("P")
+        log.insert("R", (1,))
+        log.insert("R", (2,))
+        log.delete("R", (9,))
+        delta = publish(log, db)
+        counts = delta.counts()
+        assert counts["local_inserts"] == 2
+        assert counts["rejection_inserts"] == 1
+
+    def test_merge_combines_disjoint_relations(self):
+        a = PublishDelta(local_inserts={"R": {(1,)}})
+        b = PublishDelta(local_inserts={"S": {(2,)}})
+        a.merge(b)
+        assert a.local_inserts == {"R": {(1,)}, "S": {(2,)}}

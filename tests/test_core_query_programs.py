@@ -1,0 +1,123 @@
+"""Tests for recursive datalog queries over peer instances."""
+
+import pytest
+
+from repro import CDSS
+from repro.core.query import QueryError
+
+
+def synonym_cdss() -> CDSS:
+    """A taxon-synonym network: U relates names; edges imported from G."""
+    cdss = CDSS("syn")
+    cdss.add_peer("PGUS", {"G": ("a", "b")})
+    cdss.add_peer("PuBio", {"U": ("a", "b")})
+    cdss.add_mapping("m", "G(a, b) -> U(a, b)")
+    for edge in [(1, 2), (2, 3), (3, 4), (10, 11)]:
+        cdss.insert("G", edge)
+    cdss.insert("U", (4, 5))
+    cdss.update_exchange()
+    return cdss
+
+
+class TestQueryPrograms:
+    def test_transitive_closure(self):
+        cdss = synonym_cdss()
+        answers = cdss.query_program(
+            """
+            Reach(x, y) :- U(x, y)
+            Reach(x, z) :- Reach(x, y), U(y, z)
+            ans(x, y) :- Reach(x, y)
+            """
+        )
+        assert (1, 5) in answers  # 1->2->3->4->5 across both peers' data
+        assert (10, 11) in answers
+        assert (1, 11) not in answers
+
+    def test_custom_answer_predicate(self):
+        cdss = synonym_cdss()
+        answers = cdss.query_program(
+            """
+            Reach(x, y) :- U(x, y)
+            Reach(x, z) :- Reach(x, y), U(y, z)
+            result(x) :- Reach(1, x)
+            """,
+            answer="result",
+        )
+        assert answers == {(2,), (3,), (4,), (5,)}
+
+    def test_negation_in_program(self):
+        cdss = synonym_cdss()
+        answers = cdss.query_program(
+            """
+            Source(x) :- U(x, y)
+            Target(y) :- U(x, y)
+            ans(x) :- Source(x), not Target(x)
+            """
+        )
+        assert answers == {(1,), (10,)}  # roots of the synonym chains
+
+    def test_scratch_state_not_persisted(self):
+        cdss = synonym_cdss()
+        cdss.query_program(
+            """
+            Reach(x, y) :- U(x, y)
+            ans(x, y) :- Reach(x, y)
+            """
+        )
+        system = cdss.system()
+        assert "Reach" not in system.db
+        assert "ans" not in system.db
+        assert system.is_consistent()
+
+    def test_certain_vs_superset_answers(self):
+        cdss = CDSS("nulls")
+        cdss.add_peer("P1", {"B": ("i", "n")})
+        cdss.add_peer("P2", {"U": ("n", "c")})
+        cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+        cdss.insert("B", (1, 7))
+        cdss.update_exchange()
+        program = """
+            Pair(n, c) :- U(n, c)
+            ans(n, c) :- Pair(n, c)
+        """
+        assert cdss.query_program(program) == frozenset()
+        assert len(cdss.query_program(program, certain=False)) == 1
+
+    def test_missing_answer_predicate_rejected(self):
+        cdss = synonym_cdss()
+        with pytest.raises(QueryError):
+            cdss.query_program("Reach(x, y) :- U(x, y)")
+
+    def test_redefining_peer_relation_rejected(self):
+        cdss = synonym_cdss()
+        with pytest.raises(QueryError):
+            cdss.query_program(
+                """
+                U(x, y) :- G(x, y)
+                ans(x) :- U(x, x)
+                """
+            )
+
+    def test_unknown_relation_rejected(self):
+        cdss = synonym_cdss()
+        with pytest.raises(QueryError):
+            cdss.query_program("ans(x) :- Ghost(x)")
+
+    def test_arity_mismatch_rejected(self):
+        cdss = synonym_cdss()
+        with pytest.raises(QueryError):
+            cdss.query_program("ans(x) :- U(x)")
+
+    def test_program_over_updated_instance(self):
+        cdss = synonym_cdss()
+        cdss.delete("U", (2, 3))  # reject the imported link
+        cdss.update_exchange()
+        answers = cdss.query_program(
+            """
+            Reach(x, y) :- U(x, y)
+            Reach(x, z) :- Reach(x, y), U(y, z)
+            ans(x, y) :- Reach(x, y)
+            """
+        )
+        assert (1, 5) not in answers  # chain broken at the rejected edge
+        assert (3, 5) in answers

@@ -1,0 +1,262 @@
+"""Cross-strategy equivalence: incremental == DRed == full recomputation.
+
+The paper's central correctness claim for Section 4.2 is that all three
+maintenance strategies compute the same consistent state (Definition 3.1).
+These tests check it on the paper's example, on adversarial cyclic-support
+cases, and property-based over random workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CDSS
+from repro.core import (
+    STRATEGY_DRED,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_RECOMPUTE,
+)
+from repro.core.editlog import PublishDelta
+from repro.core.exchange import ExchangeSystem
+from repro.schema import InternalSchema, PeerSchema, RelationSchema, SchemaMapping
+
+
+def cyclic_internal() -> InternalSchema:
+    """Two peers mapping into each other (full tgds): provenance cycles."""
+    return InternalSchema(
+        (
+            PeerSchema("P1", (RelationSchema("R", ("a", "b")),)),
+            PeerSchema("P2", (RelationSchema("S", ("a", "b")),)),
+        ),
+        (
+            SchemaMapping.parse("mrs", "R(x, y) -> S(x, y)"),
+            SchemaMapping.parse("msr", "S(x, y) -> R(x, y)"),
+        ),
+    )
+
+
+def run_all_strategies(internal, base, delta):
+    """Apply ``delta`` with every strategy on identical initial states;
+    return the three output snapshots."""
+    snapshots = []
+    for strategy in (
+        STRATEGY_INCREMENTAL,
+        STRATEGY_DRED,
+        STRATEGY_RECOMPUTE,
+    ):
+        system = ExchangeSystem(internal)
+        for relation, rows in base.items():
+            system.db[f"{relation}__l"].insert_many(rows)
+        system.recompute()
+        system.apply_delta(delta, strategy)
+        snapshots.append(
+            {name: system.db[name].rows() for name in system.db.relation_names()}
+        )
+    return snapshots
+
+
+class TestCyclicSupport:
+    def test_cyclic_tuples_garbage_collected(self):
+        """R(1,2) and S(1,2) support each other through the mappings; when
+        the base contribution is deleted, both must be garbage collected
+        even though each still has a direct derivation from the other
+        (Section 4.2's motivating case for the derivability test)."""
+        internal = cyclic_internal()
+        delta = PublishDelta(local_deletes={"R": {(1, 2)}})
+        snapshots = run_all_strategies(
+            internal, {"R": {(1, 2)}}, delta
+        )
+        for snapshot in snapshots:
+            assert snapshot["R__o"] == frozenset()
+            assert snapshot["S__o"] == frozenset()
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_partial_deletion_keeps_other_tuples(self):
+        internal = cyclic_internal()
+        delta = PublishDelta(local_deletes={"R": {(1, 2)}})
+        snapshots = run_all_strategies(
+            internal, {"R": {(1, 2), (3, 4)}, "S": {(5, 6)}}, delta
+        )
+        for snapshot in snapshots:
+            assert snapshot["R__o"] == {(3, 4), (5, 6)}
+            assert snapshot["S__o"] == {(3, 4), (5, 6)}
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_tuple_locally_contributed_at_both_peers(self):
+        """Deleting one peer's contribution keeps the tuple alive through
+        the other peer's (it remains edb-derivable)."""
+        internal = cyclic_internal()
+        delta = PublishDelta(local_deletes={"R": {(1, 2)}})
+        snapshots = run_all_strategies(
+            internal, {"R": {(1, 2)}, "S": {(1, 2)}}, delta
+        )
+        for snapshot in snapshots:
+            assert snapshot["R__o"] == {(1, 2)}
+            assert snapshot["S__o"] == {(1, 2)}
+
+    def test_rejection_breaks_the_cycle(self):
+        internal = cyclic_internal()
+        delta = PublishDelta(rejection_inserts={"S": {(1, 2)}})
+        snapshots = run_all_strategies(internal, {"R": {(1, 2)}}, delta)
+        for snapshot in snapshots:
+            # S rejects the tuple; R keeps it (local contribution).
+            assert snapshot["S__o"] == frozenset()
+            assert snapshot["R__o"] == {(1, 2)}
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+class TestThreePeerChainDeletions:
+    def _cdss(self, strategy):
+        cdss = CDSS(strategy=strategy)
+        cdss.add_peer("P1", {"A": ("k", "v")})
+        cdss.add_peer("P2", {"B2": ("k", "v")})
+        cdss.add_peer("P3", {"C": ("k", "v")})
+        cdss.add_mapping("mab", "A(k, v) -> B2(k, v)")
+        cdss.add_mapping("mbc", "B2(k, v) -> C(k, v)")
+        for i in range(10):
+            cdss.insert("A", (i, i * 10))
+        cdss.insert("B2", (100, 1))
+        cdss.update_exchange()
+        return cdss
+
+    @pytest.mark.parametrize(
+        "strategy", [STRATEGY_INCREMENTAL, STRATEGY_DRED, STRATEGY_RECOMPUTE]
+    )
+    def test_chain_deletion_cascades(self, strategy):
+        cdss = self._cdss(strategy)
+        for i in range(5):
+            cdss.delete("A", (i, i * 10))
+        cdss.update_exchange()
+        assert cdss.instance("A") == {(i, i * 10) for i in range(5, 10)}
+        assert cdss.instance("C") == {(i, i * 10) for i in range(5, 10)} | {
+            (100, 1)
+        }
+        assert cdss.system().is_consistent()
+
+    @pytest.mark.parametrize(
+        "strategy", [STRATEGY_INCREMENTAL, STRATEGY_DRED]
+    )
+    def test_mixed_insert_delete_batch(self, strategy):
+        cdss = self._cdss(strategy)
+        cdss.delete("A", (0, 0))
+        cdss.insert("A", (50, 500))
+        cdss.delete("B2", (3, 30))  # rejection of imported data
+        cdss.update_exchange()
+        assert (0, 0) not in cdss.instance("C")
+        assert (50, 500) in cdss.instance("C")
+        assert (3, 30) not in cdss.instance("B2")
+        assert (3, 30) not in cdss.instance("C")  # rejection blocks the flow
+        assert (3, 30) in cdss.instance("A")  # source unaffected
+        assert cdss.system().is_consistent()
+
+
+class TestMultiAtomBodies:
+    """Regression: a peer with several relations makes mapping bodies
+    multi-atom joins; deleting both join sides in one batch must still
+    propagate (DRed's delta rules must join against the pre-deletion
+    state)."""
+
+    def _internal(self):
+        return InternalSchema(
+            (
+                PeerSchema(
+                    "P1",
+                    (
+                        RelationSchema("A1", ("k", "x")),
+                        RelationSchema("A2", ("k", "y")),
+                    ),
+                ),
+                PeerSchema("P2", (RelationSchema("B1", ("k", "x", "y")),)),
+            ),
+            (SchemaMapping.parse("m", "A1(k, x), A2(k, y) -> B1(k, x, y)"),),
+        )
+
+    def test_same_batch_deletion_of_both_join_sides(self):
+        internal = self._internal()
+        delta = PublishDelta(
+            local_deletes={"A1": {(1, "x1")}, "A2": {(1, "y1")}}
+        )
+        snapshots = run_all_strategies(
+            internal,
+            {"A1": {(1, "x1"), (2, "x2")}, "A2": {(1, "y1"), (2, "y2")}},
+            delta,
+        )
+        for snapshot in snapshots:
+            assert snapshot["B1__o"] == {(2, "x2", "y2")}
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_deleting_one_join_side_only(self):
+        internal = self._internal()
+        delta = PublishDelta(local_deletes={"A1": {(1, "x1")}})
+        snapshots = run_all_strategies(
+            internal,
+            {"A1": {(1, "x1"), (2, "x2")}, "A2": {(1, "y1"), (2, "y2")}},
+            delta,
+        )
+        for snapshot in snapshots:
+            assert snapshot["B1__o"] == {(2, "x2", "y2")}
+            # A2's row survives (it is a local contribution).
+            assert snapshot["A2__o"] == {(1, "y1"), (2, "y2")}
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+@st.composite
+def chain_workload(draw):
+    base = draw(
+        st.sets(st.integers(0, 12), min_size=1, max_size=8)
+    )
+    deletions = draw(st.sets(st.sampled_from(sorted(base)), max_size=5))
+    rejections = draw(st.sets(st.integers(0, 12), max_size=3))
+    insertions = draw(st.sets(st.integers(20, 30), max_size=4))
+    return base, deletions, rejections, insertions
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=chain_workload())
+def test_property_strategies_agree_on_random_workloads(workload):
+    """Property: for random base data and random mixed update batches, all
+    three strategies produce identical databases (including provenance
+    tables), each equal to a fresh recomputation."""
+    base, deletions, rejections, insertions = workload
+    internal = InternalSchema(
+        (
+            PeerSchema("P1", (RelationSchema("R", ("a",)),)),
+            PeerSchema("P2", (RelationSchema("S", ("a",)),)),
+            PeerSchema("P3", (RelationSchema("T", ("a",)),)),
+        ),
+        (
+            SchemaMapping.parse("m_rs", "R(x) -> S(x)"),
+            SchemaMapping.parse("m_st", "S(x) -> T(x)"),
+            SchemaMapping.parse("m_tr", "T(x) -> R(x)"),  # cycle
+        ),
+    )
+    delta = PublishDelta(
+        local_deletes={"R": {(x,) for x in deletions}},
+        rejection_inserts={"S": {(x,) for x in rejections}},
+        local_inserts={"R": {(x,) for x in insertions}},
+    )
+    snapshots = run_all_strategies(internal, {"R": {(x,) for x in base}}, delta)
+    assert snapshots[0] == snapshots[1]
+    assert snapshots[1] == snapshots[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=chain_workload())
+def test_property_incremental_stays_consistent_over_two_batches(workload):
+    base, deletions, rejections, insertions = workload
+    cdss = CDSS(strategy=STRATEGY_INCREMENTAL)
+    cdss.add_peer("P1", {"R": ("a",)})
+    cdss.add_peer("P2", {"S": ("a",)})
+    cdss.add_mapping("m_rs", "R(x) -> S(x)")
+    cdss.add_mapping("m_sr", "S(x) -> R(x)")
+    for x in base:
+        cdss.insert("R", (x,))
+    cdss.update_exchange()
+    for x in deletions:
+        cdss.delete("R", (x,))
+    for x in rejections:
+        cdss.delete("S", (x,))  # rejection (imported at S)
+    for x in insertions:
+        cdss.insert("R", (x,))
+    cdss.update_exchange()
+    assert cdss.system().is_consistent()

@@ -1,0 +1,168 @@
+"""Unit tests for the datalog AST: terms, atoms, rules, programs."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Program,
+    Rule,
+    SafetyError,
+    SkolemFunction,
+    SkolemTerm,
+    SkolemValue,
+    Variable,
+    apply_term,
+    instantiate_atom,
+    is_labeled_null,
+    make_atom,
+    match_atom,
+    tuple_has_labeled_null,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTerms:
+    def test_variable_equality(self):
+        assert Variable("x") == X
+        assert Variable("y") != X
+
+    def test_skolem_function_produces_labeled_null(self):
+        f = SkolemFunction("f")
+        value = f(1, 2)
+        assert isinstance(value, SkolemValue)
+        assert value == SkolemValue("f", (1, 2))
+
+    def test_labeled_null_equality_semantics(self):
+        # Same function + same args => same null; otherwise distinct.
+        assert SkolemValue("f", (1,)) == SkolemValue("f", (1,))
+        assert SkolemValue("f", (1,)) != SkolemValue("f", (2,))
+        assert SkolemValue("f", (1,)) != SkolemValue("g", (1,))
+
+    def test_is_labeled_null(self):
+        assert is_labeled_null(SkolemValue("f", ()))
+        assert not is_labeled_null("f()")
+        assert tuple_has_labeled_null((1, SkolemValue("f", ()), 2))
+        assert not tuple_has_labeled_null((1, 2))
+
+    def test_apply_term(self):
+        subst = {X: 5}
+        assert apply_term(Constant(3), subst) == 3
+        assert apply_term(X, subst) == 5
+        skolem = SkolemTerm(SkolemFunction("f"), (X, Constant("a")))
+        assert apply_term(skolem, subst) == SkolemValue("f", (5, "a"))
+
+    def test_apply_term_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            apply_term(Y, {X: 1})
+
+
+class TestAtoms:
+    def test_variables_in_order_with_duplicates(self):
+        atom = Atom("R", (X, Constant(1), Y, X))
+        assert atom.variables() == (X, Y, X)
+        assert atom.variable_set() == {X, Y}
+
+    def test_skolem_term_variables_included(self):
+        atom = Atom("R", (SkolemTerm(SkolemFunction("f"), (X,)), Y))
+        assert atom.variable_set() == {X, Y}
+
+    def test_negate(self):
+        atom = Atom("R", (X,))
+        assert atom.negate().negated is True
+        assert atom.negate().negate() == atom
+
+    def test_instantiate(self):
+        atom = Atom("R", (X, Constant("c")))
+        assert instantiate_atom(atom, {X: 9}) == (9, "c")
+
+    def test_match_atom_binds_and_checks(self):
+        atom = Atom("R", (X, X, Constant(5)))
+        assert match_atom(atom, (1, 1, 5), {}) == {X: 1}
+        assert match_atom(atom, (1, 2, 5), {}) is None  # repeated var mismatch
+        assert match_atom(atom, (1, 1, 6), {}) is None  # constant mismatch
+        assert match_atom(atom, (2, 2, 5), {X: 1}) is None  # prior binding
+
+    def test_match_atom_does_not_mutate_input(self):
+        atom = Atom("R", (X,))
+        subst = {}
+        match_atom(atom, (1,), subst)
+        assert subst == {}
+
+    def test_make_atom_convenience(self):
+        atom = make_atom("R", "x", 3, "Name")
+        assert atom.terms == (X, Constant(3), Constant("Name"))
+
+
+class TestRules:
+    def test_safety_ok(self):
+        rule = Rule(Atom("H", (X,)), (Atom("B", (X, Y)),))
+        rule.check_safety()
+
+    def test_unsafe_head_variable(self):
+        rule = Rule(Atom("H", (X, Z)), (Atom("B", (X, Y)),))
+        with pytest.raises(SafetyError):
+            rule.check_safety()
+
+    def test_unsafe_negated_variable(self):
+        rule = Rule(
+            Atom("H", (X,)),
+            (Atom("B", (X,)), Atom("N", (Z,), negated=True)),
+        )
+        with pytest.raises(SafetyError):
+            rule.check_safety()
+
+    def test_negated_head_rejected_at_construction(self):
+        with pytest.raises(SafetyError):
+            Rule(Atom("H", (X,), negated=True), ())
+
+    def test_skolem_head_variable_safety(self):
+        head = Atom("H", (X, SkolemTerm(SkolemFunction("f"), (X,))))
+        Rule(head, (Atom("B", (X,)),)).check_safety()
+        with pytest.raises(SafetyError):
+            Rule(head, (Atom("B", (Y,)),)).check_safety()
+
+    def test_positive_negative_partition(self):
+        pos = Atom("B", (X,))
+        neg = Atom("N", (X,), negated=True)
+        rule = Rule(Atom("H", (X,)), (pos, neg))
+        assert rule.positive_body == (pos,)
+        assert rule.negative_body == (neg,)
+
+    def test_rename_apart(self):
+        rule = Rule(Atom("H", (X,)), (Atom("B", (X, Y)),))
+        renamed = rule.rename_apart("_1")
+        assert renamed.head.terms == (Variable("x_1"),)
+        assert renamed.variables() == {Variable("x_1"), Variable("y_1")}
+        assert renamed.label == rule.label
+
+
+class TestPrograms:
+    def _program(self):
+        return Program(
+            (
+                Rule(Atom("T", (X, Y)), (Atom("E", (X, Y)),)),
+                Rule(Atom("T", (X, Z)), (Atom("T", (X, Y)), Atom("E", (Y, Z)))),
+            )
+        )
+
+    def test_idb_edb_classification(self):
+        prog = self._program()
+        assert prog.idb_predicates() == {"T"}
+        assert prog.edb_predicates() == {"E"}
+        assert prog.predicates() == {"T", "E"}
+
+    def test_rules_for(self):
+        prog = self._program()
+        assert len(prog.rules_for("T")) == 2
+        assert prog.rules_for("E") == ()
+
+    def test_extend(self):
+        prog = self._program()
+        extra = Rule(Atom("S", (X,)), (Atom("T", (X, X)),))
+        assert len(prog.extend([extra])) == 3
+
+    def test_iteration_and_len(self):
+        prog = self._program()
+        assert len(list(prog)) == len(prog) == 2

@@ -1,0 +1,159 @@
+"""Unit tests for the datalog/tgd parser."""
+
+import pytest
+
+from repro.datalog.ast import Constant, SkolemTerm, Variable
+from repro.datalog.parser import ParseError, parse_program, parse_rule, parse_tgd
+
+
+class TestParseRule:
+    def test_simple_rule(self):
+        rule = parse_rule("B(i, n) :- G(i, c, n)")
+        assert rule.head.predicate == "B"
+        assert rule.head.terms == (Variable("i"), Variable("n"))
+        assert rule.body[0].predicate == "G"
+
+    def test_fact(self):
+        rule = parse_rule("R(1, 'two')")
+        assert rule.body == ()
+        assert rule.head.terms == (Constant(1), Constant("two"))
+
+    def test_constants(self):
+        rule = parse_rule("R(x) :- S(x, 3, -4, 2.5, 'hi', \"there\", Sym)")
+        values = [t.value for t in rule.body[0].terms[1:]]
+        assert values == [3, -4, 2.5, "hi", "there", "Sym"]
+
+    def test_uppercase_identifier_is_constant(self):
+        rule = parse_rule("R(x) :- S(x, GUS)")
+        assert rule.body[0].terms[1] == Constant("GUS")
+
+    def test_skolem_in_head(self):
+        rule = parse_rule("U(n, f(n)) :- B(i, n)")
+        term = rule.head.terms[1]
+        assert isinstance(term, SkolemTerm)
+        assert term.function.name == "f"
+        assert term.args == (Variable("n"),)
+
+    def test_skolem_in_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("R(x) :- S(f(x))")
+
+    def test_negated_body_atom(self):
+        rule = parse_rule("Ro(x) :- Rt(x), not Rr(x)")
+        assert rule.body[1].negated is True
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("not R(x) :- S(x)")
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(Exception):
+            parse_rule("R(x, y) :- S(x)")
+
+    def test_trailing_period_ok(self):
+        rule = parse_rule("R(x) :- S(x).")
+        assert rule.head.predicate == "R"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("R(x) :- S(x) S(x)")
+
+    def test_label_attached(self):
+        rule = parse_rule("R(x) :- S(x)", label="m1")
+        assert rule.label == "m1"
+
+    def test_comments_ignored(self):
+        prog = parse_program(
+            """
+            % a comment
+            R(x) :- S(x)  % trailing comment
+            # another comment style
+            T(x) :- R(x)
+            """
+        )
+        assert len(prog) == 2
+
+
+class TestParseProgram:
+    def test_multiple_rules(self):
+        prog = parse_program(
+            """
+            T(x, y) :- E(x, y)
+            T(x, z) :- T(x, y), E(y, z)
+            """
+        )
+        assert len(prog) == 2
+        assert prog.idb_predicates() == {"T"}
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_multiline_rule_with_unbalanced_first_line(self):
+        prog = parse_program(
+            """
+            T(x, z) :- T(x, y),
+            E(y, z)
+            """
+        )
+        assert len(prog) == 1
+        assert len(prog.rules[0].body) == 2
+
+
+class TestParseTgd:
+    def test_simple_tgd(self):
+        tgd = parse_tgd("G(i, c, n) -> B(i, n)")
+        assert [a.predicate for a in tgd.lhs] == ["G"]
+        assert [a.predicate for a in tgd.rhs] == ["B"]
+        assert tgd.existential_vars == frozenset()
+
+    def test_explicit_existential(self):
+        tgd = parse_tgd("B(i, n) -> exists c . U(n, c)")
+        assert tgd.existential_vars == {Variable("c")}
+
+    def test_implicit_existential(self):
+        tgd = parse_tgd("B(i, n) -> U(n, c)")
+        assert tgd.existential_vars == {Variable("c")}
+
+    def test_multi_atom_lhs(self):
+        tgd = parse_tgd("B(i, c), U(n, c) -> B(i, n)")
+        assert len(tgd.lhs) == 2
+
+    def test_and_keyword_conjunction(self):
+        tgd = parse_tgd("B(i, c) AND U(n, c) -> B(i, n)")
+        assert len(tgd.lhs) == 2
+
+    def test_multi_atom_rhs(self):
+        tgd = parse_tgd("R(a, b) -> S(a, x), T(b, x)")
+        assert len(tgd.rhs) == 2
+        assert tgd.existential_vars == {Variable("x")}
+
+    def test_negated_lhs_atom(self):
+        tgd = parse_tgd("Rt(x), not Rr(x) -> Ro(x)")
+        assert tgd.lhs[1].negated is True
+
+    def test_negated_rhs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x) -> not S(x)")
+
+    def test_existential_also_on_lhs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x) -> exists x . S(x)")
+
+    def test_multiple_existentials(self):
+        tgd = parse_tgd("R(a) -> exists u, v . S(a, u, v)")
+        assert tgd.existential_vars == {Variable("u"), Variable("v")}
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x) S(x)")
+
+    def test_paper_example_mappings(self):
+        # The four mappings of Example 2.
+        m1 = parse_tgd("G(i, c, n) -> B(i, n)")
+        m2 = parse_tgd("G(i, c, n) -> U(n, c)")
+        m3 = parse_tgd("B(i, n) -> exists c . U(n, c)")
+        m4 = parse_tgd("B(i, c), U(n, c) -> B(i, n)")
+        assert m3.existential_vars == {Variable("c")}
+        assert m4.existential_vars == frozenset()
+        assert [a.predicate for a in m4.lhs] == ["B", "U"]
+        assert m1.rhs[0].arity == 2 and m2.rhs[0].arity == 2

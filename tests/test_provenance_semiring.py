@@ -1,0 +1,292 @@
+"""Semiring laws (unit + property-based) and expression algebra tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    TropicalSemiring,
+    WeightedTropicalSemiring,
+    WhySemiring,
+    check_semiring_laws,
+)
+from repro.provenance.expression import (
+    MappingApp,
+    ONE,
+    Product,
+    ProvenanceError,
+    Sum,
+    ZERO,
+    mapping_app,
+    product_of,
+    ref,
+    sum_of,
+    token,
+)
+
+
+# ---------------------------------------------------------------------------
+# Semiring laws
+# ---------------------------------------------------------------------------
+
+booleans = st.booleans()
+counts = st.integers(0, 50)
+# Integer-valued costs: float addition is not exactly associative, and the
+# semiring laws are checked with exact equality.
+costs = st.one_of(
+    st.integers(0, 100).map(float), st.just(float("inf"))
+)
+token_sets = st.one_of(
+    st.none(), st.frozensets(st.integers(0, 5), max_size=4)
+)
+witness_sets = st.frozensets(
+    st.frozensets(st.integers(0, 4), max_size=3), max_size=4
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=booleans, b=booleans, c=booleans)
+def test_boolean_semiring_laws(a, b, c):
+    assert check_semiring_laws(BooleanSemiring(), a, b, c) == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=counts, b=counts, c=counts)
+def test_counting_semiring_laws_below_saturation(a, b, c):
+    assert check_semiring_laws(CountingSemiring(), a, b, c) == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=token_sets, b=token_sets, c=token_sets)
+def test_lineage_semiring_laws(a, b, c):
+    assert check_semiring_laws(LineageSemiring(), a, b, c) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=witness_sets, b=witness_sets, c=witness_sets)
+def test_why_semiring_laws(a, b, c):
+    assert check_semiring_laws(WhySemiring(), a, b, c) == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=costs, b=costs, c=costs)
+def test_tropical_semiring_laws(a, b, c):
+    assert check_semiring_laws(TropicalSemiring(), a, b, c) == []
+
+
+class TestSemiringBasics:
+    def test_counting_saturates(self):
+        semiring = CountingSemiring(saturation=100)
+        assert semiring.plus(60, 60) == 100
+        assert semiring.times(20, 20) == 100
+
+    def test_lineage_zero_vs_one(self):
+        semiring = LineageSemiring()
+        assert semiring.zero is None
+        assert semiring.one == frozenset()
+        assert semiring.times(None, frozenset({1})) is None
+        assert semiring.plus(None, frozenset({1})) == frozenset({1})
+
+    def test_why_distinguishes_alternatives(self):
+        semiring = WhySemiring()
+        w1 = frozenset({frozenset({1})})
+        w2 = frozenset({frozenset({2})})
+        assert semiring.plus(w1, w2) == frozenset(
+            {frozenset({1}), frozenset({2})}
+        )
+        assert semiring.times(w1, w2) == frozenset({frozenset({1, 2})})
+
+    def test_weighted_tropical_mapping_costs(self):
+        semiring = WeightedTropicalSemiring({"m1": 2.5})
+        assert semiring.map_apply("m1", 1.0) == 3.5
+        assert semiring.map_apply("other", 1.0) == 1.0
+
+    def test_sum_product_helpers(self):
+        semiring = BooleanSemiring()
+        assert semiring.sum([]) is False
+        assert semiring.product([]) is True
+        assert semiring.sum([False, True]) is True
+        assert semiring.product([True, False]) is False
+
+
+# ---------------------------------------------------------------------------
+# Expression normalization and evaluation
+# ---------------------------------------------------------------------------
+
+p1 = token("B", (3, 5))
+p2 = token("U", (2, 5))
+p3 = token("G", (3, 5, 2))
+
+
+class TestExpressionAlgebra:
+    def test_sum_flattens_and_drops_zero(self):
+        expr = sum_of([p1, ZERO, sum_of([p2, p3])])
+        assert isinstance(expr, Sum)
+        assert set(expr.args) == {p1, p2, p3}
+
+    def test_product_flattens_and_drops_one(self):
+        expr = product_of([p1, ONE, product_of([p2])])
+        assert isinstance(expr, Product)
+        assert set(expr.args) == {p1, p2}
+
+    def test_product_annihilates_on_zero(self):
+        assert product_of([p1, ZERO]) is ZERO
+
+    def test_empty_sum_is_zero_empty_product_is_one(self):
+        assert sum_of([]) is ZERO
+        assert product_of([]) is ONE
+
+    def test_singleton_collapse(self):
+        assert sum_of([p1]) == p1
+        assert product_of([p1]) == p1
+
+    def test_sum_deduplicates(self):
+        assert sum_of([p1, p1]) == p1
+
+    def test_mapping_app_of_zero_is_zero(self):
+        assert mapping_app("m1", ZERO) is ZERO
+
+    def test_operators(self):
+        assert (p1 + p2) == sum_of([p1, p2])
+        assert (p1 * p2) == product_of([p1, p2])
+
+    def test_normalization_is_order_insensitive(self):
+        assert sum_of([p1, p2]) == sum_of([p2, p1])
+        assert product_of([p1, p2]) == product_of([p2, p1])
+
+    def test_tokens_collected(self):
+        expr = mapping_app("m4", p1 * p2) + mapping_app("m1", p3)
+        assert expr.tokens() == {
+            ("B", (3, 5)), ("U", (2, 5)), ("G", (3, 5, 2))
+        }
+        assert expr.mapping_names() == {"m1", "m4"}
+
+    def test_refs_tracked_separately(self):
+        expr = mapping_app("m3", ref("B", (3, 2)))
+        assert expr.refs() == {("B", (3, 2))}
+        assert expr.tokens() == frozenset()
+
+    def test_repr_example6_shape(self):
+        # Pv(B(3,2)) = m1(p3) + m4(p1 p2) — Example 6.
+        expr = mapping_app("m1", p3) + mapping_app("m4", p1 * p2)
+        text = repr(expr)
+        assert "m1(" in text and "m4(" in text and " + " in text
+
+
+class TestExpressionEvaluation:
+    def expr(self):
+        return mapping_app("m1", p3) + mapping_app("m4", p1 * p2)
+
+    def test_example7_trust_evaluation(self):
+        """Example 7: trusting p3 and p1 but not p2 still yields T,
+        via the m1 alternative: T.T + T.T.D = T."""
+        trust = {p3.token: True, p1.token: True, p2.token: False}
+        value = self.expr().evaluate(
+            BooleanSemiring(), lambda tok: trust[tok]
+        )
+        assert value is True
+
+    def test_distrusting_p3_and_p2_rejects(self):
+        # "Distrusting p2 and m1 leads to rejecting B(3,2)" — without m1's
+        # alternative and with p2 distrusted, no derivation survives.
+        trust = {p3.token: True, p1.token: True, p2.token: False}
+        value = self.expr().evaluate(
+            BooleanSemiring(),
+            lambda tok: trust[tok],
+            mapping_value=lambda m, inner: False if m == "m1" else inner,
+        )
+        assert value is False
+
+    def test_counting_number_of_derivations(self):
+        value = self.expr().evaluate(CountingSemiring(), lambda tok: 1)
+        assert value == 2
+
+    def test_lineage_unions_everything(self):
+        value = self.expr().evaluate(
+            LineageSemiring(), lambda tok: frozenset({tok})
+        )
+        assert value == {p1.token, p2.token, p3.token}
+
+    def test_why_provenance_witnesses(self):
+        value = self.expr().evaluate(
+            WhySemiring(), lambda tok: frozenset({frozenset({tok})})
+        )
+        assert value == {
+            frozenset({p3.token}),
+            frozenset({p1.token, p2.token}),
+        }
+
+    def test_tropical_cheapest_derivation(self):
+        costs = {p3.token: 5.0, p1.token: 1.0, p2.token: 1.0}
+        value = self.expr().evaluate(
+            TropicalSemiring(), lambda tok: costs[tok]
+        )
+        assert value == 2.0  # p1 + p2 beats p3
+
+    def test_unresolved_ref_raises(self):
+        expr = ref("B", (1, 2))
+        with pytest.raises(ProvenanceError):
+            expr.evaluate(BooleanSemiring(), lambda tok: True)
+
+    def test_zero_one_evaluation(self):
+        semiring = CountingSemiring()
+        assert ZERO.evaluate(semiring, lambda t: 1) == 0
+        assert ONE.evaluate(semiring, lambda t: 1) == 1
+
+
+# ---------------------------------------------------------------------------
+# Homomorphism property: evaluating a composite expression equals composing
+# evaluations (hypothesis over random expressions).
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        return token("T", (draw(st.integers(0, 4)),))
+    kind = draw(st.sampled_from(["token", "sum", "product", "mapping"]))
+    if kind == "token":
+        return token("T", (draw(st.integers(0, 4)),))
+    if kind == "mapping":
+        return mapping_app(
+            draw(st.sampled_from(["m1", "m2"])),
+            draw(expressions(depth=depth + 1)),
+        )
+    parts = draw(
+        st.lists(expressions(depth=depth + 1), min_size=1, max_size=3)
+    )
+    return sum_of(parts) if kind == "sum" else product_of(parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=expressions(), right=expressions())
+def test_property_evaluation_is_homomorphic(left, right):
+    """eval(a + b) == eval(a) + eval(b) and eval(a * b) == eval(a) * eval(b)
+    — the central result of [16] our evaluator relies on.
+
+    The sum law is asserted for idempotent-plus semirings only, because
+    ``sum_of`` deduplicates summands (sound there by construction; the
+    counting-semiring consumers never build duplicate summands).  The
+    product law holds everywhere.
+    """
+    idempotent_plus = [
+        (BooleanSemiring(), lambda tok: tok[1][0] % 2 == 0),
+        (WhySemiring(), lambda tok: frozenset({frozenset({tok})})),
+        (TropicalSemiring(), lambda tok: float(tok[1][0])),
+    ]
+    all_semirings = idempotent_plus + [
+        (CountingSemiring(), lambda tok: tok[1][0] + 1),
+    ]
+    for semiring, valuation in idempotent_plus:
+        val = lambda e: e.evaluate(semiring, valuation)  # noqa: E731
+        assert val(sum_of([left, right])) == semiring.plus(
+            val(left), val(right)
+        )
+    for semiring, valuation in all_semirings:
+        val = lambda e: e.evaluate(semiring, valuation)  # noqa: E731
+        assert val(product_of([left, right])) == semiring.times(
+            val(left), val(right)
+        )

@@ -1,0 +1,264 @@
+"""Unit tests for schemas, tgd mappings, weak acyclicity, internal schema."""
+
+import pytest
+
+from repro.datalog.ast import SkolemTerm, Variable
+from repro.schema import (
+    InternalSchema,
+    PeerSchema,
+    RelationSchema,
+    SchemaError,
+    SchemaMapping,
+    build_dependency_graph,
+    input_name,
+    is_weakly_acyclic,
+    local_name,
+    output_name,
+    rejection_name,
+    require_weakly_acyclic,
+    trusted_name,
+    weak_acyclicity_violations,
+)
+
+G = RelationSchema("G", ("id", "can", "nam"))
+B = RelationSchema("B", ("id", "nam"))
+U = RelationSchema("U", ("nam", "can"))
+
+PAPER_MAPPINGS = [
+    SchemaMapping.parse("m1", "G(i, c, n) -> B(i, n)"),
+    SchemaMapping.parse("m2", "G(i, c, n) -> U(n, c)"),
+    SchemaMapping.parse("m3", "B(i, n) -> exists c . U(n, c)"),
+    SchemaMapping.parse("m4", "B(i, c), U(n, c) -> B(i, n)"),
+]
+
+
+def paper_internal() -> InternalSchema:
+    return InternalSchema(
+        (
+            PeerSchema("PGUS", (G,)),
+            PeerSchema("PBioSQL", (B,)),
+            PeerSchema("PuBio", (U,)),
+        ),
+        tuple(PAPER_MAPPINGS),
+    )
+
+
+class TestRelationSchema:
+    def test_arity_and_positions(self):
+        assert G.arity == 3
+        assert G.position_of("can") == 1
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            G.position_of("nope")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+
+class TestPeerSchema:
+    def test_lookup(self):
+        peer = PeerSchema("P", (G, B))
+        assert peer.relation("G") is G
+        assert "B" in peer
+        assert peer.relation_names() == ("G", "B")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            PeerSchema("P", (G, G))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            PeerSchema("P", (G,)).relation("B")
+
+
+class TestSchemaMapping:
+    def test_exported_variables(self):
+        m3 = PAPER_MAPPINGS[2]
+        assert m3.exported_variables() == (Variable("n"),)
+
+    def test_source_target_relations(self):
+        m4 = PAPER_MAPPINGS[3]
+        assert m4.source_relations() == {"B", "U"}
+        assert m4.target_relations() == {"B"}
+
+    def test_validate_against_catalog(self):
+        catalog = {"G": G, "B": B, "U": U}
+        for mapping in PAPER_MAPPINGS:
+            mapping.validate(catalog)
+
+    def test_validate_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            PAPER_MAPPINGS[0].validate({"B": B, "U": U})
+
+    def test_validate_arity_mismatch(self):
+        bad_g = RelationSchema("G", ("id", "nam"))
+        with pytest.raises(SchemaError):
+            PAPER_MAPPINGS[0].validate({"G": bad_g, "B": B})
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaMapping("m", (PAPER_MAPPINGS[0].lhs[0],), (), frozenset())
+
+    def test_to_rules_skolemizes_existentials(self):
+        m3 = PAPER_MAPPINGS[2]
+        (rule,) = m3.to_rules()
+        term = rule.head.terms[1]
+        assert isinstance(term, SkolemTerm)
+        assert term.function.name == "f_m3_c"
+        assert term.args == (Variable("n"),)
+        assert rule.label == "m3"
+
+    def test_to_rules_separate_skolem_per_variable(self):
+        mapping = SchemaMapping.parse("m", "R(a) -> exists u, v . S(a, u, v)")
+        (rule,) = mapping.to_rules()
+        f_u, f_v = rule.head.terms[1], rule.head.terms[2]
+        assert isinstance(f_u, SkolemTerm) and isinstance(f_v, SkolemTerm)
+        assert f_u.function.name != f_v.function.name
+
+    def test_to_rules_multi_atom_rhs_one_rule_each(self):
+        mapping = SchemaMapping.parse("m", "R(a, b) -> S(a, x), T(b, x)")
+        rules = mapping.to_rules()
+        assert len(rules) == 2
+        # The shared existential x uses the SAME Skolem term in both heads.
+        sk_s = rules[0].head.terms[1]
+        sk_t = rules[1].head.terms[1]
+        assert sk_s == sk_t
+
+    def test_to_rules_rename(self):
+        m1 = PAPER_MAPPINGS[0]
+        (rule,) = m1.to_rules(
+            rename=lambda rel, side: rel + ("_src" if side == "source" else "_dst")
+        )
+        assert rule.head.predicate == "B_dst"
+        assert rule.body[0].predicate == "G_src"
+
+    def test_parse_roundtrip_repr(self):
+        m3 = PAPER_MAPPINGS[2]
+        assert "exists c" in repr(m3)
+
+
+class TestWeakAcyclicity:
+    def test_paper_mappings_weakly_acyclic(self):
+        # "Mapping (m3) in Example 2 completes a cycle, but the set of
+        # mappings is weakly acyclic" (Section 3.1).
+        assert is_weakly_acyclic(PAPER_MAPPINGS)
+
+    def test_self_feeding_existential_rejected(self):
+        bad = SchemaMapping.parse("m", "R(x, y) -> exists z . R(y, z)")
+        assert not is_weakly_acyclic([bad])
+        violations = weak_acyclicity_violations([bad])
+        assert violations  # a special edge inside a cycle
+        with pytest.raises(SchemaError):
+            require_weakly_acyclic([bad])
+
+    def test_two_mapping_existential_cycle_rejected(self):
+        m_a = SchemaMapping.parse("ma", "R(x) -> exists z . S(x, z)")
+        m_b = SchemaMapping.parse("mb", "S(x, z) -> R(z)")
+        assert not is_weakly_acyclic([m_a, m_b])
+
+    def test_full_tgd_cycle_is_fine(self):
+        m_a = SchemaMapping.parse("ma", "R(x, y) -> S(y, x)")
+        m_b = SchemaMapping.parse("mb", "S(x, y) -> R(y, x)")
+        assert is_weakly_acyclic([m_a, m_b])
+
+    def test_dependency_graph_edges(self):
+        graph = build_dependency_graph([PAPER_MAPPINGS[2]])  # m3
+        # n flows B.1 -> U.0 (regular); B.1 -*-> U.1 (special, via c).
+        assert (("B", 1), ("U", 0)) in graph.regular_edges
+        assert (("B", 1), ("U", 1)) in graph.special_edges
+
+    def test_no_mappings_trivially_acyclic(self):
+        assert is_weakly_acyclic([])
+
+
+class TestInternalSchema:
+    def test_catalog_and_owners(self):
+        internal = paper_internal()
+        assert internal.relation_names() == ("B", "G", "U")
+        assert internal.peer_of_relation("G") == "PGUS"
+        assert internal.arity_of("U") == 2
+
+    def test_overlapping_peer_schemas_rejected(self):
+        with pytest.raises(SchemaError):
+            InternalSchema(
+                (PeerSchema("P1", (G,)), PeerSchema("P2", (G,))),
+                (),
+            )
+
+    def test_duplicate_mapping_names_rejected(self):
+        with pytest.raises(SchemaError):
+            InternalSchema(
+                (
+                    PeerSchema("PGUS", (G,)),
+                    PeerSchema("PBioSQL", (B,)),
+                ),
+                (PAPER_MAPPINGS[0], PAPER_MAPPINGS[0]),
+            )
+
+    def test_non_weakly_acyclic_rejected(self):
+        bad = SchemaMapping.parse("m", "B(x, y) -> exists z . B(y, z)")
+        with pytest.raises(SchemaError):
+            InternalSchema((PeerSchema("PBioSQL", (B,)),), (bad,))
+
+    def test_internal_names(self):
+        assert local_name("B") == "B__l"
+        assert rejection_name("B") == "B__r"
+        assert input_name("B") == "B__i"
+        assert trusted_name("B") == "B__t"
+        assert output_name("B") == "B__o"
+
+    def test_mapping_rules_renamed(self):
+        internal = paper_internal()
+        rules = internal.mapping_rules()
+        m1_rule = next(r for r in rules if r.label == "m1")
+        assert m1_rule.head.predicate == "B__i"
+        assert m1_rule.body[0].predicate == "G__o"
+
+    def test_bookkeeping_rules_shape(self):
+        internal = paper_internal()
+        rules = internal.bookkeeping_rules()
+        # (tR) and (lR) per relation.
+        assert len(rules) == 2 * 3
+        tr_b = next(r for r in rules if r.label == "tR:B")
+        assert tr_b.head.predicate == "B__o"
+        assert tr_b.body[0].predicate == "B__t"
+        assert tr_b.body[1].predicate == "B__r" and tr_b.body[1].negated
+
+    def test_setup_database_creates_all(self):
+        from repro.storage import Database
+
+        internal = paper_internal()
+        db = Database()
+        internal.setup_database(db)
+        for relation in ("B", "G", "U"):
+            for suffix in ("__l", "__r", "__i", "__t", "__o"):
+                assert relation + suffix in db
+
+    def test_target_and_source_peers(self):
+        internal = paper_internal()
+        m4 = internal.mapping_by_name("m4")
+        assert internal.target_peers(m4) == {"PBioSQL"}
+        assert internal.source_peers(m4) == {"PBioSQL", "PuBio"}
+
+    def test_relations_of_peer(self):
+        internal = paper_internal()
+        assert internal.relations_of_peer("PuBio") == ("U",)
+
+    def test_plain_program_computes_without_provenance(self):
+        from repro.datalog import SemiNaiveEngine
+        from repro.storage import Database
+
+        internal = paper_internal()
+        db = Database()
+        internal.setup_database(db)
+        db["G__l"].insert_many([(1, 2, 3), (3, 5, 2)])
+        db["B__l"].insert((3, 5))
+        db["U__l"].insert((2, 5))
+        SemiNaiveEngine().run(internal.plain_program(), db)
+        assert db["B__o"].rows() == {(3, 5), (3, 2), (1, 3), (3, 3)}

@@ -1,0 +1,127 @@
+"""Unit and property-based tests for the B+-tree (Berkeley DB stand-in)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree, BTreeError
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+
+    def test_insert_and_get(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        assert tree.get(5) == "five"
+        assert tree.get(3) == "three"
+        assert len(tree) == 2
+
+    def test_insert_overwrites_value(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = BPlusTree(branching=4)
+        for i in range(10):
+            tree.insert(i, i * 10)
+        assert tree.delete(5) is True
+        assert tree.get(5) is None
+        assert tree.delete(5) is False
+        assert len(tree) == 9
+
+    def test_items_sorted(self):
+        tree = BPlusTree(branching=4)
+        for key in [9, 1, 5, 3, 7, 2, 8, 4, 6, 0]:
+            tree.insert(key, str(key))
+        assert [k for k, _ in tree.items()] == list(range(10))
+
+    def test_range_scan_inclusive(self):
+        tree = BPlusTree(branching=4)
+        for i in range(20):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(5, 9)] == [5, 6, 7, 8, 9]
+        assert [k for k, _ in tree.range(None, 2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range(17, None)] == [17, 18, 19]
+
+    def test_min_max_key(self):
+        tree = BPlusTree(branching=4)
+        for key in [4, 2, 9]:
+            tree.insert(key, None)
+        assert tree.min_key() == 2
+        assert tree.max_key() == 9
+
+    def test_min_key_empty_raises(self):
+        with pytest.raises(BTreeError):
+            BPlusTree().min_key()
+
+    def test_branching_too_small_raises(self):
+        with pytest.raises(BTreeError):
+            BPlusTree(branching=2)
+
+    def test_large_sequential_insert_splits_root(self):
+        tree = BPlusTree(branching=3)  # smallest legal: splits constantly
+        n = 200
+        for i in range(n):
+            tree.insert(i, -i)
+        tree.check_invariants()
+        assert len(tree) == n
+        assert [v for _, v in tree.items()] == [-i for i in range(n)]
+
+    def test_delete_everything_in_reverse(self):
+        tree = BPlusTree(branching=4)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in reversed(range(100)):
+            assert tree.delete(i)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 60)),
+        max_size=250,
+    ),
+    branching=st.integers(3, 8),
+)
+def test_btree_matches_dict_model(ops, branching):
+    """Property: the tree behaves exactly like a dict, with sorted items,
+    while maintaining structural invariants after every operation."""
+    tree = BPlusTree(branching=branching)
+    model: dict[int, int] = {}
+    for op, key in ops:
+        if op == "ins":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for key, value in model.items():
+        assert tree.get(key) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.sets(st.integers(0, 1000), max_size=120),
+    low=st.integers(0, 1000),
+    high=st.integers(0, 1000),
+)
+def test_btree_range_matches_filter(keys, low, high):
+    tree = BPlusTree(branching=5)
+    for key in keys:
+        tree.insert(key, None)
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.range(low, high)] == expected

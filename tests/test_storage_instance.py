@@ -1,0 +1,132 @@
+"""Unit tests for repro.storage.instance."""
+
+import pytest
+
+from repro.storage.instance import ArityError, Instance
+
+
+class TestInsertDelete:
+    def test_insert_new_row_returns_true(self):
+        inst = Instance("R", 2)
+        assert inst.insert((1, 2)) is True
+        assert (1, 2) in inst
+
+    def test_insert_duplicate_returns_false(self):
+        inst = Instance("R", 2, [(1, 2)])
+        assert inst.insert((1, 2)) is False
+        assert len(inst) == 1
+
+    def test_insert_list_normalized_to_tuple(self):
+        inst = Instance("R", 2)
+        inst.insert([1, 2])
+        assert (1, 2) in inst
+
+    def test_insert_wrong_arity_raises(self):
+        inst = Instance("R", 2)
+        with pytest.raises(ArityError):
+            inst.insert((1, 2, 3))
+
+    def test_delete_present_row(self):
+        inst = Instance("R", 2, [(1, 2), (3, 4)])
+        assert inst.delete((1, 2)) is True
+        assert (1, 2) not in inst
+        assert len(inst) == 1
+
+    def test_delete_absent_row_returns_false(self):
+        inst = Instance("R", 2)
+        assert inst.delete((1, 2)) is False
+
+    def test_insert_many_counts_new_rows_only(self):
+        inst = Instance("R", 1, [(1,)])
+        assert inst.insert_many([(1,), (2,), (3,)]) == 2
+
+    def test_delete_many_counts_removed_rows_only(self):
+        inst = Instance("R", 1, [(1,), (2,)])
+        assert inst.delete_many([(1,), (9,)]) == 1
+
+    def test_version_bumps_on_mutation(self):
+        inst = Instance("R", 1)
+        v0 = inst.version
+        inst.insert((1,))
+        assert inst.version > v0
+        v1 = inst.version
+        inst.insert((1,))  # duplicate: no change
+        assert inst.version == v1
+
+    def test_clear_and_replace(self):
+        inst = Instance("R", 1, [(1,), (2,)])
+        inst.replace([(5,)])
+        assert set(inst) == {(5,)}
+        inst.clear()
+        assert len(inst) == 0
+
+
+class TestIndexes:
+    def test_lookup_builds_index_and_finds_rows(self):
+        inst = Instance("R", 3, [(1, "a", 10), (1, "b", 20), (2, "a", 30)])
+        assert inst.lookup([0], (1,)) == {(1, "a", 10), (1, "b", 20)}
+        assert inst.lookup([0, 1], (1, "b")) == {(1, "b", 20)}
+
+    def test_lookup_missing_key_returns_empty(self):
+        inst = Instance("R", 2, [(1, 2)])
+        assert inst.lookup([0], (99,)) == frozenset()
+
+    def test_lookup_no_columns_returns_all(self):
+        inst = Instance("R", 2, [(1, 2), (3, 4)])
+        assert inst.lookup([], ()) == {(1, 2), (3, 4)}
+
+    def test_index_maintained_after_insert(self):
+        inst = Instance("R", 2, [(1, 2)])
+        inst.ensure_index([0])
+        inst.insert((1, 3))
+        assert inst.lookup([0], (1,)) == {(1, 2), (1, 3)}
+
+    def test_index_maintained_after_delete(self):
+        inst = Instance("R", 2, [(1, 2), (1, 3)])
+        inst.ensure_index([0])
+        inst.delete((1, 2))
+        assert inst.lookup([0], (1,)) == {(1, 3)}
+
+    def test_index_bucket_removed_when_empty(self):
+        inst = Instance("R", 2, [(1, 2)])
+        inst.ensure_index([0])
+        inst.delete((1, 2))
+        assert inst.lookup([0], (1,)) == frozenset()
+        assert inst.index_key_count([0]) == 0
+
+    def test_index_out_of_range_column_raises(self):
+        inst = Instance("R", 2)
+        with pytest.raises(Exception):
+            inst.ensure_index([5])
+
+    def test_indexed_columns_reporting(self):
+        inst = Instance("R", 2, [(1, 2)])
+        inst.ensure_index([1])
+        assert (1,) in inst.indexed_columns()
+
+
+class TestBulkHelpers:
+    def test_select(self):
+        inst = Instance("R", 2, [(1, 2), (3, 4)])
+        assert inst.select(lambda r: r[0] > 1) == {(3, 4)}
+
+    def test_project(self):
+        inst = Instance("R", 2, [(1, 2), (1, 3)])
+        assert inst.project([0]) == {(1,)}
+
+    def test_copy_is_independent(self):
+        inst = Instance("R", 1, [(1,)])
+        clone = inst.copy()
+        clone.insert((2,))
+        assert (2,) not in inst
+
+    def test_estimated_bytes_strings_heavier_than_ints(self):
+        small = Instance("R", 1, [(7,)])
+        big = Instance("R", 1, [("x" * 100,)])
+        assert big.estimated_bytes() > small.estimated_bytes()
+
+    def test_rows_snapshot_is_frozen(self):
+        inst = Instance("R", 1, [(1,)])
+        snap = inst.rows()
+        inst.insert((2,))
+        assert snap == {(1,)}

@@ -1,0 +1,119 @@
+"""Tests for database checkpointing (the auxiliary-storage persistence)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.ast import SkolemValue
+from repro.storage import (
+    Database,
+    KeyValueStore,
+    StorageError,
+    checkpoint,
+    checkpoint_equal,
+    restore,
+)
+
+
+class TestCheckpointRestore:
+    def test_roundtrip(self):
+        db = Database()
+        db.create("R", 2, [(1, "a"), (2, "b")])
+        db.create("S", 1, [(9,)])
+        store = checkpoint(db)
+        loaded = restore(store)
+        assert loaded.snapshot() == db.snapshot()
+
+    def test_labeled_nulls_survive(self):
+        db = Database()
+        null = SkolemValue("f_m3_c", (5,))
+        db.create("U", 2, [(5, null)])
+        loaded = restore(checkpoint(db))
+        assert (5, null) in loaded["U"]
+
+    def test_checkpoint_overwrites_stale_buckets(self):
+        db1 = Database()
+        db1.create("R", 1, [(1,)])
+        db1.create("OLD", 1, [(9,)])
+        store = checkpoint(db1)
+        db2 = Database()
+        db2.create("R", 1, [(2,)])
+        checkpoint(db2, store)
+        loaded = restore(store)
+        assert loaded.relation_names() == ("R",)
+        assert loaded["R"].rows() == {(2,)}
+
+    def test_restore_into_existing_database(self):
+        db = Database()
+        db.create("R", 1, [(1,)])
+        store = checkpoint(db)
+        target = Database()
+        target.create("R", 1, [(5,)])  # stale contents are replaced
+        restore(store, into=target)
+        assert target["R"].rows() == {(1,)}
+
+    def test_restore_empty_store_raises(self):
+        with pytest.raises(StorageError):
+            restore(KeyValueStore())
+
+    def test_checkpoint_equal(self):
+        db = Database()
+        db.create("R", 1, [(1,)])
+        store = checkpoint(db)
+        assert checkpoint_equal(db, store)
+        db.insert("R", (2,))
+        assert not checkpoint_equal(db, store)
+
+    def test_exchange_state_roundtrip(self):
+        """Checkpoint a full update-exchange state (with provenance tables
+        and labeled nulls) and resume incrementally from the restore."""
+        from repro.core.editlog import PublishDelta
+        from repro.core.exchange import ExchangeSystem
+        from repro.schema import (
+            InternalSchema,
+            PeerSchema,
+            RelationSchema,
+            SchemaMapping,
+        )
+
+        internal = InternalSchema(
+            (
+                PeerSchema("P1", (RelationSchema("B", ("i", "n")),)),
+                PeerSchema("P2", (RelationSchema("U", ("n", "c")),)),
+            ),
+            (SchemaMapping.parse("m3", "B(i, n) -> exists c . U(n, c)"),),
+        )
+        system = ExchangeSystem(internal)
+        system.db["B__l"].insert((3, 5))
+        system.recompute()
+        store = checkpoint(system.db)
+
+        resumed = ExchangeSystem(internal)
+        restore(store, into=resumed.db)
+        assert resumed.is_consistent()
+        delta = PublishDelta(local_inserts={"B": {(4, 5)}})
+        resumed.apply_delta(delta)
+        assert resumed.is_consistent()
+        assert len(resumed.instance("U")) == 1  # same null, shared by n=5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.dictionaries(
+        st.sampled_from(["R", "S", "T"]),
+        st.frozensets(
+            st.tuples(st.integers(0, 5), st.text(max_size=3)), max_size=8
+        ),
+        max_size=3,
+    )
+)
+def test_property_checkpoint_roundtrip(rows):
+    db = Database()
+    for name, contents in rows.items():
+        db.create(name, 2, contents)
+    if not rows:
+        return
+    store = checkpoint(db)
+    loaded = restore(store)
+    assert loaded.snapshot() == db.snapshot()
+    assert checkpoint_equal(db, store)
