@@ -33,16 +33,17 @@ def build() -> CDSS:
     cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
     cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
     cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
+    with cdss.batch() as tx:
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
     cdss.update_exchange()
     return cdss
 
 
 def derivation_trees(cdss: CDSS) -> None:
     print("=== Why is B(3,2) in my instance? ===")
-    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}\n")
+    print(f"Pv(B(3,2)) = {cdss.relation('B').provenance((3, 2))}\n")
     trees = cdss.provenance_graph().derivation_trees("B", (3, 2))
     for number, tree in enumerate(trees, start=1):
         print(f"derivation {number} (size {tree.size()}, depth {tree.depth()}):")
@@ -100,11 +101,11 @@ def checkpoint_resume(cdss: CDSS) -> None:
     fresh = build()  # a brand-new, independently configured CDSS
     restore(store, into=fresh.system().db)
     print(f"restored; consistent: {fresh.system().is_consistent()}")
-    fresh.insert("G", (7, 8, 9))
+    fresh.peer("PGUS").insert("G", (7, 8, 9))
     fresh.update_exchange()
     print(
         "resumed incrementally after restore; B now:",
-        sorted(fresh.instance("B")),
+        sorted(fresh.relation("B")),
     )
 
 

@@ -5,7 +5,8 @@ Builds a synthetic bioinformatics confederation with the paper's workload
 generator (SWISS-PROT-shaped universal relation, partitioned per peer,
 joined by shared-key mappings), then runs a day-in-the-life of a CDSS:
 
-* initial bulk load ("time to join the system", Figure 5);
+* initial bulk load ("time to join the system", Figure 5) — staged through
+  the transactional batch API's bulk commit path;
 * small incremental insertion batches (Figures 7/8's common case);
 * curation deletions propagated with the paper's PropagateDelete algorithm,
   cross-checked against DRed and full recomputation (Figure 4's rivals);

@@ -36,13 +36,14 @@ def acyclic_demo() -> None:
     cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
     cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
     cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
+    with cdss.batch() as tx:
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
     cdss.update_exchange()
 
     target = ("B", (3, 2))
-    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}\n")
+    print(f"Pv(B(3,2)) = {cdss.relation('B').provenance((3, 2))}\n")
 
     graph = cdss.provenance_graph()
 
@@ -76,7 +77,7 @@ def cyclic_demo() -> None:
     cdss.add_peer("P2", {"S": ("a", "b")})
     cdss.add_mapping("m_rs", "R(x, y) -> S(x, y)")
     cdss.add_mapping("m_sr", "S(x, y) -> R(x, y)")
-    cdss.insert("R", (1, 2))
+    cdss.peer("P1").insert("R", (1, 2))
     cdss.update_exchange()
 
     graph = cdss.provenance_graph()

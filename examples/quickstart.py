@@ -3,12 +3,16 @@
 
 Three peers — PGUS (the Genomics Unified Schema), PBioSQL (BioPerl's
 BioSQL), and PuBio (taxon synonyms) — share taxon data through four schema
-mappings.  This script walks the full lifecycle: configure, edit offline,
-run update exchange, query with certain-answer semantics, inspect
-provenance, and curate with a deletion.
+mappings.  This script walks the full lifecycle on the v2 peer-centric API:
+configure (peer handles), edit offline (transactional batches), run update
+exchange, query with certain-answer semantics, inspect provenance through
+relation views, curate with a deletion, and round-trip the whole system
+through a declarative JSON spec.
 
 Run:  python examples/quickstart.py
 """
+
+import json
 
 from repro import CDSS
 
@@ -16,11 +20,12 @@ from repro import CDSS
 def main() -> None:
     # ------------------------------------------------------------------
     # 1. Configure the CDSS: peers, schemas, and tgd mappings (Example 2).
+    #    add_peer returns a PeerHandle scoped to that peer.
     # ------------------------------------------------------------------
     cdss = CDSS("bioinformatics")
-    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
-    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
-    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    pgus = cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    pbio = cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    pubio = cdss.add_peer("PuBio", {"U": ("nam", "can")})
 
     cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
     cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
@@ -31,12 +36,14 @@ def main() -> None:
         print(" ", mapping)
 
     # ------------------------------------------------------------------
-    # 2. Peers edit offline (Example 3's edit logs).
+    # 2. Peers edit offline (Example 3's edit logs).  A batch stages the
+    #    edits and applies them to the edit log atomically on exit.
     # ------------------------------------------------------------------
-    cdss.insert("G", (1, 2, 3))
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
+    with pgus.batch() as tx:
+        tx.insert("G", (1, 2, 3))
+        tx.insert("G", (3, 5, 2))
+    pbio.insert("B", (3, 5))
+    pubio.insert("U", (2, 5))
     print(f"\npending edits: {cdss.pending_edits()}")
 
     # ------------------------------------------------------------------
@@ -47,8 +54,9 @@ def main() -> None:
         f"update exchange ({report.strategy}): "
         f"{report.inserted} tuples derived in {report.seconds:.4f}s"
     )
-    for relation in ("G", "B", "U"):
-        print(f"  {relation}: {sorted(cdss.instance(relation), key=repr)}")
+    for peer in (pgus, pbio, pubio):
+        for name in peer.relations():
+            print(f"  {name}: {sorted(peer.relation(name), key=repr)}")
 
     # ------------------------------------------------------------------
     # 4. Queries with certain-answer semantics (Example 3's queries).
@@ -60,9 +68,11 @@ def main() -> None:
     print(f"ans(x, y) :- U(x, y)           ->  {sorted(q2)}")
 
     # ------------------------------------------------------------------
-    # 5. Provenance (Examples 5 and 6): how was B(3, 2) derived?
+    # 5. Provenance (Examples 5 and 6) through the relation view: how was
+    #    B(3, 2) derived?  Views are lazy — B reads the live instance.
     # ------------------------------------------------------------------
-    print(f"\nPv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+    B = pbio.relation("B")
+    print(f"\nPv(B(3,2)) = {B.provenance((3, 2))}")
     from repro import CountingSemiring
 
     counts = cdss.evaluate_provenance(CountingSemiring())
@@ -71,12 +81,28 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 6. Curation: delete the imported tuple B(3,2) (end of Example 3).
     #    The rejection persists and its consequences are garbage collected.
+    #    The view B reflects the new state without being rebuilt.
     # ------------------------------------------------------------------
-    cdss.delete("B", (3, 2))
+    pbio.delete("B", (3, 2))
     cdss.update_exchange()
-    print(f"\nafter curating away B(3,2): B = {sorted(cdss.instance('B'))}")
-    print(f"U = {sorted(cdss.instance('U'), key=repr)}")
+    print(f"\nafter curating away B(3,2): B = {sorted(B)}")
+    print(f"U = {sorted(pubio.relation('U'), key=repr)}")
     print(f"rejections at B: {sorted(cdss.system().rejections('B'))}")
+
+    # ------------------------------------------------------------------
+    # 7. The whole system as a declarative spec: JSON out, JSON in.
+    # ------------------------------------------------------------------
+    spec = cdss.to_spec()
+    document = json.loads(spec.to_json())
+    print(
+        f"\nspec round-trip: {len(document['peers'])} peers, "
+        f"{len(document['mappings'])} mappings, "
+        f"{len(document['edits'])} edits"
+    )
+    clone = CDSS.from_spec(document)
+    clone.update_exchange()
+    assert clone.relation("B").to_rows() == B.to_rows()
+    print(f"rebuilt from spec: B = {sorted(clone.relation('B'))}")
 
 
 if __name__ == "__main__":

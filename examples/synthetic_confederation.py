@@ -77,7 +77,7 @@ def main() -> None:
     example = None
     for layout in generator.layouts:
         for schema in layout.relation_schemas():
-            for row in cdss.instance(schema.name):
+            for row in cdss.relation(schema.name):
                 if tuple_has_labeled_null(row):
                     null_count += 1
                     example = example or (schema.name, row)

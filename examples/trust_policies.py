@@ -2,7 +2,8 @@
 """Trust policies and provenance-based filtering (Examples 4 and 7).
 
 Curators rarely trust everything their neighbours publish.  This example
-shows the two complementary trust mechanisms of the paper:
+shows the two complementary trust mechanisms of the paper, driven through
+each peer's :meth:`~repro.PeerHandle.trust` scope:
 
 1. **Exchange-time filtering** — trust conditions attached to mappings are
    enforced as tuples are derived, so untrusted data never enters a peer's
@@ -32,28 +33,32 @@ def build() -> CDSS:
     return cdss
 
 
+def populate(cdss: CDSS) -> None:
+    with cdss.batch() as tx:
+        tx.insert("G", (1, 2, 3))
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
+    cdss.update_exchange()
+
+
 def exchange_time_filtering() -> None:
     print("=== Exchange-time trust conditions (Example 4) ===")
     cdss = build()
+    pbio = cdss.peer("PBioSQL")
     # "PBioSQL distrusts any tuple B(i, n) if the data came from PGUS and
-    # n >= 3" — mapping m1 carries GUS data into B.
-    cdss.set_trust_condition(
-        "PBioSQL", "m1", lambda row: row[1] < 3,
+    # n >= 3" — mapping m1 carries GUS data into B.  "PBioSQL distrusts
+    # any tuple B(i, n) that came from mapping (m4) if n != 2."
+    pbio.trust().condition(
+        "m1", lambda row: row[1] < 3,
         description="distrust GUS-derived B tuples with n >= 3",
-    )
-    # "PBioSQL distrusts any tuple B(i, n) that came from mapping (m4)
-    # if n != 2".
-    cdss.set_trust_condition(
-        "PBioSQL", "m4", lambda row: row[1] == 2,
+    ).condition(
+        "m4", lambda row: row[1] == 2,
         description="distrust m4-derived B tuples with n != 2",
     )
-    cdss.insert("G", (1, 2, 3))
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
-    cdss.update_exchange()
+    populate(cdss)
 
-    print(f"B            = {sorted(cdss.instance('B'))}")
+    print(f"B            = {sorted(pbio.relation('B'))}")
     print("  B(1,3) rejected by the first condition;")
     print("  B(3,3) rejected by the second; B(3,2) survives via m1.")
     system = cdss.system()
@@ -61,41 +66,38 @@ def exchange_time_filtering() -> None:
     print(f"B trusted    = {sorted(system.trusted_instance('B'))}")
     print(
         "U has no (3, c3) row:",
-        sorted(cdss.instance("U"), key=repr),
+        sorted(cdss.peer("PuBio").relation("U"), key=repr),
     )
 
 
 def offline_evaluation() -> None:
     print("\n=== Offline trust over stored provenance (Example 7) ===")
     cdss = build()
-    cdss.insert("G", (1, 2, 3))
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
-    cdss.update_exchange()
-    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+    populate(cdss)
+    pbio = cdss.peer("PBioSQL")
+    print(f"Pv(B(3,2)) = {pbio.relation('B').provenance((3, 2))}")
 
     # PBioSQL trusts p1 (its own B(3,5)) and p3 (GUS's G(3,5,2)) but
     # distrusts PuBio's p2 = U(2,5).  T.T + T.T.D = T.
-    cdss.distrust_token("PBioSQL", "U", (2, 5))
-    verdict = cdss.trust_of("PBioSQL", "B", (3, 2))
-    print(f"PBioSQL trusts B(3,2) with p2 distrusted?  {verdict}")
+    trust = pbio.trust().distrust_row("U", (2, 5))
+    print(f"PBioSQL trusts B(3,2) with p2 distrusted?  {trust.of('B', (3, 2))}")
 
     # Distrusting the whole PuBio peer changes nothing for B(3,2) either —
     # the m1 derivation from GUS suffices.
-    cdss.distrust_peer("PBioSQL", "PuBio")
+    trust.distrust_peer("PuBio")
     print(
         "  ... even distrusting all of PuBio:",
-        cdss.trust_of("PBioSQL", "B", (3, 2)),
+        trust.of("B", (3, 2)),
     )
 
 
 def ranked_trust() -> None:
     print("\n=== Ranked trust via the tropical semiring (Section 8) ===")
     cdss = build()
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
+    with cdss.batch() as tx:
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
     cdss.update_exchange()
     # Cost 0 for locally curated data; each mapping hop adds distrust.
     ranks = trust_ranks(

@@ -2,25 +2,45 @@
 Provenance* (Green, Karvounarakis, Ives, Tannen; VLDB 2007 / UPenn TR
 MS-CIS-07-26): the ORCHESTRA collaborative data sharing system.
 
-Quickstart::
+Quickstart (the peer-centric v2 API)::
 
     from repro import CDSS
 
     cdss = CDSS("bio")
-    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
-    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    pgus = cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    pbio = cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
     cdss.add_peer("PuBio", {"U": ("nam", "can")})
     cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
     cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
-    cdss.insert("G", (3, 5, 2))
+    with pgus.batch() as tx:
+        tx.insert("G", (3, 5, 2))
     cdss.update_exchange()
-    print(cdss.instance("B"))          # {(3, 2)}
-    print(cdss.provenance_of("B", (3, 2)))
+    B = pbio.relation("B")
+    print(sorted(B))                   # [(3, 2)]
+    print(B.provenance((3, 2)))
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+Whole systems round-trip through declarative JSON specs::
+
+    cdss.to_spec().save("bio.json")    # python -m repro run bio.json
+
+See DESIGN.md for the API layering (including the old-facade migration
+table) and the docstrings in :mod:`repro.bench.experiments` for the
 paper-figure reproductions.
 """
 
+from .api import (
+    Batch,
+    BatchError,
+    EditSpec,
+    MappingSpec,
+    PeerHandle,
+    PeerSpec,
+    RelationSpec,
+    RelationView,
+    SpecError,
+    SystemSpec,
+    TrustScope,
+)
 from .core import (
     CDSS,
     STRATEGY_DRED,
@@ -39,23 +59,34 @@ from .provenance import (
 )
 from .schema import PeerSchema, RelationSchema, SchemaMapping
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "Batch",
+    "BatchError",
     "BooleanSemiring",
     "CDSS",
     "CountingSemiring",
+    "EditSpec",
     "ExchangeSystem",
     "LineageSemiring",
+    "MappingSpec",
+    "PeerHandle",
     "PeerSchema",
+    "PeerSpec",
     "RelationSchema",
+    "RelationSpec",
+    "RelationView",
     "STRATEGY_DRED",
     "STRATEGY_INCREMENTAL",
     "STRATEGY_RECOMPUTE",
     "SchemaMapping",
+    "SpecError",
+    "SystemSpec",
     "TropicalSemiring",
     "TrustCondition",
     "TrustPolicy",
+    "TrustScope",
     "WhySemiring",
     "__version__",
 ]

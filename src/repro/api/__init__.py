@@ -1,0 +1,48 @@
+"""The v2 public API layer: handles, batches, relation views, specs.
+
+This package is the peer-centric, transactional surface the rest of the
+library is wired through.  The layering (documented in DESIGN.md) is::
+
+    repro.api      handles / batches / views / declarative specs   (you)
+    repro.core     CDSS state machine, edit logs, update exchange
+    repro.datalog  engine + planners          repro.provenance  semirings
+    repro.schema   tgds + internal schema     repro.storage     instances
+
+Entry points:
+
+* :class:`PeerHandle` / :class:`TrustScope` — returned by
+  ``CDSS.add_peer`` / ``CDSS.peer``; scoped editing, reading and trust.
+* :class:`Batch` — ``with peer.batch() as tx:`` transactional edits,
+  applied to the edit logs atomically on clean exit.
+* :class:`RelationView` — lazy instance views with filtering, certain-
+  answer restriction and per-row provenance.
+* :class:`SystemSpec` (+ :class:`PeerSpec`, :class:`MappingSpec`,
+  :class:`RelationSpec`, :class:`EditSpec`) — declarative configuration
+  with JSON round-trip; ``python -m repro run spec.json`` executes one.
+"""
+
+from .batch import Batch, BatchError
+from .handles import PeerHandle, TrustScope
+from .spec import (
+    EditSpec,
+    MappingSpec,
+    PeerSpec,
+    RelationSpec,
+    SpecError,
+    SystemSpec,
+)
+from .views import RelationView
+
+__all__ = [
+    "Batch",
+    "BatchError",
+    "EditSpec",
+    "MappingSpec",
+    "PeerHandle",
+    "PeerSpec",
+    "RelationSpec",
+    "RelationView",
+    "SpecError",
+    "SystemSpec",
+    "TrustScope",
+]

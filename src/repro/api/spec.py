@@ -1,0 +1,304 @@
+"""Declarative system specifications with JSON round-trip.
+
+A :class:`SystemSpec` is a complete, serializable description of a CDSS:
+peers and their relation schemas, named tgd mappings (as parseable text),
+engine options (maintenance strategy, provenance encoding, perspective),
+and optionally the base data as an ordered list of signed edits.
+
+The spec layer decouples *describing* a confederation from *running* one:
+
+* ``CDSS.from_spec(spec)`` / ``SystemSpec.build()`` construct a configured
+  system (edits staged in the peers' edit logs, no exchange run yet);
+* ``cdss.to_spec()`` captures a running system back into a spec — local
+  contributions become ``+`` edits, persistent rejections become ``-``
+  edits, and any unpublished edit-log entries are appended in order;
+* ``SystemSpec.to_json`` / ``from_json`` / ``save`` / ``load`` give the
+  JSON round-trip that ``python -m repro run <spec.json>`` consumes.
+
+Trust conditions are arbitrary Python predicates and therefore outside the
+declarative subset; token-level and peer-level distrust could be added here
+without breaking the format (unknown keys are rejected loudly today).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.exchange import STRATEGIES, STRATEGY_INCREMENTAL
+from ..provenance.relations import ENCODING_STYLES, ENCODING_COMPOSITE
+from ..schema.relation import PeerSchema, RelationSchema, SchemaError
+from ..schema.tgd import SchemaMapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cdss import CDSS
+
+SPEC_FORMAT = "repro/system-spec@1"
+
+INSERT = "+"
+DELETE = "-"
+
+
+class SpecError(Exception):
+    """Raised for malformed specs or spec documents."""
+
+
+def _require(document: Mapping[str, object], key: str, context: str) -> object:
+    try:
+        return document[key]
+    except (KeyError, TypeError):
+        raise SpecError(f"{context} is missing required key {key!r}") from None
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One relation: a name and its attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    @classmethod
+    def of(cls, schema: RelationSchema) -> "RelationSpec":
+        return cls(schema.name, schema.attributes)
+
+    def to_schema(self) -> RelationSchema:
+        return RelationSchema(self.name, self.attributes)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "attributes": list(self.attributes)}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "RelationSpec":
+        return cls(
+            str(_require(document, "name", "relation spec")),
+            tuple(
+                str(a)
+                for a in _require(document, "attributes", "relation spec")  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PeerSpec:
+    """One peer: a name and its relations."""
+
+    name: str
+    relations: tuple[RelationSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", tuple(self.relations))
+
+    @classmethod
+    def of(cls, schema: PeerSchema) -> "PeerSpec":
+        return cls(
+            schema.peer,
+            tuple(RelationSpec.of(r) for r in schema.relations),
+        )
+
+    def to_schemas(self) -> tuple[RelationSchema, ...]:
+        return tuple(r.to_schema() for r in self.relations)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "relations": [r.to_dict() for r in self.relations],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "PeerSpec":
+        return cls(
+            str(_require(document, "name", "peer spec")),
+            tuple(
+                RelationSpec.from_dict(r)
+                for r in _require(document, "relations", "peer spec")  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class MappingSpec:
+    """One named schema mapping, as parseable tgd text."""
+
+    name: str
+    tgd: str
+
+    @classmethod
+    def of(cls, mapping: SchemaMapping) -> "MappingSpec":
+        return cls(mapping.name, mapping.to_tgd_text())
+
+    def to_mapping(self) -> SchemaMapping:
+        return SchemaMapping.parse(self.name, self.tgd)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "tgd": self.tgd}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "MappingSpec":
+        return cls(
+            str(_require(document, "name", "mapping spec")),
+            str(_require(document, "tgd", "mapping spec")),
+        )
+
+
+@dataclass(frozen=True)
+class EditSpec:
+    """One signed edit: ``(op, relation, row)`` with op in {'+', '-'}."""
+
+    relation: str
+    row: tuple[object, ...]
+    op: str = INSERT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row", tuple(self.row))
+        if self.op not in (INSERT, DELETE):
+            raise SpecError(
+                f"edit op must be {INSERT!r} or {DELETE!r}, got {self.op!r}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {"op": self.op, "relation": self.relation, "row": list(self.row)}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "EditSpec":
+        row = _require(document, "row", "edit spec")
+        if isinstance(row, str) or not isinstance(row, (list, tuple)):
+            raise SpecError(
+                f"edit row must be a JSON array of values, got {row!r}"
+            )
+        return cls(
+            str(_require(document, "relation", "edit spec")),
+            tuple(row),
+            str(document.get("op", INSERT)),
+        )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete declarative description of one CDSS."""
+
+    name: str = "cdss"
+    peers: tuple[PeerSpec, ...] = ()
+    mappings: tuple[MappingSpec, ...] = ()
+    edits: tuple[EditSpec, ...] = ()
+    strategy: str = STRATEGY_INCREMENTAL
+    encoding_style: str = ENCODING_COMPOSITE
+    perspective: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "peers", tuple(self.peers))
+        object.__setattr__(self, "mappings", tuple(self.mappings))
+        object.__setattr__(self, "edits", tuple(self.edits))
+        if self.strategy not in STRATEGIES:
+            raise SpecError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{STRATEGIES}"
+            )
+        if self.encoding_style not in ENCODING_STYLES:
+            raise SpecError(
+                f"unknown encoding style {self.encoding_style!r}; expected "
+                f"one of {ENCODING_STYLES}"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    def without_edits(self) -> "SystemSpec":
+        """The configuration alone (schemas + mappings, no data)."""
+        return replace(self, edits=())
+
+    def build(self) -> "CDSS":
+        """A CDSS configured per this spec, edits staged but unexchanged."""
+        from ..core.cdss import CDSS
+
+        return CDSS.from_spec(self)
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        document: dict[str, object] = {
+            "format": SPEC_FORMAT,
+            "name": self.name,
+            "strategy": self.strategy,
+            "encoding_style": self.encoding_style,
+            "peers": [p.to_dict() for p in self.peers],
+            "mappings": [m.to_dict() for m in self.mappings],
+            "edits": [e.to_dict() for e in self.edits],
+        }
+        if self.perspective is not None:
+            document["perspective"] = self.perspective
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "SystemSpec":
+        declared = document.get("format", SPEC_FORMAT)
+        if declared != SPEC_FORMAT:
+            raise SpecError(
+                f"unsupported spec format {declared!r}; this build reads "
+                f"{SPEC_FORMAT!r}"
+            )
+        known = {
+            "format", "name", "strategy", "encoding_style", "perspective",
+            "peers", "mappings", "edits",
+        }
+        unknown = set(document) - known
+        if unknown:
+            raise SpecError(f"unknown spec keys: {sorted(unknown)}")
+        perspective = document.get("perspective")
+        return cls(
+            name=str(document.get("name", "cdss")),
+            peers=tuple(
+                PeerSpec.from_dict(p) for p in document.get("peers", ())  # type: ignore[union-attr]
+            ),
+            mappings=tuple(
+                MappingSpec.from_dict(m)
+                for m in document.get("mappings", ())  # type: ignore[union-attr]
+            ),
+            edits=tuple(
+                EditSpec.from_dict(e) for e in document.get("edits", ())  # type: ignore[union-attr]
+            ),
+            strategy=str(document.get("strategy", STRATEGY_INCREMENTAL)),
+            encoding_style=str(
+                document.get("encoding_style", ENCODING_COMPOSITE)
+            ),
+            perspective=None if perspective is None else str(perspective),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        try:
+            return json.dumps(self.to_dict(), indent=indent)
+        except TypeError as error:
+            raise SpecError(
+                f"spec contains non-JSON-serializable values: {error}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemSpec":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"invalid spec JSON: {error}") from None
+        if not isinstance(document, dict):
+            raise SpecError("spec JSON must be an object")
+        spec = cls.from_dict(document)
+        # JSON has no tuples: normalize rows back through EditSpec already
+        # done in from_dict; nothing else to fix up.
+        return spec
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SystemSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<SystemSpec {self.name}: {len(self.peers)} peers, "
+            f"{len(self.mappings)} mappings, {len(self.edits)} edits>"
+        )

@@ -1,0 +1,145 @@
+"""Lazy, composable views over peer relation instances.
+
+A :class:`RelationView` is a *live window* onto one user relation of a
+CDSS: it holds no rows itself, and every iteration / length / membership
+test reads the current instance through the exchange system.  Views built
+before an :meth:`~repro.core.cdss.CDSS.update_exchange` therefore observe
+the post-exchange state — there is nothing to refresh.
+
+Views compose: :meth:`~RelationView.where` conjoins a row predicate and
+:meth:`~RelationView.certain` drops labeled-null rows, each returning a new
+(equally lazy) view.  :meth:`~RelationView.to_rows` materializes the view as
+a plain ``frozenset`` for callers that want the old bare-set behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..provenance.expression import ProvenanceExpression
+from ..schema.relation import RelationSchema
+from ..storage.instance import Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cdss import CDSS
+
+RowPredicate = Callable[[Row], bool]
+
+
+class RelationView:
+    """A lazy view of one user relation's local instance.
+
+    Supports iteration, ``len``, ``in``, predicate filtering, certain-answer
+    restriction, provenance lookup, and materialization::
+
+        B = cdss.relation("B")
+        len(B)                      # live count
+        (3, 2) in B                 # membership
+        B.where(lambda r: r[0] == 3).to_rows()
+        B.provenance((3, 2))        # Pv(B(3,2))
+    """
+
+    __slots__ = ("_cdss", "_relation", "_predicate", "_certain_only")
+
+    def __init__(
+        self,
+        cdss: "CDSS",
+        relation: str,
+        predicate: RowPredicate | None = None,
+        certain_only: bool = False,
+    ) -> None:
+        self._cdss = cdss
+        self._relation = relation
+        self._predicate = predicate
+        self._certain_only = certain_only
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._relation
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._cdss._relation_schema(self._relation)
+
+    @property
+    def peer(self) -> str:
+        """Name of the peer that owns this relation."""
+        return self._cdss._owner_peer(self._relation).name
+
+    # -- row access (always live) ------------------------------------------
+
+    def _base_rows(self) -> frozenset[Row]:
+        system = self._cdss.system()
+        if self._certain_only:
+            return system.certain_instance(self._relation)
+        return system.instance(self._relation)
+
+    def to_rows(self) -> frozenset[Row]:
+        """Materialize the view as a plain frozenset of rows."""
+        rows = self._base_rows()
+        if self._predicate is not None:
+            rows = frozenset(r for r in rows if self._predicate(r))
+        return rows
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self._predicate
+        for row in self._base_rows():
+            if predicate is None or predicate(row):
+                yield row
+
+    def __len__(self) -> int:
+        if self._predicate is None:
+            return len(self._base_rows())
+        return sum(1 for _ in self)
+
+    def __contains__(self, row: Iterable[object]) -> bool:
+        row = tuple(row)
+        if self._predicate is not None and not self._predicate(row):
+            return False
+        return row in self._base_rows()
+
+    def __bool__(self) -> bool:
+        return any(True for _ in self)
+
+    # -- composition -------------------------------------------------------
+
+    def where(self, predicate: RowPredicate) -> "RelationView":
+        """A narrower view keeping only rows satisfying ``predicate``."""
+        previous = self._predicate
+        if previous is None:
+            combined = predicate
+        else:
+            def combined(row: Row, _p=previous, _q=predicate) -> bool:
+                return _p(row) and _q(row)
+        return RelationView(
+            self._cdss, self._relation, combined, self._certain_only
+        )
+
+    def certain(self) -> "RelationView":
+        """The view restricted to certain answers (no labeled nulls)."""
+        return RelationView(
+            self._cdss, self._relation, self._predicate, certain_only=True
+        )
+
+    # -- provenance --------------------------------------------------------
+
+    def provenance(
+        self, row: Iterable[object], max_depth: int = 8
+    ) -> ProvenanceExpression:
+        """The provenance expression of one row of this relation."""
+        return self._cdss.provenance_graph().expression_for(
+            self._relation, tuple(row), max_depth=max_depth
+        )
+
+    def __repr__(self) -> str:
+        # No row count here: len() would (re)build the exchange system,
+        # and repr must stay side-effect free for debuggers and logging.
+        qualifiers = []
+        if self._predicate is not None:
+            qualifiers.append("filtered")
+        if self._certain_only:
+            qualifiers.append("certain")
+        suffix = f" [{', '.join(qualifiers)}]" if qualifiers else ""
+        return f"<RelationView {self._relation}{suffix}>"

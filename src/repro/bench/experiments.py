@@ -4,13 +4,14 @@ Each ``figN_*`` function regenerates the corresponding figure's data series
 at a configurable scale (the defaults are laptop-sized; the paper's absolute
 sizes ran on a 2007 Xeon server against DB2).  The *shape* of each result —
 who wins, by roughly what factor, where crossovers fall — is what the
-reproduction targets; EXPERIMENTS.md records paper-vs-measured values.
+reproduction targets; each driver's docstring states the expected shape,
+and the corresponding ``benchmarks/bench_figN_*.py`` asserts it.
 
 Engine naming: the paper's **DB2** backend maps to
 :class:`~repro.datalog.planner.CostBasedPlanner` (statistics-driven,
 re-planning per round) and **Tukwila** to
 :class:`~repro.datalog.planner.PreparedPlanner` (fixed heuristic prepared
-plans) — see DESIGN.md's substitution table.
+plans) — see the engine-substitution table in DESIGN.md.
 """
 
 from __future__ import annotations

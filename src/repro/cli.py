@@ -1,15 +1,21 @@
-"""Command-line interface: run the paper's experiments and demos.
+"""Command-line interface: run specs, the paper's experiments, and demos.
 
 Usage::
 
     python -m repro quickstart            # the paper's running example
+    python -m repro run bio.json          # execute a declarative SystemSpec
     python -m repro fig4 --scale 0.5      # reproduce one figure
     python -m repro all --scale 0.25      # every figure + ablations
     python -m repro list                  # what is available
 
+``run`` loads a :class:`~repro.api.spec.SystemSpec` JSON document (as
+written by ``cdss.to_spec().save(path)``), performs one update exchange,
+and prints every relation's local instance.
+
 Each figure command regenerates the corresponding data series from
-Section 6 and prints it as a table (see EXPERIMENTS.md for the shapes the
-series should exhibit).  ``--scale`` multiplies the default workload sizes.
+Section 6 and prints it as a table (the docstrings in
+:mod:`repro.bench.experiments` describe the shapes the series should
+exhibit).  ``--scale`` multiplies the default workload sizes.
 """
 
 from __future__ import annotations
@@ -105,22 +111,45 @@ def _quickstart() -> None:
     cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
     cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
     cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
-    for relation, row in (
-        ("G", (1, 2, 3)),
-        ("G", (3, 5, 2)),
-        ("B", (3, 5)),
-        ("U", (2, 5)),
-    ):
-        cdss.insert(relation, row)
+    with cdss.batch() as tx:
+        tx.insert("G", (1, 2, 3))
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
     report = cdss.update_exchange()
     print(f"update exchange: {report.inserted} tuples in {report.seconds:.4f}s")
     for relation in ("G", "B", "U"):
-        print(f"  {relation}: {sorted(cdss.instance(relation), key=repr)}")
-    print(f"Pv(B(3,2)) = {cdss.provenance_of('B', (3, 2))}")
+        print(f"  {relation}: {sorted(cdss.relation(relation), key=repr)}")
+    print(f"Pv(B(3,2)) = {cdss.relation('B').provenance((3, 2))}")
     print(
         "certain answers to ans(x,y) :- U(x,z), U(y,z):",
         sorted(cdss.query("ans(x, y) :- U(x, z), U(y, z)")),
     )
+
+
+def _run_spec(path: str, strategy: str | None) -> int:
+    """Execute a declarative SystemSpec JSON: build, exchange, print."""
+    from . import CDSS, SpecError
+    from .datalog.parser import ParseError
+    from .schema import SchemaError
+
+    try:
+        cdss = CDSS.from_spec(path)
+        # Schema validation (e.g. weak acyclicity) fires lazily on first use.
+        report = cdss.update_exchange(strategy=strategy)
+    except (OSError, SpecError, ParseError, SchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"{cdss!r}: update exchange ({report.strategy}) derived "
+        f"{report.inserted} tuples in {report.seconds:.4f}s"
+    )
+    for peer in cdss.peer_handles():
+        print(f"{peer.name}:")
+        for relation in peer.relations():
+            rows = sorted(peer.relation(relation), key=repr)
+            print(f"  {relation}: {rows}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("quickstart", help="run the paper's running example")
+    run_cmd = sub.add_parser(
+        "run", help="build and exchange a CDSS from a SystemSpec JSON"
+    )
+    run_cmd.add_argument("spec", help="path to a spec JSON file")
+    run_cmd.add_argument(
+        "--strategy",
+        choices=("incremental", "dred", "recompute"),
+        default=None,
+        help="override the spec's maintenance strategy",
+    )
     sub.add_parser("list", help="list available experiments")
     for name, (description, _) in EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
@@ -153,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "quickstart":
         _quickstart()
         return 0
+    if args.command == "run":
+        return _run_spec(args.spec, args.strategy)
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:<20} {description}")

@@ -1,6 +1,7 @@
 """The CDSS core: edit logs, update exchange, incremental maintenance.
 
-Subpackages S11-S17 of DESIGN.md (paper Sections 2, 3, 4).
+The state-machine layer beneath :mod:`repro.api` (paper Sections 2, 3, 4);
+DESIGN.md documents how the layers stack.
 """
 
 from .cdss import CDSS, Peer

@@ -2,36 +2,47 @@
 
 This is the public entry point of the library — the programmatic equivalent
 of the ORCHESTRA system of Section 5.  A typical session (the paper's
-running example) looks like::
+running example) uses the peer-centric v2 API (see DESIGN.md)::
 
     cdss = CDSS("bioinformatics")
-    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
-    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
-    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    pgus = cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    pbio = cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    pubio = cdss.add_peer("PuBio", {"U": ("nam", "can")})
     cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
     cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
     cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
     cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
 
-    cdss.insert("G", (1, 2, 3))
-    cdss.insert("G", (3, 5, 2))
-    cdss.insert("B", (3, 5))
-    cdss.insert("U", (2, 5))
+    with pgus.batch() as tx:                 # transactional offline edits
+        tx.insert("G", (1, 2, 3))
+        tx.insert("G", (3, 5, 2))
+    pbio.insert("B", (3, 5))
+    pubio.insert("U", (2, 5))
     cdss.update_exchange()
 
-    cdss.instance("B")                       # the local instance of B
+    B = pbio.relation("B")                   # lazy RelationView
+    sorted(B)                                # the local instance of B
+    B.provenance((3, 2))                     # m1(...) + m4(... * ...)
     cdss.query("ans(x, y) :- U(x, z), U(y, z)")
-    cdss.provenance_of("B", (3, 2))          # m1(...) + m4(... * ...)
 
-Peers edit offline (:meth:`insert` / :meth:`delete` append to edit logs);
+Peers edit offline (handle/batch edits append to edit logs);
 :meth:`update_exchange` publishes the logs and brings the system to a
-consistent state with the configured maintenance strategy.
+consistent state with the configured maintenance strategy.  The whole
+configuration round-trips through declarative :class:`~repro.api.spec.SystemSpec`
+documents via :meth:`CDSS.from_spec` / :meth:`CDSS.to_spec`.
+
+The pre-v2 string-keyed facade (``cdss.insert("G", row)``,
+``cdss.instance("B")`` returning bare sets, ``cdss.distrust_peer(...)``)
+still works but emits :class:`DeprecationWarning`; DESIGN.md has the
+migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from ..datalog.planner import Planner
 from ..provenance.expression import ProvenanceExpression
@@ -49,23 +60,40 @@ from .exchange import (
     ExchangeReport,
     ExchangeSystem,
 )
-from .query import answer_query, certain_rows
+from .query import answer_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..api.batch import Batch
+    from ..api.handles import PeerHandle
+    from ..api.spec import SystemSpec
+    from ..api.views import RelationView
 
 
 @dataclass
 class Peer:
-    """One participant: schema, edit log, and trust policy."""
+    """One participant: schema, edit log, and trust policy.
+
+    The edit log and trust policy are always freshly constructed for the
+    peer (they carry its name), so they are not constructor parameters.
+    """
 
     name: str
     schema: PeerSchema
-    edit_log: EditLog = field(default=None)  # type: ignore[assignment]
-    policy: TrustPolicy = field(default=None)  # type: ignore[assignment]
+    edit_log: EditLog = field(init=False, repr=False)
+    policy: TrustPolicy = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.edit_log is None:
-            self.edit_log = EditLog(self.name)
-        if self.policy is None:
-            self.policy = TrustPolicy(self.name)
+        self.edit_log = EditLog(self.name)
+        self.policy = TrustPolicy(self.name)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"CDSS.{old} is deprecated; use {new} instead (see DESIGN.md's "
+        "migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class CDSS:
@@ -102,8 +130,8 @@ class CDSS:
         self,
         name: str,
         relations: Mapping[str, Sequence[str]] | Iterable[RelationSchema],
-    ) -> Peer:
-        """Register a peer with its relations.
+    ) -> "PeerHandle":
+        """Register a peer with its relations; returns its handle.
 
         ``relations`` is either a mapping ``{relation: (attr, ...)}`` or an
         iterable of :class:`RelationSchema`.
@@ -128,7 +156,14 @@ class CDSS:
             self._relation_owner[schema.name] = name
         self._peers[name] = peer
         self._invalidate()
-        return peer
+        return self.peer(name)
+
+    def peer(self, name: str) -> "PeerHandle":
+        """The handle of an already-registered peer."""
+        from ..api.handles import PeerHandle
+
+        self._peer(name)  # raise SchemaError for unknown peers
+        return PeerHandle(self, name)
 
     def add_mapping(self, name: str, tgd: str | SchemaMapping) -> SchemaMapping:
         """Register a schema mapping, given as tgd text or an object."""
@@ -141,14 +176,106 @@ class CDSS:
         self._invalidate()
         return mapping
 
-    def set_trust_condition(
+    # -- declarative specs ---------------------------------------------------
+
+    @classmethod
+    def from_spec(
+        cls, spec: "SystemSpec | Mapping[str, object] | str | Path"
+    ) -> "CDSS":
+        """Build a CDSS from a :class:`~repro.api.spec.SystemSpec`.
+
+        Accepts a spec object, a plain dict in the spec's JSON shape, or a
+        path to a spec JSON file.  The spec's edits are staged in the
+        peers' edit logs; no update exchange is run.
+        """
+        from ..api.spec import SystemSpec
+
+        if isinstance(spec, (str, Path)):
+            spec = SystemSpec.load(spec)
+        elif isinstance(spec, Mapping):
+            spec = SystemSpec.from_dict(spec)
+        cdss = cls(
+            name=spec.name,
+            encoding_style=spec.encoding_style,
+            perspective=spec.perspective,
+            strategy=spec.strategy,
+        )
+        for peer_spec in spec.peers:
+            cdss.add_peer(peer_spec.name, peer_spec.to_schemas())
+        for mapping_spec in spec.mappings:
+            cdss.add_mapping(mapping_spec.name, mapping_spec.to_mapping())
+        if spec.edits:
+            from ..api.spec import INSERT
+
+            with cdss.batch() as tx:
+                for edit in spec.edits:
+                    if edit.op == INSERT:
+                        tx.insert(edit.relation, edit.row)
+                    else:
+                        tx.delete(edit.relation, edit.row)
+        return cdss
+
+    def to_spec(self, include_data: bool = True) -> "SystemSpec":
+        """Capture this system as a declarative spec.
+
+        With ``include_data`` the current base state is exported as signed
+        edits — local contributions as ``+``, persistent rejections as
+        ``-`` — followed by any unpublished edit-log entries in order, so
+        ``CDSS.from_spec(cdss.to_spec())`` then ``update_exchange()``
+        reproduces the instances.  Trust conditions are Python callables
+        and are not captured.
+        """
+        from ..api.spec import (
+            DELETE,
+            INSERT,
+            EditSpec,
+            MappingSpec,
+            PeerSpec,
+            SystemSpec,
+        )
+
+        edits: list[EditSpec] = []
+        if include_data:
+            system = self.system()
+            for relation in sorted(self._relation_owner):
+                for row in sorted(
+                    system.local_contributions(relation), key=repr
+                ):
+                    edits.append(EditSpec(relation, row, INSERT))
+                for row in sorted(system.rejections(relation), key=repr):
+                    edits.append(EditSpec(relation, row, DELETE))
+            for peer in self._peers.values():
+                for update in peer.edit_log:
+                    edits.append(
+                        EditSpec(
+                            update.relation,
+                            update.row,
+                            INSERT if update.is_insert else DELETE,
+                        )
+                    )
+        return SystemSpec(
+            name=self.name,
+            peers=tuple(
+                PeerSpec.of(peer.schema) for peer in self._peers.values()
+            ),
+            mappings=tuple(
+                MappingSpec.of(m) for m in self._mappings.values()
+            ),
+            edits=tuple(edits),
+            strategy=self.strategy,
+            encoding_style=self._encoding_style,
+            perspective=self._perspective,
+        )
+
+    # -- trust (internal entry points; public surface is TrustScope) ---------
+
+    def _set_trust_condition(
         self,
         peer: str,
         mapping: str,
         condition: TrustCondition | Callable[[Row], bool],
         description: str | None = None,
     ) -> None:
-        """Attach peer ``peer``'s trust condition to mapping ``mapping``."""
         if not isinstance(condition, TrustCondition):
             condition = TrustCondition(
                 description or f"{peer} condition on {mapping}", condition
@@ -156,29 +283,78 @@ class CDSS:
         self._peer(peer).policy.set_mapping_condition(mapping, condition)
         self._invalidate()
 
-    def distrust_token(
+    def _distrust_token(
         self, peer: str, relation: str, row: Iterable[object]
     ) -> None:
-        """Peer ``peer`` assigns D to a specific base tuple (Section 3.3)."""
         self._peer(peer).policy.distrust_token(relation, row)
         self._invalidate()
 
-    def distrust_peer(self, peer: str, other: str) -> None:
-        """Peer ``peer`` distrusts all of ``other``'s base contributions."""
+    def _distrust_peer(self, peer: str, other: str) -> None:
         self._peer(peer).policy.distrust_peer(other)
         self._invalidate()
 
+    def _trust_of(
+        self, peer: str, relation: str, row: Iterable[object]
+    ) -> bool:
+        verdicts = evaluate_trust(
+            self.provenance_graph(),
+            self._peer(peer).policy,
+            internal=self.internal_schema,
+            extra_policies={
+                name: p.policy for name, p in self._peers.items()
+            },
+        )
+        return verdicts.get((relation, tuple(row)), False)
+
+    def set_trust_condition(
+        self,
+        peer: str,
+        mapping: str,
+        condition: TrustCondition | Callable[[Row], bool],
+        description: str | None = None,
+    ) -> None:
+        """Deprecated: use ``cdss.peer(p).trust().condition(...)``."""
+        _deprecated(
+            "set_trust_condition", "peer(name).trust().condition(...)"
+        )
+        self._set_trust_condition(peer, mapping, condition, description)
+
+    def distrust_token(
+        self, peer: str, relation: str, row: Iterable[object]
+    ) -> None:
+        """Deprecated: use ``cdss.peer(p).trust().distrust_row(...)``."""
+        _deprecated("distrust_token", "peer(name).trust().distrust_row(...)")
+        self._distrust_token(peer, relation, row)
+
+    def distrust_peer(self, peer: str, other: str) -> None:
+        """Deprecated: use ``cdss.peer(p).trust().distrust_peer(other)``."""
+        _deprecated("distrust_peer", "peer(name).trust().distrust_peer(...)")
+        self._distrust_peer(peer, other)
+
+    def trust_of(
+        self, peer: str, relation: str, row: Iterable[object]
+    ) -> bool:
+        """Deprecated: use ``cdss.peer(p).trust().of(relation, row)``."""
+        _deprecated("trust_of", "peer(name).trust().of(relation, row)")
+        return self._trust_of(peer, relation, row)
+
     # -- editing (offline) -------------------------------------------------------
 
+    def batch(self) -> "Batch":
+        """A system-wide transactional batch; edits route to owning peers."""
+        from ..api.batch import Batch
+
+        return Batch(self)
+
     def insert(self, relation: str, row: Iterable[object]) -> None:
-        """Record an insertion in the owning peer's edit log."""
-        peer = self._owner_peer(relation)
-        peer.edit_log.insert(relation, row)
+        """Deprecated: use ``cdss.peer(p).insert(...)`` or a batch."""
+        _deprecated("insert", "peer(name).insert(...) or peer.batch()")
+        self._owner_peer(relation).edit_log.insert(relation, row)
 
     def delete(self, relation: str, row: Iterable[object]) -> None:
-        """Record a deletion (curation) in the owning peer's edit log."""
-        peer = self._owner_peer(relation)
-        peer.edit_log.delete(relation, row)
+        """Deprecated: use ``cdss.peer(p).delete(...)`` or a batch."""
+        _deprecated("delete", "peer(name).delete(...) or peer.batch()")
+        self._owner_peer(relation).edit_log.delete(relation, row)
 
     def pending_edits(self) -> int:
         return sum(len(peer.edit_log) for peer in self._peers.values())
@@ -259,16 +435,38 @@ class CDSS:
     def peers(self) -> tuple[str, ...]:
         return tuple(self._peers)
 
+    def peer_handles(self) -> tuple["PeerHandle", ...]:
+        """Handles for every registered peer, in registration order."""
+        return tuple(self.peer(name) for name in self._peers)
+
     def mappings(self) -> tuple[SchemaMapping, ...]:
         return tuple(self._mappings.values())
 
+    def relation(self, name: str) -> "RelationView":
+        """A lazy view of one user relation's local instance."""
+        from ..api.views import RelationView
+
+        self._owner_peer(name)  # raise SchemaError for unknown relations
+        return RelationView(self, name)
+
+    def relations(self) -> tuple[str, ...]:
+        """All user relation names, grouped by peer registration order."""
+        return tuple(
+            schema.name
+            for peer in self._peers.values()
+            for schema in peer.schema.relations
+        )
+
     def instance(self, relation: str) -> frozenset[Row]:
-        """The current local instance of ``relation`` (after last exchange)."""
+        """Deprecated: use ``cdss.relation(name)`` (a lazy view); call
+        ``.to_rows()`` on it for a bare frozenset."""
+        _deprecated("instance", "relation(name) / relation(name).to_rows()")
         return self.system().instance(relation)
 
     def certain_instance(self, relation: str) -> frozenset[Row]:
-        """The instance with labeled-null rows dropped (certain answers)."""
-        return certain_rows(self.instance(relation))
+        """Deprecated: use ``cdss.relation(name).certain()``."""
+        _deprecated("certain_instance", "relation(name).certain()")
+        return self.system().certain_instance(relation)
 
     def query(self, text: str, certain: bool = True) -> frozenset[Row]:
         system = self.system()
@@ -290,7 +488,7 @@ class CDSS:
             text, system.db, system.internal, answer=answer, certain=certain
         )
 
-    # -- provenance & trust -------------------------------------------------------------
+    # -- provenance -------------------------------------------------------------
 
     def provenance_graph(self) -> ProvenanceGraph:
         system = self.system()
@@ -299,7 +497,8 @@ class CDSS:
     def provenance_of(
         self, relation: str, row: Iterable[object], max_depth: int = 8
     ) -> ProvenanceExpression:
-        """The provenance expression of a tuple (Example 6)."""
+        """Deprecated: use ``cdss.relation(name).provenance(row)``."""
+        _deprecated("provenance_of", "relation(name).provenance(row)")
         return self.provenance_graph().expression_for(
             relation, row, max_depth=max_depth
         )
@@ -311,21 +510,6 @@ class CDSS:
     ) -> dict[Token, object]:
         """Solve the provenance equations of the whole system in a semiring."""
         return self.provenance_graph().evaluate(semiring, token_value)
-
-    def trust_of(
-        self, peer: str, relation: str, row: Iterable[object]
-    ) -> bool:
-        """Evaluate ``peer``'s trust of a tuple against stored provenance
-        (Example 7's offline calculation)."""
-        verdicts = evaluate_trust(
-            self.provenance_graph(),
-            self._peer(peer).policy,
-            internal=self.internal_schema,
-            extra_policies={
-                name: p.policy for name, p in self._peers.items()
-            },
-        )
-        return verdicts.get((relation, tuple(row)), False)
 
     # -- internals ------------------------------------------------------------------------
 
@@ -340,6 +524,9 @@ class CDSS:
         if owner is None:
             raise SchemaError(f"unknown relation {relation!r}")
         return self._peers[owner]
+
+    def _relation_schema(self, relation: str) -> RelationSchema:
+        return self._owner_peer(relation).schema.relation(relation)
 
     def _invalidate(self) -> None:
         if self._system is not None:

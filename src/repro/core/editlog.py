@@ -63,6 +63,17 @@ class EditLog:
         self._entries.append(update)
         return update
 
+    def extend(self, updates: Iterable[Update]) -> int:
+        """Bulk-append prebuilt entries (the batch API's commit path).
+
+        Returns the number of entries appended.  This is the hot insert
+        path: one list extension instead of one :meth:`insert` call per
+        row.
+        """
+        before = len(self._entries)
+        self._entries.extend(updates)
+        return len(self._entries) - before
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -43,6 +43,7 @@ from ..storage.instance import Row
 from .dred import DRedMaintainer
 from .editlog import PublishDelta
 from .incremental import IncrementalMaintainer
+from .query import certain_rows
 
 STRATEGY_INCREMENTAL = "incremental"
 STRATEGY_DRED = "dred"
@@ -100,6 +101,10 @@ class ExchangeSystem:
     def instance(self, relation: str) -> frozenset[Row]:
         """The local instance of a user relation (its ``R__o`` table)."""
         return self.db[output_name(relation)].rows()
+
+    def certain_instance(self, relation: str) -> frozenset[Row]:
+        """The local instance with labeled-null rows dropped."""
+        return certain_rows(self.instance(relation))
 
     def local_contributions(self, relation: str) -> frozenset[Row]:
         return self.db[local_name(relation)].rows()

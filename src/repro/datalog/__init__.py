@@ -1,8 +1,8 @@
 """Datalog with Skolem functions: AST, parser, planners, and engines.
 
-This subpackage is substrate S1/S3/S4/S5 of DESIGN.md — the query language
-and evaluation machinery that update exchange compiles schema mappings into
-(paper Sections 4.1.1 and 5).
+The query layer of DESIGN.md's stack — the language and evaluation
+machinery that update exchange compiles schema mappings into (paper
+Sections 4.1.1 and 5).
 """
 
 from .ast import (

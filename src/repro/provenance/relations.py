@@ -50,6 +50,7 @@ from .semiring import Token
 
 ENCODING_COMPOSITE = "composite"
 ENCODING_PER_RULE = "per-rule"
+ENCODING_STYLES = (ENCODING_COMPOSITE, ENCODING_PER_RULE)
 
 PROV_RULE_PREFIX = "prov:"
 PROJ_RULE_PREFIX = "proj:"

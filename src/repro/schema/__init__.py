@@ -1,6 +1,6 @@
 """Schemas, peers, tgd mappings, weak acyclicity, internal expansion.
 
-Subpackages S6/S7 of DESIGN.md (paper Sections 2 and 3.1).
+The schema layer of DESIGN.md's stack (paper Sections 2 and 3.1).
 """
 
 from .internal import (

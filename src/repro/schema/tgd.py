@@ -177,12 +177,23 @@ class SchemaMapping:
             rules.append(Rule(head, body, label=self.name))
         return tuple(rules)
 
-    def __repr__(self) -> str:
+    # -- serialization -----------------------------------------------------------
+
+    def to_tgd_text(self) -> str:
+        """Render the tgd as text that :meth:`parse` accepts.
+
+        This is the serialization used by the declarative spec layer
+        (:mod:`repro.api.spec`): ``SchemaMapping.parse(name, m.to_tgd_text())``
+        reconstructs an equal mapping.
+        """
         lhs = ", ".join(repr(a) for a in self.lhs)
         rhs = ", ".join(repr(a) for a in self.rhs)
         if self.existential_vars:
-            names = ",".join(
+            names = ", ".join(
                 sorted(v.name for v in self.existential_vars)
             )
             rhs = f"exists {names} . {rhs}"
-        return f"({self.name}) {lhs} -> {rhs}"
+        return f"{lhs} -> {rhs}"
+
+    def __repr__(self) -> str:
+        return f"({self.name}) {self.to_tgd_text()}"

@@ -1,6 +1,6 @@
 """Relational storage substrate: instances, indexes, B+-tree, statistics.
 
-This subpackage is substrate S2 of DESIGN.md — the stand-in for the RDBMS
+The storage layer of DESIGN.md's stack — the stand-in for the RDBMS
 tables and Berkeley DB storage of the paper's Section 5.
 """
 
