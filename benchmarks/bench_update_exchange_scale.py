@@ -1,0 +1,263 @@
+"""Update-exchange scaling benchmark: the perf-trajectory baseline.
+
+Drives multi-peer publish / update-exchange workloads from the synthetic
+workload generator (Section 6.1) and writes ``BENCH_update_exchange.json``
+so the repository finally has a measured perf trajectory:
+
+* **publish** — base entries at every peer, one full exchange (Figure 5's
+  "time to join" shape);
+* **incremental insertion** — a small batch of fresh entries per peer
+  propagated with the insertion delta rules (Figures 7/8's common case,
+  and the workload the evaluation hot path is tuned for).
+
+Per cell the JSON records wall seconds, semi-naive rounds, rule
+applications, and the engine's plan-cache hit rate.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py
+    PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py --quick
+
+``--baseline FILE`` embeds a previously saved run (e.g. from the commit
+before an optimization) under ``"baseline"`` and prints the speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
+
+RESULT_FORMAT = "repro/bench-update-exchange@1"
+
+
+def _engine_stats(cdss) -> dict[str, float] | None:
+    """Cumulative evaluation stats, when the engine exposes them.
+
+    Uses ``EvaluationResult.counters()`` where present; the getattr
+    fallback lets the same script measure older trees (for baselines).
+    """
+    engine = cdss.system().engine
+    stats = getattr(engine, "stats", None)
+    if stats is None:
+        return None
+    if hasattr(stats, "counters"):
+        return stats.counters()
+    return {
+        "rounds": stats.rounds,
+        "rule_applications": stats.rule_applications,
+        "plan_cache_hits": getattr(stats, "plan_cache_hits", 0),
+        "plan_cache_misses": getattr(stats, "plan_cache_misses", 0),
+    }
+
+
+def _stats_delta(
+    after: dict[str, float] | None, before: dict[str, float] | None
+) -> dict[str, float]:
+    # Mirrors EvaluationResult.counters_delta; kept local so the script
+    # also runs against trees that predate that helper.
+    if after is None:
+        return {}
+    before = before or {k: 0 for k in after}
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    probes = delta["plan_cache_hits"] + delta["plan_cache_misses"]
+    delta["plan_cache_hit_rate"] = (
+        delta["plan_cache_hits"] / probes if probes else 0.0
+    )
+    return delta
+
+
+def run_cell(
+    peers: int, base_per_peer: int, insert_per_peer: int, seed: int
+) -> dict[str, object]:
+    """One benchmark cell: publish a base load, then time an incremental
+    insertion exchange on top of it."""
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    cdss = generator.build_cdss()
+
+    generator.record_insertions(cdss, generator.insertions(base_per_peer))
+    before = _engine_stats(cdss)
+    start = time.perf_counter()
+    cdss.update_exchange()
+    publish_seconds = time.perf_counter() - start
+    publish_stats = _stats_delta(_engine_stats(cdss), before)
+
+    generator.record_insertions(cdss, generator.insertions(insert_per_peer))
+    before = _engine_stats(cdss)
+    start = time.perf_counter()
+    cdss.update_exchange()
+    incremental_seconds = time.perf_counter() - start
+    incremental_stats = _stats_delta(_engine_stats(cdss), before)
+
+    return {
+        "peers": peers,
+        "base_per_peer": base_per_peer,
+        "insert_per_peer": insert_per_peer,
+        "total_tuples": cdss.system().total_tuples(),
+        "publish": {"seconds": publish_seconds, **publish_stats},
+        "incremental_insertion": {
+            "seconds": incremental_seconds,
+            **incremental_stats,
+        },
+    }
+
+
+def _median_cell(samples: list[dict[str, object]]) -> dict[str, object]:
+    """The sampled cell whose incremental wall time is the median one —
+    keeping seconds and engine counters from the same run."""
+    ordered = sorted(
+        samples,
+        key=lambda c: c["incremental_insertion"]["seconds"],
+    )
+    cell = ordered[len(ordered) // 2]
+    cell["samples"] = len(samples)
+    cell["incremental_insertion"]["seconds_all"] = sorted(
+        c["incremental_insertion"]["seconds"] for c in samples
+    )
+    return cell
+
+
+def run_benchmark(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int = 0,
+    repeat: int = 1,
+) -> dict[str, object]:
+    cells = []
+    for peers in peer_counts:
+        samples = [
+            run_cell(peers, base_per_peer, insert_per_peer, seed)
+            for _ in range(max(1, repeat))
+        ]
+        cell = _median_cell(samples)
+        cells.append(cell)
+        print(
+            f"  peers={peers:3d}  publish={cell['publish']['seconds']:.3f}s"
+            f"  incremental={cell['incremental_insertion']['seconds']:.3f}s"
+            f"  hit_rate="
+            f"{cell['incremental_insertion'].get('plan_cache_hit_rate', 0.0):.2f}"
+        )
+    return {
+        "format": RESULT_FORMAT,
+        "workload": {
+            "dataset": "integer",
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "insert_per_peer": insert_per_peer,
+            "seed": seed,
+            "repeat": repeat,
+        },
+        "cells": cells,
+    }
+
+
+def _speedups(
+    baseline: dict[str, object], current: dict[str, object]
+) -> dict[str, dict[str, float]]:
+    """Per-peer-count baseline/current wall-time ratios, keyed by phase."""
+    by_peers = {
+        cell["peers"]: cell for cell in baseline.get("cells", ())
+    }
+    out: dict[str, dict[str, float]] = {}
+    for cell in current["cells"]:
+        base = by_peers.get(cell["peers"])
+        if base is None:
+            continue
+        for phase in ("publish", "incremental_insertion"):
+            current_seconds = cell[phase]["seconds"]
+            if current_seconds <= 0:
+                continue
+            out.setdefault(phase, {})[str(cell["peers"])] = (
+                base[phase]["seconds"] / current_seconds
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes for CI smoke runs",
+    )
+    parser.add_argument("--peers", type=int, nargs="*", default=None)
+    parser.add_argument("--base", type=int, default=None)
+    parser.add_argument("--insert", type=int, default=None)
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help="samples per cell, median reported (default: 3, or 1 with --quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="embed a previously saved result file and report speedups",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "result path (default: BENCH_update_exchange.json at the repo "
+            "root; --quick writes BENCH_update_exchange_quick.json so smoke "
+            "runs never clobber the committed perf trajectory)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        name = (
+            "BENCH_update_exchange_quick.json"
+            if args.quick
+            else "BENCH_update_exchange.json"
+        )
+        args.out = REPO_ROOT / name
+
+    if args.quick:
+        peer_counts = tuple(args.peers or (2, 3))
+        base = args.base if args.base is not None else 20
+        insert = args.insert if args.insert is not None else 2
+        repeat = args.repeat if args.repeat is not None else 1
+    else:
+        peer_counts = tuple(args.peers or (2, 5, 10))
+        base = args.base if args.base is not None else 400
+        insert = args.insert if args.insert is not None else 20
+        repeat = args.repeat if args.repeat is not None else 3
+
+    print(
+        f"update-exchange scale benchmark: peers={peer_counts} "
+        f"base={base}/peer insert={insert}/peer repeat={repeat}"
+    )
+    result = run_benchmark(
+        peer_counts, base, insert, seed=args.seed, repeat=repeat
+    )
+
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        result["baseline"] = baseline
+        result["speedup_vs_baseline"] = _speedups(baseline, result)
+        for phase, ratios in result["speedup_vs_baseline"].items():
+            rendered = ", ".join(
+                f"{peers} peers: {ratio:.2f}x"
+                for peers, ratio in ratios.items()
+            )
+            print(f"  speedup[{phase}]: {rendered}")
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

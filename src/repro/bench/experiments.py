@@ -156,10 +156,13 @@ def fig6_instance_size(
                 bytes=float(system.estimated_bytes()),
             )
         # The tuple count is dataset-independent (same data shape) — the
-        # paper plots a single "#tuples" series.
-        assert (
-            tuples_by_dataset["integer"] == tuples_by_dataset["string"]
-        ), "tuple counts should not depend on the dataset variant"
+        # paper plots a single "#tuples" series.  A real raise, so the
+        # sanity check survives ``python -O`` benchmark runs.
+        if tuples_by_dataset["integer"] != tuples_by_dataset["string"]:
+            raise RuntimeError(
+                "tuple counts should not depend on the dataset variant: "
+                f"{tuples_by_dataset!r}"
+            )
     return result
 
 

@@ -7,8 +7,10 @@ series the paper's figure reports.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable
 
 
@@ -97,6 +99,25 @@ class ExperimentResult:
     def print_table(self) -> None:
         print()
         print(self.to_table())
+
+    def to_json_dict(self) -> dict[str, object]:
+        """A JSON-serializable view (for ``BENCH_*.json`` perf-trajectory
+        files)."""
+        return {
+            "format": "repro/experiment-result@1",
+            "name": self.name,
+            "description": self.description,
+            "measurements": [
+                {"params": dict(m.params), "metrics": dict(m.metrics)}
+                for m in self.measurements
+            ],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write :meth:`to_json_dict` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2) + "\n")
+        return path
 
 
 def timed(fn: Callable[[], object]) -> tuple[object, float]:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..datalog.ast import Program
-from ..datalog.engine import SemiNaiveEngine
+from ..datalog.engine import EvaluationResult, SemiNaiveEngine
 from ..datalog.planner import Planner
 from ..provenance.relations import ENCODING_COMPOSITE, ProvenanceEncoding
 from ..provenance.trust import TrustPolicy, exchange_head_filters
@@ -144,13 +144,18 @@ class ExchangeSystem:
                 self.db[derived].clear()
         for name in self.encoding.provenance_relation_names():
             self.db[name].clear()
-        self.engine.planner.invalidate()
+        self.engine.invalidate_plans()
         result = self.engine.run(self.program, self.db)
         return ExchangeReport(
             strategy=STRATEGY_RECOMPUTE,
             seconds=time.perf_counter() - start,
             inserted=result.total_inserted,
-            details={"rounds": result.rounds},
+            details={
+                "rounds": result.rounds,
+                "evaluation": EvaluationResult.counters_delta(
+                    {}, result.counters()
+                ),
+            },
         )
 
     # -- incremental application -----------------------------------------------------
@@ -164,7 +169,9 @@ class ExchangeSystem:
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
         start = time.perf_counter()
+        stats_before = self.engine.stats.counters()
         if strategy == STRATEGY_RECOMPUTE:
+            # recompute() fills details["evaluation"] from its own run.
             report = self._apply_by_recompute(delta)
         else:
             maintainer = (
@@ -192,6 +199,9 @@ class ExchangeSystem:
                     "insertion": insert_report,
                 },
             )
+            report.details["evaluation"] = EvaluationResult.counters_delta(
+                stats_before, self.engine.stats.counters()
+            )
         report.seconds = time.perf_counter() - start
         return report
 
@@ -204,9 +214,7 @@ class ExchangeSystem:
             self.db[rejection_name(relation)].insert_many(rows)
         for relation, rows in delta.rejection_deletes.items():
             self.db[rejection_name(relation)].delete_many(rows)
-        inner = self.recompute()
-        inner.strategy = STRATEGY_RECOMPUTE
-        return inner
+        return self.recompute()
 
     # -- consistency (used heavily by tests) -------------------------------------------
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from ..datalog.ast import Atom, Program
+from ..datalog.ast import Atom, DatalogError, Program
 from ..datalog.engine import SemiNaiveEngine
 from ..provenance.relations import ProvenanceEncoding, ProvenanceTable
 from ..provenance.semiring import Token
@@ -249,7 +249,9 @@ class IncrementalMaintainer:
                         probe = table.body_probe(atom_index, row)
                         if probe is None:
                             continue
-                        for prow in instance.lookup(*probe):
+                        # lookup returns a live index bucket; materialize
+                        # before deleting out from under the iteration.
+                        for prow in tuple(instance.lookup(*probe)):
                             if instance.delete(prow):
                                 report.provenance_rows_deleted += 1
                                 for head in table.heads:
@@ -321,5 +323,10 @@ class IncrementalMaintainer:
 
 
 def _strip_output(internal_rel: str) -> str:
-    assert internal_rel.endswith("__o"), internal_rel
+    # A real error, not an assert: this guards the deletion delta rules'
+    # relation naming and must hold under ``python -O`` too.
+    if not internal_rel.endswith("__o"):
+        raise DatalogError(
+            f"expected an output relation (R__o), got {internal_rel!r}"
+        )
     return internal_rel[: -len("__o")]

@@ -28,12 +28,21 @@ from .engine import (
     ensure_idb_relations,
 )
 from .parser import ParseError, ParsedTgd, parse_program, parse_rule, parse_tgd
-from .plan import PlanError, RulePlan, execute_plan
+from .plan import (
+    CompiledPlan,
+    PlanError,
+    RulePlan,
+    compile_plan,
+    execute_plan,
+    probe_columns,
+    run_plan,
+)
 from .planner import CostBasedPlanner, Planner, PreparedPlanner
 from .stratify import Stratification, StratificationError, stratify
 
 __all__ = [
     "Atom",
+    "CompiledPlan",
     "Constant",
     "CostBasedPlanner",
     "DatalogError",
@@ -56,6 +65,7 @@ __all__ = [
     "Stratification",
     "StratificationError",
     "Variable",
+    "compile_plan",
     "ensure_idb_relations",
     "execute_plan",
     "is_labeled_null",
@@ -63,6 +73,8 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "parse_tgd",
+    "probe_columns",
+    "run_plan",
     "stratify",
     "tuple_has_labeled_null",
 ]

@@ -28,12 +28,16 @@ from typing import Callable, Iterable, Mapping
 from ..storage.database import Database
 from ..storage.instance import Instance
 from .ast import Atom, DatalogError, Program, Rule
-from .plan import Row, RowSource, execute_plan
+from .plan import Row, RowSource, RulePlan, run_plan
 from .planner import Planner, PreparedPlanner
 from .stratify import Stratification, stratify
 
 HeadFilter = Callable[[Row], bool]
 """Predicate over a derived head row; False rejects the derivation."""
+
+_PLAN_CACHE_LIMIT = 10_000
+"""Entries the engine plan cache may hold before it is wholesale cleared
+(each entry pins its Rule object; real programs sit far below this)."""
 
 
 class IncrementalUnsoundError(DatalogError):
@@ -47,19 +51,67 @@ class IncrementalUnsoundError(DatalogError):
 
 @dataclass
 class EvaluationResult:
-    """Statistics from one engine run."""
+    """Statistics from one engine run.
+
+    ``rounds`` counts rule-evaluation passes actually performed: for a full
+    evaluation, the initial naive pass plus every delta-driven pass; for an
+    incremental run, only the delta-driven passes (a stratum whose rules are
+    untouched by the seed contributes zero rounds).
+    """
 
     rounds: int = 0
     inserted: dict[str, int] = field(default_factory=dict)
     rule_applications: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def total_inserted(self) -> int:
         return sum(self.inserted.values())
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of plan requests served from the engine's plan cache."""
+        probes = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / probes if probes else 0.0
+
+    def counters(self) -> dict[str, int]:
+        """The scalar counters as a dict — the single key list shared by
+        exchange reports and benchmarks."""
+        return {
+            "rounds": self.rounds,
+            "rule_applications": self.rule_applications,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+        }
+
+    @staticmethod
+    def counters_delta(
+        before: Mapping[str, int], after: Mapping[str, int]
+    ) -> dict[str, float]:
+        """Counter movement between two :meth:`counters` snapshots, with the
+        derived plan-cache hit rate."""
+        delta: dict[str, float] = {
+            key: after[key] - before.get(key, 0) for key in after
+        }
+        probes = delta["plan_cache_hits"] + delta["plan_cache_misses"]
+        delta["plan_cache_hit_rate"] = (
+            delta["plan_cache_hits"] / probes if probes else 0.0
+        )
+        return delta
+
     def _record(self, predicate: str, count: int) -> None:
         if count:
             self.inserted[predicate] = self.inserted.get(predicate, 0) + count
+
+    def _absorb(self, other: "EvaluationResult") -> None:
+        """Accumulate ``other`` into this result (for cumulative stats)."""
+        self.rounds += other.rounds
+        self.rule_applications += other.rule_applications
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        for predicate, count in other.inserted.items():
+            self._record(predicate, count)
 
 
 def ensure_idb_relations(program: Program, db: Database) -> None:
@@ -92,16 +144,89 @@ class SemiNaiveEngine:
     ) -> None:
         self.planner: Planner = planner if planner is not None else PreparedPlanner()
         self.head_filters: dict[str, HeadFilter] = dict(head_filters or {})
+        # Planners without a token fall back to the database version
+        # (conservative: any change re-plans).
+        self._token_fn = getattr(self.planner, "plan_cache_token", None)
+        # (id(rule), delta_index) -> (rule, plan, cache token).  The rule is
+        # stored to pin its id; the token (from the planner, or the database
+        # version for planners without one) invalidates stale plans.
+        # id-keying avoids hashing Rule trees on the hot path, at the cost
+        # of zero hits for structurally equal but freshly parsed rules —
+        # _PLAN_CACHE_LIMIT bounds growth for callers that re-parse
+        # programs into a long-lived engine.
+        self._plan_cache: dict[
+            tuple[int, int | None], tuple[Rule, RulePlan, object]
+        ] = {}
+        # Persistent per-predicate delta relations, reused across rounds and
+        # runs so their probe indexes stay warm (keyed by (name, arity)).
+        self._delta_instances: dict[tuple[str, int], Instance] = {}
+        #: Cumulative statistics across every run of this engine.
+        self.stats = EvaluationResult()
+        #: The :class:`EvaluationResult` of the most recent run.
+        self.last_result: EvaluationResult | None = None
 
     # -- helpers -----------------------------------------------------------
 
-    def _filter_for(self, rule: Rule) -> Callable[[Row, object], bool] | None:
+    def invalidate_plans(self) -> None:
+        """Drop all cached plans (and the planner's own cache)."""
+        self._plan_cache.clear()
+        self.planner.invalidate()
+
+    def _plan_for(
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None,
+        result: EvaluationResult,
+    ) -> RulePlan:
+        """Memoized ``planner.plan`` per (rule, delta occurrence).
+
+        A cached plan is reused only while the planner's cache token is
+        unchanged: prepared planners issue a constant token (their plans are
+        data-independent), the cost-based planner issues the database
+        version (re-planning whenever the data changed, exactly its round-
+        trip-per-statement behaviour).
+        """
+        token_fn = self._token_fn
+        token = token_fn(db) if token_fn is not None else db.version
+        key = (id(rule), delta_index)
+        entry = self._plan_cache.get(key)
+        if entry is not None and entry[2] == token:
+            result.plan_cache_hits += 1
+            return entry[1]
+        plan = self.planner.plan(rule, db, delta_index)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (rule, plan, token)
+        result.plan_cache_misses += 1
+        return plan
+
+    def _delta_instance(
+        self, predicate: str, arity: int, rows: set[Row]
+    ) -> Instance:
+        """The reusable Δ-relation for ``predicate``, swapped to ``rows``.
+
+        Contents are replaced diff-wise so materialized probe indexes are
+        maintained incrementally instead of rebuilt every round.
+        """
+        key = (predicate, arity)
+        delta = self._delta_instances.get(key)
+        if delta is None:
+            delta = Instance(f"Δ{predicate}", arity, rows)
+            self._delta_instances[key] = delta
+        else:
+            delta.replace_contents(rows)
+        return delta
+
+    def _finish(self, result: EvaluationResult) -> EvaluationResult:
+        self.last_result = result
+        self.stats._absorb(result)
+        return result
+
+    def _filter_for(self, rule: Rule) -> HeadFilter | None:
         if rule.label is None:
             return None
-        head_filter = self.head_filters.get(rule.label)
-        if head_filter is None:
-            return None
-        return lambda row, _subst: head_filter(row)
+        return self.head_filters.get(rule.label)
 
     def _evaluate_rule(
         self,
@@ -113,7 +238,7 @@ class SemiNaiveEngine:
     ) -> list[Row]:
         """Evaluate one rule (optionally with a delta occurrence), returning
         the fully materialized list of derived head rows."""
-        plan = self.planner.plan(rule, db, delta_index)
+        plan = self._plan_for(rule, db, delta_index, result)
         result.rule_applications += 1
 
         def resolve(index: int, atom: Atom) -> RowSource:
@@ -123,10 +248,7 @@ class SemiNaiveEngine:
                 return db[atom.predicate]
             return _EMPTY_SOURCE
 
-        head_filter = self._filter_for(rule)
-        return [
-            row for row, _ in execute_plan(plan, resolve, head_filter)
-        ]
+        return run_plan(plan, resolve, self._filter_for(rule))
 
     # -- full evaluation -----------------------------------------------------
 
@@ -139,7 +261,7 @@ class SemiNaiveEngine:
         result = EvaluationResult()
         for stratum in stratification.strata:
             self._run_stratum(list(stratum), db, result, seed=None)
-        return result
+        return self._finish(result)
 
     def run_insertions(
         self,
@@ -174,6 +296,7 @@ class SemiNaiveEngine:
             for pred, rows in new_in_stratum.items():
                 all_new.setdefault(pred, set()).update(rows)
                 derived.setdefault(pred, set()).update(rows)
+        self._finish(result)
         return derived
 
     def _check_insertion_soundness(
@@ -217,29 +340,55 @@ class SemiNaiveEngine:
         deltas); otherwise ``seed`` supplies the initial deltas and only
         delta-driven derivations run.  Returns all rows newly inserted by
         this stratum.
+
+        Round accounting is exact: the initial naive pass counts as one
+        round, and each delta-driven pass as one more.  Deltas for
+        predicates no rule body in this stratum reads are dropped up front,
+        so a stratum untouched by the seed contributes zero rounds.
         """
         new_total: dict[str, set[Row]] = {}
         delta_sets: dict[str, set[Row]] = {}
+        body_preds = {
+            atom.predicate
+            for rule in rules
+            for atom in rule.body
+            if not atom.negated
+        }
 
-        if seed is None:
-            for rule in rules:
-                rows = self._evaluate_rule(rule, db, None, None, result)
-                target = db[rule.head.predicate]
-                for row in rows:
-                    if target.insert(row):
-                        delta_sets.setdefault(rule.head.predicate, set()).add(row)
-            for pred, rows in delta_sets.items():
-                new_total.setdefault(pred, set()).update(rows)
-        else:
-            delta_sets = {pred: set(rows) for pred, rows in seed.items()}
+        def relevant(deltas: dict[str, set[Row]]) -> dict[str, set[Row]]:
+            return {
+                pred: rows
+                for pred, rows in deltas.items()
+                if rows and pred in body_preds
+            }
 
         rounds = 0
+        if seed is None:
+            rounds = 1 if rules else 0
+            for rule in rules:
+                rows = self._evaluate_rule(rule, db, None, None, result)
+                added = db[rule.head.predicate].insert_new(rows)
+                if added:
+                    delta_sets.setdefault(
+                        rule.head.predicate, set()
+                    ).update(added)
+            for pred, rows in delta_sets.items():
+                new_total.setdefault(pred, set()).update(rows)
+            delta_sets = relevant(delta_sets)
+        else:
+            delta_sets = relevant(
+                {pred: set(rows) for pred, rows in seed.items()}
+            )
+
         while delta_sets:
             rounds += 1
             deltas = {
-                pred: Instance(f"Δ{pred}", db[pred].arity if pred in db else len(next(iter(rows))), rows)
+                pred: self._delta_instance(
+                    pred,
+                    db[pred].arity if pred in db else len(next(iter(rows))),
+                    rows,
+                )
                 for pred, rows in delta_sets.items()
-                if rows
             }
             next_deltas: dict[str, set[Row]] = {}
             for rule in rules:
@@ -252,17 +401,16 @@ class SemiNaiveEngine:
                     rows = self._evaluate_rule(
                         rule, db, index, delta_source, result
                     )
-                    target = db[rule.head.predicate]
-                    for row in rows:
-                        if target.insert(row):
-                            next_deltas.setdefault(
-                                rule.head.predicate, set()
-                            ).add(row)
+                    added = db[rule.head.predicate].insert_new(rows)
+                    if added:
+                        next_deltas.setdefault(
+                            rule.head.predicate, set()
+                        ).update(added)
             for pred, rows in next_deltas.items():
                 new_total.setdefault(pred, set()).update(rows)
-            delta_sets = next_deltas
+            delta_sets = relevant(next_deltas)
 
-        result.rounds += max(rounds, 1 if rules else 0)
+        result.rounds += rounds
         for pred, rows in new_total.items():
             result._record(pred, len(rows))
         return new_total
@@ -303,7 +451,7 @@ class NaiveEngine:
                         if target.insert(row):
                             result._record(rule.head.predicate, 1)
                             changed = True
-        return result
+        return self._inner._finish(result)
 
 
 class _EmptySource:

@@ -11,8 +11,8 @@ plain text.
 from __future__ import annotations
 
 from ..storage.database import Database
-from .ast import Atom, Constant, Program, Rule, SkolemTerm, Variable
-from .plan import RulePlan
+from .ast import Program, Rule, SkolemTerm, Variable
+from .plan import RulePlan, probe_columns
 from .planner import Planner, PreparedPlanner
 from .stratify import stratify
 
@@ -29,11 +29,13 @@ def explain_plan(plan: RulePlan, db: Database | None = None) -> str:
     bound: set[Variable] = set()
     for step, index in enumerate(plan.order, start=1):
         atom = rule.body[index]
-        probe_cols = _probe_columns(atom, bound)
+        # Shares the executor's probe-derivation code path, so EXPLAIN
+        # output shows exactly the columns the compiled plan will probe.
+        probe_cols = probe_columns(atom, bound)
         if atom.negated:
             kind = "anti-join"
         elif probe_cols:
-            kind = f"index probe on columns {sorted(probe_cols)}"
+            kind = f"index probe on columns {list(probe_cols)}"
         else:
             kind = "full scan"
         size = ""
@@ -51,22 +53,6 @@ def explain_plan(plan: RulePlan, db: Database | None = None) -> str:
     else:
         lines.append(f"  => emit {rule.head!r}")
     return "\n".join(lines)
-
-
-def _probe_columns(atom: Atom, bound: set[Variable]) -> set[int]:
-    columns: set[int] = set()
-    for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            columns.add(position)
-        elif isinstance(term, Variable) and term in bound:
-            columns.add(position)
-        elif isinstance(term, SkolemTerm) and term.args and all(
-            isinstance(a, Variable) and a in bound
-            or isinstance(a, Constant)
-            for a in term.args
-        ):
-            columns.add(position)
-    return columns
 
 
 def explain_program(

@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Protocol
 
 from ..storage.database import Database
-from .ast import Atom, Constant, Rule, Variable
-from .plan import RulePlan
+from .ast import Rule, Variable
+from .plan import RulePlan, probe_columns
 
 
 class Planner(Protocol):
@@ -37,6 +37,16 @@ class Planner(Protocol):
 
     def invalidate(self) -> None:
         """Forget cached plans (after schema changes)."""
+
+    def plan_cache_token(self, db: Database) -> object:
+        """A value that must be unchanged for a memoized plan to be reused.
+
+        The engine memoizes ``plan(...)`` per (rule, delta occurrence) and
+        compares this token on every hit: planners whose plans are
+        data-independent return a constant (bumped by :meth:`invalidate`),
+        statistics-driven planners return ``db.version`` so any data change
+        forces a re-plan."""
+        ...
 
 
 def _schedulable_negations(
@@ -84,10 +94,16 @@ class PreparedPlanner:
 
     def __init__(self) -> None:
         self._cache: dict[tuple[Rule, int | None], RulePlan] = {}
+        self._epoch = 0
         self.plans_built = 0  # instrumentation for benchmarks/tests
 
     def invalidate(self) -> None:
         self._cache.clear()
+        self._epoch += 1
+
+    def plan_cache_token(self, db: Database) -> object:
+        # Prepared plans are data-independent: stay valid until invalidated.
+        return self._epoch
 
     def plan(
         self, rule: Rule, db: Database, delta_index: int | None
@@ -135,6 +151,11 @@ class CostBasedPlanner:
     def invalidate(self) -> None:  # stateless: nothing cached
         return None
 
+    def plan_cache_token(self, db: Database) -> object:
+        # Statistics-driven plans go stale with the data: re-plan on any
+        # database change (the paper's per-statement optimizer round-trip).
+        return db.version
+
     def plan(
         self, rule: Rule, db: Database, delta_index: int | None
     ) -> RulePlan:
@@ -152,13 +173,7 @@ class CostBasedPlanner:
             if atom.predicate not in db:
                 return 0.0
             stats = db.stats_for(atom.predicate)
-            probe_cols = []
-            for position, term in enumerate(atom.terms):
-                if isinstance(term, Constant):
-                    probe_cols.append(position)
-                elif isinstance(term, Variable) and term in current:
-                    probe_cols.append(position)
-            return stats.fanout(tuple(probe_cols))
+            return stats.fanout(probe_columns(atom, current))
 
         def choose(candidates: set[int], current: set[Variable]) -> int:
             return min(

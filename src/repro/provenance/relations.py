@@ -30,7 +30,7 @@ instantiation").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import AbstractSet, Iterator
 
 from ..datalog.ast import (
     Atom,
@@ -242,9 +242,14 @@ class ProvenanceTable:
 
     def supporting_rows(
         self, db: Database, head: HeadTarget, target_row: Row
-    ) -> frozenset[Row]:
+    ) -> AbstractSet[Row]:
         """All rows of this provenance table deriving ``target_row`` via
-        ``head`` in the current database state."""
+        ``head`` in the current database state.
+
+        Returns a read-only view of the live index bucket (see
+        :meth:`repro.storage.instance.Instance.lookup`); materialize before
+        mutating the provenance table while iterating.
+        """
         probe = self.support_probe(head, target_row)
         if probe is None:
             return frozenset()

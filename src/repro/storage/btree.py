@@ -313,33 +313,51 @@ class BPlusTree:
     # -- invariants (used by tests) -----------------------------------------
 
     def check_invariants(self) -> None:
-        """Verify structural invariants; raises AssertionError on violation."""
+        """Verify structural invariants; raises AssertionError on violation.
+
+        Uses explicit raises (not ``assert`` statements) so the checks stay
+        in force under ``python -O`` — this method exists to *detect*
+        corruption, so it must never be compiled away.
+        """
         leaves_depth: set[int] = set()
 
+        def require(condition: bool, message: str) -> None:
+            if not condition:
+                raise AssertionError(message)
+
         def walk(node: _Node, depth: int, lo: object, hi: object) -> None:
-            assert node.keys == sorted(node.keys), "keys unsorted"  # type: ignore[type-var]
+            require(node.keys == sorted(node.keys), "keys unsorted")  # type: ignore[type-var]
             for key in node.keys:
                 if lo is not None:
-                    assert not key < lo  # type: ignore[operator]
+                    require(not key < lo, "key below subtree bound")  # type: ignore[operator]
                 if hi is not None:
-                    assert key < hi  # type: ignore[operator]
+                    require(key < hi, "key above subtree bound")  # type: ignore[operator]
             if node is not self._root:
-                assert len(node.keys) >= self._min_keys, "underfull node"
-            assert len(node.keys) <= self._max_keys, "overfull node"
+                require(len(node.keys) >= self._min_keys, "underfull node")
+            require(len(node.keys) <= self._max_keys, "overfull node")
             if node.is_leaf:
-                assert node.values is not None
-                assert len(node.values) == len(node.keys)
+                require(node.values is not None, "leaf without values")
+                require(
+                    len(node.values) == len(node.keys),  # type: ignore[arg-type]
+                    "leaf keys/values mismatch",
+                )
                 leaves_depth.add(depth)
             else:
-                assert node.children is not None
-                assert len(node.children) == len(node.keys) + 1
+                require(node.children is not None, "inner node without children")
+                require(
+                    len(node.children) == len(node.keys) + 1,  # type: ignore[arg-type]
+                    "inner node children/keys mismatch",
+                )
                 bounds = [lo, *node.keys, hi]
-                for i, child in enumerate(node.children):
+                for i, child in enumerate(node.children):  # type: ignore[union-attr]
                     walk(child, depth + 1, bounds[i], bounds[i + 1])
 
         walk(self._root, 0, None, None)
-        assert len(leaves_depth) <= 1, "leaves at differing depths"
-        assert sum(1 for _ in self.items()) == self._size
+        require(len(leaves_depth) <= 1, "leaves at differing depths")
+        require(
+            sum(1 for _ in self.items()) == self._size,
+            "size counter diverged from contents",
+        )
 
 
 class _Missing:

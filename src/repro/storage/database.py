@@ -25,6 +25,18 @@ class Database:
     def __init__(self) -> None:
         self._relations: dict[str, Instance] = {}
         self._stats = StatisticsCache()
+        self._catalog_version = 0
+
+    @property
+    def version(self) -> int:
+        """A counter that changes whenever any relation's contents or the
+        catalog itself change — the invalidation token for plan and
+        statistics caches.  Computed as the catalog version plus the sum of
+        every instance's mutation counter, so no per-mutation bookkeeping
+        is needed in the instances."""
+        return self._catalog_version + sum(
+            instance.version for instance in self._relations.values()
+        )
 
     # -- catalog management -------------------------------------------------
 
@@ -34,6 +46,7 @@ class Database:
             raise StorageError(f"relation {name!r} already exists")
         instance = Instance(name, arity, rows)
         self._relations[name] = instance
+        self._catalog_version += 1
         return instance
 
     def ensure(self, name: str, arity: int) -> Instance:
@@ -58,11 +71,18 @@ class Database:
         if instance.name in self._relations:
             raise StorageError(f"relation {instance.name!r} already exists")
         self._relations[instance.name] = instance
+        self._catalog_version += 1
         return instance
 
     def drop(self, name: str) -> bool:
         self._stats.invalidate(name)
-        return self._relations.pop(name, None) is not None
+        dropped = self._relations.pop(name, None)
+        if dropped is None:
+            return False
+        # Compensate for the dropped instance's contribution so the
+        # database version stays strictly monotone.
+        self._catalog_version += dropped.version + 1
+        return True
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

@@ -13,9 +13,11 @@ makes tuples usable as their own provenance tokens.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import AbstractSet, Callable, Iterable, Iterator, Sequence
 
 Row = tuple[object, ...]
+
+_EMPTY_BUCKET: frozenset[Row] = frozenset()
 
 
 class StorageError(Exception):
@@ -98,11 +100,45 @@ class Instance:
         return True
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
-        """Insert many rows; return the number actually added."""
-        added = 0
+        """Insert many rows; return the number actually added.
+
+        Index maintenance is bulk: every materialized index is patched once
+        with the set of genuinely new rows, and the version bumps once.
+        """
+        return len(self.insert_new(rows))
+
+    def insert_new(self, rows: Iterable[Sequence[object]]) -> list[Row]:
+        """Bulk insert; return the rows that were genuinely new.
+
+        Semantics match :meth:`insert_many` (one version bump, bulk index
+        maintenance); the returned list is what semi-naive evaluation needs
+        to seed the next delta round without per-row ``insert`` calls.
+        """
+        # Two-phase for exception safety: validate and collect first, then
+        # mutate — a bad row mid-batch must not leave rows in ``_rows``
+        # that the indexes have never seen.
+        existing = self._rows
+        arity = self.arity
+        added: list[Row] = []
+        batch: set[Row] = set()
+        record = added.append
+        seen = batch.add
         for row in rows:
-            if self.insert(row):
-                added += 1
+            row = tuple(row)
+            if row in existing or row in batch:
+                continue
+            if len(row) != arity:
+                self._check_arity(row)
+            seen(row)
+            record(row)
+        if not added:
+            return added
+        existing.update(batch)
+        self._version += 1
+        for cols, index in self._indexes.items():
+            for row in added:
+                key = tuple(row[c] for c in cols)
+                index.setdefault(key, set()).add(row)
         return added
 
     def delete(self, row: Sequence[object]) -> bool:
@@ -122,11 +158,34 @@ class Instance:
         return True
 
     def delete_many(self, rows: Iterable[Sequence[object]]) -> int:
-        removed = 0
+        """Delete many rows; return the number actually removed.
+
+        Like :meth:`insert_many`, indexes are patched in one bulk pass and
+        the version bumps once.
+        """
+        # Two-phase like insert_many: collect first, then mutate, so an
+        # unhashable/bad row mid-batch cannot desynchronize the indexes.
+        existing = self._rows
+        removed: list[Row] = []
+        batch: set[Row] = set()
         for row in rows:
-            if self.delete(row):
-                removed += 1
-        return removed
+            row = tuple(row)
+            if row in existing and row not in batch:
+                batch.add(row)
+                removed.append(row)
+        if not removed:
+            return 0
+        existing.difference_update(batch)
+        self._version += 1
+        for cols, index in self._indexes.items():
+            for row in removed:
+                key = tuple(row[c] for c in cols)
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[key]
+        return len(removed)
 
     def clear(self) -> None:
         self._rows.clear()
@@ -138,6 +197,32 @@ class Instance:
         self.clear()
         for row in rows:
             self.insert(row)
+
+    def replace_contents(self, rows: Iterable[Sequence[object]]) -> None:
+        """Replace the extension, *keeping* materialized indexes.
+
+        The diff against the current contents is applied with bulk index
+        maintenance, so a relation that is repeatedly refilled (the engine's
+        persistent Δ-relations) keeps its probe indexes warm instead of
+        rebuilding them from scratch on every swap.
+        """
+        new_rows = {tuple(row) for row in rows}
+        stale = self._rows - new_rows
+        if stale and len(stale) == len(self._rows):
+            # Complete turnover (the usual case for Δ-relations: successive
+            # rounds are disjoint): keep the index dicts but skip the
+            # pointless per-row removals.
+            self._rows.clear()
+            for index in self._indexes.values():
+                index.clear()
+            self._version += 1
+            self.insert_many(new_rows)
+            return
+        fresh = new_rows - self._rows
+        if stale:
+            self.delete_many(stale)
+        if fresh:
+            self.insert_many(fresh)
 
     # -- indexes ----------------------------------------------------------
 
@@ -159,14 +244,22 @@ class Instance:
 
     def lookup(
         self, columns: Sequence[int], values: Sequence[object]
-    ) -> frozenset[Row]:
-        """All rows whose ``columns`` equal ``values`` (index-accelerated)."""
+    ) -> AbstractSet[Row]:
+        """All rows whose ``columns`` equal ``values`` (index-accelerated).
+
+        Returns a **read-only view** of the live index bucket — no per-probe
+        copy is made.  Treat the result as ephemeral: do not mutate this
+        instance while iterating it, and materialize (``tuple(...)``) before
+        any interleaved mutation.  Use :meth:`rows` for a stable snapshot.
+        """
         cols = tuple(columns)
         if not cols:
+            # Not on the executor hot path (it snapshots full scans), so
+            # return a safe frozen copy rather than the mutable row set.
             return self.rows()
         self.ensure_index(cols)
         bucket = self._indexes[cols].get(tuple(values))
-        return frozenset(bucket) if bucket else frozenset()
+        return bucket if bucket is not None else _EMPTY_BUCKET
 
     def index_key_count(self, columns: Sequence[int]) -> int:
         """Number of distinct keys in the index on ``columns``."""

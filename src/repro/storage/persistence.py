@@ -57,7 +57,10 @@ def restore(store: KeyValueStore, into: Database | None = None) -> Database:
         raise StorageError("store contains no checkpoint catalog")
     for name in names:
         arity = store.get(CATALOG_BUCKET, name)
-        assert isinstance(name, str) and isinstance(arity, int)
+        if not isinstance(name, str) or not isinstance(arity, int):
+            raise StorageError(
+                f"corrupt checkpoint catalog entry: {name!r} -> {arity!r}"
+            )
         instance = db.ensure(name, arity)
         instance.clear()
         for _, row in store.cursor(DATA_PREFIX + name):

@@ -201,7 +201,11 @@ class SwissProtGenerator:
             f"{rng.randint(1, 28):02d}",
             str(rng.randint(1, 5)),
         )
-        assert len(values) == ARITY
+        if len(values) != ARITY:  # stays in force under ``python -O``
+            raise ValueError(
+                f"generated entry has {len(values)} attributes, "
+                f"expected {ARITY}"
+            )
         return SwissProtEntry(values)
 
     def entries(self, count: int, start: int = 0) -> Iterator[SwissProtEntry]:

@@ -1,0 +1,305 @@
+"""Tests for the evaluation hot path: plan caching, persistent deltas,
+compiled plan execution, exact round accounting, and bulk index maintenance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import _strip_output
+from repro.datalog import (
+    CostBasedPlanner,
+    DatalogError,
+    NaiveEngine,
+    PreparedPlanner,
+    SemiNaiveEngine,
+    parse_program,
+)
+from repro.datalog.plan import run_plan
+from repro.storage import Database, Instance
+
+TC_PROGRAM = """
+    T(x, y) :- E(x, y)
+    T(x, z) :- T(x, y), E(y, z)
+"""
+
+
+def make_db(tables):
+    db = Database()
+    for name, (arity, rows) in tables.items():
+        db.create(name, arity, rows)
+    return db
+
+
+class TestPlanCache:
+    def test_prepared_planner_plans_are_cached_in_engine(self):
+        db = make_db({"E": (2, [(1, 2), (2, 3), (3, 4)])})
+        engine = SemiNaiveEngine(PreparedPlanner())
+        prog = parse_program(TC_PROGRAM)
+        first = engine.run(prog, db)
+        assert first.plan_cache_misses > 0
+        # Delta-driven rounds re-request the same (rule, delta) plans.
+        assert first.plan_cache_hits > 0
+
+        # The first incremental pass still builds the E-delta plans ...
+        db["E"].insert((4, 5))
+        engine.run_insertions(prog, db, {"E": {(4, 5)}})
+        # ... after which an identically shaped pass is all cache hits.
+        db["E"].insert((5, 6))
+        engine.run_insertions(prog, db, {"E": {(5, 6)}})
+        second = engine.last_result
+        assert second.plan_cache_misses == 0
+        assert second.plan_cache_hit_rate == 1.0
+
+    def test_cost_based_planner_replans_when_data_changes(self):
+        db = make_db({"E": (2, [(1, 2), (2, 3), (3, 4)])})
+        engine = SemiNaiveEngine(CostBasedPlanner())
+        prog = parse_program(TC_PROGRAM)
+        result = engine.run(prog, db)
+        # Inserts bump the database version between rounds, so the
+        # statistics-driven planner can never reuse a stale plan.
+        assert result.plan_cache_hits == 0
+
+    def test_invalidate_plans_forces_rebuild(self):
+        db = make_db({"E": (2, [(1, 2)])})
+        planner = PreparedPlanner()
+        engine = SemiNaiveEngine(planner)
+        prog = parse_program("T(x, y) :- E(x, y)")
+        engine.run(prog, db)
+        built = planner.plans_built
+        engine.invalidate_plans()
+        engine.run(prog, db)
+        assert planner.plans_built > built
+
+    def test_cumulative_stats_accumulate_across_runs(self):
+        db = make_db({"E": (2, [(1, 2)])})
+        engine = SemiNaiveEngine()
+        prog = parse_program("T(x, y) :- E(x, y)")
+        engine.run(prog, db)
+        after_one = engine.stats.rule_applications
+        engine.run(prog, db)
+        assert engine.stats.rule_applications > after_one
+        assert engine.last_result.rule_applications < engine.stats.rule_applications
+
+
+class TestRoundAccounting:
+    def test_full_run_rounds_exact(self):
+        db = make_db({"E": (2, [(1, 2), (2, 3), (3, 4)])})
+        result = SemiNaiveEngine().run(parse_program(TC_PROGRAM), db)
+        # Round 1 (naive pass): T gets the edges via rule 1, then the
+        # length-2 paths via rule 2 in the same pass.  Round 2 derives the
+        # length-3 path from the deltas; round 3 derives nothing and stops.
+        assert result.rounds == 3
+
+    def test_non_recursive_stratum_is_single_round(self):
+        db = make_db({"E": (1, [(1,)])})
+        result = SemiNaiveEngine().run(parse_program("H(x) :- E(x)"), db)
+        # H is not read by any body atom: no delta round should follow the
+        # naive pass.
+        assert result.rounds == 1
+
+    def test_seeded_run_counts_only_driven_rounds(self):
+        db = make_db({"E": (2, [(1, 2)])})
+        prog = parse_program(TC_PROGRAM)
+        engine = SemiNaiveEngine()
+        engine.run(prog, db)
+        db["E"].insert((2, 3))
+        engine.run_insertions(prog, db, {"E": {(2, 3)}})
+        # Round 1 derives T(2,3)/T(1,3); round 2 derives nothing new.
+        assert engine.last_result.rounds == 2
+
+    def test_no_phantom_rounds_for_untouched_strata(self):
+        # The second stratum's rules never read the seeded predicate, so it
+        # must contribute zero rounds (the pre-fix code charged one).
+        prog = parse_program(
+            """
+            A(x) :- E(x)
+            B(x) :- V(x), not Z(x)
+            """
+        )
+        db = make_db({"E": (1, [(1,)]), "V": (1, [(9,)]), "Z": (1, [])})
+        engine = SemiNaiveEngine()
+        engine.run(prog, db)
+        db["E"].insert((2,))
+        engine.run_insertions(prog, db, {"E": {(2,)}})
+        # Only the A-stratum runs: one delta round deriving A(2), then a
+        # second showing quiescence... A is not in any body, so exactly 1.
+        assert engine.last_result.rounds == 1
+
+    def test_irrelevant_seed_runs_zero_rounds(self):
+        prog = parse_program("H(x) :- E(x)")
+        db = make_db({"E": (1, [(1,)]), "F": (1, [(5,)])})
+        engine = SemiNaiveEngine()
+        engine.run(prog, db)
+        db["F"].insert((6,))
+        derived = engine.run_insertions(prog, db, {"F": {(6,)}})
+        assert derived == {}
+        assert engine.last_result.rounds == 0
+
+
+class TestPersistentDeltas:
+    def test_delta_instances_are_reused_across_runs(self):
+        db = make_db({"E": (2, [(1, 2), (2, 3)])})
+        prog = parse_program(TC_PROGRAM)
+        engine = SemiNaiveEngine()
+        engine.run(prog, db)
+        deltas_after_run = dict(engine._delta_instances)
+        assert deltas_after_run  # the recursion exercised delta relations
+        db["E"].insert((3, 4))
+        engine.run_insertions(prog, db, {"E": {(3, 4)}})
+        for key, instance in deltas_after_run.items():
+            assert engine._delta_instances[key] is instance
+
+    def test_replace_contents_keeps_indexes_consistent(self):
+        inst = Instance("D", 2, [(1, "a"), (2, "b")])
+        assert set(inst.lookup([0], (1,))) == {(1, "a")}  # materialize index
+        inst.replace_contents([(2, "b"), (3, "c")])  # partial overlap
+        assert set(inst.lookup([0], (3,))) == {(3, "c")}
+        assert set(inst.lookup([0], (1,))) == set()
+        inst.replace_contents([(4, "d")])  # complete turnover
+        assert set(inst.lookup([0], (4,))) == {(4, "d")}
+        assert set(inst.lookup([0], (2,))) == set()
+        assert inst.rows() == {(4, "d")}
+
+
+class TestBulkIndexMaintenance:
+    def _reference_index(self, rows, cols):
+        index = {}
+        for row in rows:
+            index.setdefault(tuple(row[c] for c in cols), set()).add(row)
+        return index
+
+    def test_insert_many_patches_all_indexes(self):
+        inst = Instance("R", 3, [(1, "a", 10)])
+        inst.ensure_index([0])
+        inst.ensure_index([1, 2])
+        added = inst.insert_many([(1, "a", 10), (2, "b", 20), (3, "c", 30)])
+        assert added == 2
+        for cols in ((0,), (1, 2)):
+            expected = self._reference_index(inst.rows(), cols)
+            for key, bucket in expected.items():
+                assert set(inst.lookup(cols, key)) == bucket
+
+    def test_delete_many_patches_all_indexes(self):
+        rows = [(i, i % 3) for i in range(12)]
+        inst = Instance("R", 2, rows)
+        inst.ensure_index([1])
+        removed = inst.delete_many([(0, 0), (1, 1), (99, 0)])
+        assert removed == 2
+        expected = self._reference_index(inst.rows(), (1,))
+        for key in {(0,), (1,), (2,)}:
+            assert set(inst.lookup([1], key)) == expected.get(key, set())
+
+    def test_bulk_ops_bump_version_once(self):
+        inst = Instance("R", 1)
+        v0 = inst.version
+        inst.insert_many([(1,), (2,), (3,)])
+        assert inst.version == v0 + 1
+        inst.delete_many([(1,), (2,)])
+        assert inst.version == v0 + 2
+        inst.insert_many([])  # no-op: version unchanged
+        assert inst.version == v0 + 2
+
+    def test_lookup_returns_live_readonly_view(self):
+        inst = Instance("R", 2, [(1, "a")])
+        view = inst.lookup([0], (1,))
+        assert set(view) == {(1, "a")}
+        inst.insert((1, "b"))
+        # Zero-copy: the view reflects the mutation (it is the live bucket).
+        assert set(view) == {(1, "a"), (1, "b")}
+
+
+class TestStripOutputUnderO:
+    def test_strip_output_raises_real_error(self):
+        # Must raise even under ``python -O`` (it used to be an assert).
+        assert _strip_output("R__o") == "R"
+        with pytest.raises(DatalogError):
+            _strip_output("R__t")
+
+
+class TestExecutorSubstitutions:
+    def test_execute_plan_substitution_is_mapping(self):
+        from repro.datalog.parser import parse_rule
+        from repro.datalog.plan import RulePlan, execute_plan
+        from repro.datalog.ast import Variable
+
+        rule = parse_rule("H(x, y) :- A(x, y)")
+        source = Instance("A", 2, [(1, 2)])
+        results = list(execute_plan(RulePlan(rule, (0,)), lambda i, a: source))
+        assert len(results) == 1
+        row, subst = results[0]
+        assert row == (1, 2)
+        assert dict(subst) == {Variable("x"): 1, Variable("y"): 2}
+        assert subst[Variable("x")] == 1
+        assert len(subst) == 2
+
+    def test_run_plan_applies_row_filter(self):
+        from repro.datalog.parser import parse_rule
+        from repro.datalog.plan import RulePlan
+
+        rule = parse_rule("H(x) :- A(x)")
+        source = Instance("A", 1, [(1,), (2,), (3,)])
+        rows = run_plan(
+            RulePlan(rule, (0,)),
+            lambda i, a: source,
+            row_filter=lambda row: row[0] != 2,
+        )
+        assert sorted(rows) == [(1,), (3,)]
+
+
+@st.composite
+def random_edges(draw):
+    n = draw(st.integers(2, 6))
+    return draw(
+        st.sets(st.tuples(st.integers(0, n), st.integers(0, n)), max_size=18)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=random_edges(), extra=random_edges())
+def test_property_cached_engine_agrees_with_naive(edges, extra):
+    """Plan-cached + persistent-delta evaluation reaches the same fixpoint
+    as the naive reference, including across an incremental insertion pass
+    reusing the warm engine."""
+    prog = parse_program(
+        """
+        T(x, y) :- E(x, y)
+        T(x, z) :- T(x, y), E(y, z)
+        Loop(x) :- T(x, x)
+        Safe(x) :- V(x), not Loop(x)
+        """
+    )
+    nodes = {x for e in edges | extra for x in e}
+    db = Database()
+    db.create("E", 2, edges)
+    db.create("V", 1, [(x,) for x in nodes])
+    engine = SemiNaiveEngine()
+    engine.run(prog, db)
+
+    # Warm incremental pass through the same engine (cache + deltas reused).
+    new_edges = extra - edges
+    # Insertions may not reach the negated stratum incrementally; recompute
+    # the negation-free part incrementally and compare the positive idbs.
+    positive = parse_program(
+        """
+        T(x, y) :- E(x, y)
+        T(x, z) :- T(x, y), E(y, z)
+        """
+    )
+    for edge in new_edges:
+        db["E"].insert(edge)
+    engine.run_insertions(positive, db, {"E": new_edges})
+
+    reference = Database()
+    reference.create("E", 2, edges | extra)
+    reference.create("V", 1, [(x,) for x in nodes])
+    NaiveEngine().run(
+        parse_program(
+            """
+            T(x, y) :- E(x, y)
+            T(x, z) :- T(x, y), E(y, z)
+            """
+        ),
+        reference,
+    )
+    assert db["T"].rows() == reference["T"].rows()
