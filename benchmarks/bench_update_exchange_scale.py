@@ -1,8 +1,8 @@
-"""Update-exchange scaling benchmark: the perf-trajectory baseline.
+"""Update-exchange + query-serving benchmarks: the perf-trajectory baseline.
 
 Drives multi-peer publish / update-exchange workloads from the synthetic
 workload generator (Section 6.1) and writes ``BENCH_update_exchange.json``
-so the repository finally has a measured perf trajectory:
+so the repository has a measured perf trajectory:
 
 * **publish** — base entries at every peer, one full exchange (Figure 5's
   "time to join" shape);
@@ -10,14 +10,28 @@ so the repository finally has a measured perf trajectory:
   propagated with the insertion delta rules (Figures 7/8's common case,
   and the workload the evaluation hot path is tuned for).
 
+A second series exercises the serving-side query subsystem and writes
+``BENCH_query.json``:
+
+* **prepared** — one ``PreparedQuery`` with a parameter on the key
+  column, re-executed with a new binding per repetition (zero replanning:
+  the recorded plan-cache hit rate must be 1.0);
+* **adhoc** — the same lookups as one-shot ``cdss.query`` text queries
+  (parse + rewrite + plan every time);
+* **where_pushdown** vs **where_callable** — the same selection through
+  ``RelationView.where`` with a structured predicate (indexed probe)
+  vs. the deprecated Python-callable slow path (full scan).
+
 Per cell the JSON records wall seconds, semi-naive rounds, rule
 applications, and the engine's plan-cache hit rate.  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py
     PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py --quick
+    PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py --only query
 
 ``--baseline FILE`` embeds a previously saved run (e.g. from the commit
-before an optimization) under ``"baseline"`` and prints the speedups.
+before an optimization) under ``"baseline"`` and prints the speedups
+(exchange series only).
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ import argparse
 import json
 import sys
 import time
+import warnings
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -35,6 +50,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
 RESULT_FORMAT = "repro/bench-update-exchange@1"
+QUERY_RESULT_FORMAT = "repro/bench-query@1"
 
 
 def _engine_stats(cdss) -> dict[str, float] | None:
@@ -160,6 +176,134 @@ def run_benchmark(
     }
 
 
+# ---------------------------------------------------------------------------
+# Query-serving series (BENCH_query.json)
+# ---------------------------------------------------------------------------
+
+
+def run_query_cell(
+    peers: int, base_per_peer: int, repeats: int, seed: int
+) -> dict[str, object]:
+    """One query-benchmark cell over a populated workload CDSS.
+
+    Repeats the same key lookup with a fresh binding each time, through
+    four routes: prepared+parameterized, ad-hoc text, pushdown ``where``,
+    and the callable-``where`` slow path.
+    """
+    from repro.api.query import Query, col, param
+
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    cdss = generator.build_cdss()
+    generator.populate(cdss, base_per_peer)
+
+    relation = generator.layouts[0].relation_name(0)
+    view = cdss.relation(relation)
+    schema = view.schema
+    key_attr = schema.attributes[0]
+    keys = sorted(row[0] for row in view.to_rows())
+    chosen = [keys[i % len(keys)] for i in range(repeats)]
+
+    # Prepared + parameterized: plan/compile once, re-bind per execute.
+    prepared = cdss.prepare(
+        Query.scan(view).select(col(key_attr) == param("k"))
+    )
+    matched = 0
+    before = _engine_stats(cdss)
+    start = time.perf_counter()
+    for key in chosen:
+        matched += len(prepared.execute(k=key).to_rows())
+    prepared_seconds = time.perf_counter() - start
+    prepared_stats = _stats_delta(_engine_stats(cdss), before)
+
+    # Ad hoc: the same lookups as one-shot text queries (plan every time).
+    head_vars = ", ".join(f"v{i}" for i in range(1, schema.arity))
+    adhoc_matched = 0
+    start = time.perf_counter()
+    for key in chosen:
+        text = f"ans({head_vars}) :- {relation}({key}, {head_vars})"
+        adhoc_matched += len(cdss.query(text))
+    adhoc_seconds = time.perf_counter() - start
+
+    # Pushdown where: structured predicate -> indexed probe.
+    pushdown_matched = 0
+    start = time.perf_counter()
+    for key in chosen:
+        pushdown_matched += len(view.where(col(key_attr) == key).to_rows())
+    pushdown_seconds = time.perf_counter() - start
+
+    # Callable where: the deprecated full-scan slow path.
+    callable_matched = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        start = time.perf_counter()
+        for key in chosen:
+            callable_matched += len(
+                view.where(lambda row, _k=key: row[0] == _k).to_rows()
+            )
+        callable_seconds = time.perf_counter() - start
+
+    if not (matched == adhoc_matched == pushdown_matched == callable_matched):
+        raise AssertionError(
+            "query routes disagree: "
+            f"{matched}/{adhoc_matched}/{pushdown_matched}/{callable_matched}"
+        )
+    return {
+        "peers": peers,
+        "base_per_peer": base_per_peer,
+        "repeats": repeats,
+        "relation": relation,
+        "distinct_keys": len(keys),
+        "rows_matched": matched,
+        "prepared": {"seconds": prepared_seconds, **prepared_stats},
+        "adhoc": {"seconds": adhoc_seconds},
+        "where_pushdown": {"seconds": pushdown_seconds},
+        "where_callable": {"seconds": callable_seconds},
+        "speedups": {
+            "prepared_vs_adhoc": (
+                adhoc_seconds / prepared_seconds if prepared_seconds > 0 else 0.0
+            ),
+            "pushdown_vs_callable": (
+                callable_seconds / pushdown_seconds
+                if pushdown_seconds > 0
+                else 0.0
+            ),
+        },
+    }
+
+
+def run_query_benchmark(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    repeats: int,
+    seed: int = 0,
+) -> dict[str, object]:
+    cells = []
+    for peers in peer_counts:
+        cell = run_query_cell(peers, base_per_peer, repeats, seed)
+        cells.append(cell)
+        print(
+            f"  peers={peers:3d}  prepared={cell['prepared']['seconds']:.3f}s"
+            f"  adhoc={cell['adhoc']['seconds']:.3f}s"
+            f"  pushdown={cell['where_pushdown']['seconds']:.3f}s"
+            f"  callable={cell['where_callable']['seconds']:.3f}s"
+            f"  hit_rate="
+            f"{cell['prepared'].get('plan_cache_hit_rate', 0.0):.2f}"
+        )
+    return {
+        "format": QUERY_RESULT_FORMAT,
+        "workload": {
+            "dataset": "integer",
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "cells": cells,
+    }
+
+
 def _speedups(
     baseline: dict[str, object], current: dict[str, object]
 ) -> dict[str, dict[str, float]]:
@@ -206,56 +350,84 @@ def main(argv: list[str] | None = None) -> int:
         help="embed a previously saved result file and report speedups",
     )
     parser.add_argument(
+        "--only",
+        choices=("all", "exchange", "query"),
+        default="all",
+        help="which series to run (default: both)",
+    )
+    parser.add_argument(
+        "--query-repeats",
+        type=int,
+        default=None,
+        help="parameter bindings per query cell (default: 200, or 20 with --quick)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         help=(
-            "result path (default: BENCH_update_exchange.json at the repo "
-            "root; --quick writes BENCH_update_exchange_quick.json so smoke "
-            "runs never clobber the committed perf trajectory)"
+            "exchange-series result path (default: BENCH_update_exchange.json "
+            "at the repo root; --quick writes BENCH_update_exchange_quick.json "
+            "so smoke runs never clobber the committed perf trajectory; the "
+            "query series always writes BENCH_query[_quick].json alongside)"
         ),
     )
     args = parser.parse_args(argv)
+    suffix = "_quick" if args.quick else ""
     if args.out is None:
-        name = (
-            "BENCH_update_exchange_quick.json"
-            if args.quick
-            else "BENCH_update_exchange.json"
-        )
-        args.out = REPO_ROOT / name
+        args.out = REPO_ROOT / f"BENCH_update_exchange{suffix}.json"
+    query_out = REPO_ROOT / f"BENCH_query{suffix}.json"
 
     if args.quick:
         peer_counts = tuple(args.peers or (2, 3))
         base = args.base if args.base is not None else 20
         insert = args.insert if args.insert is not None else 2
         repeat = args.repeat if args.repeat is not None else 1
+        query_repeats = (
+            args.query_repeats if args.query_repeats is not None else 20
+        )
     else:
         peer_counts = tuple(args.peers or (2, 5, 10))
         base = args.base if args.base is not None else 400
         insert = args.insert if args.insert is not None else 20
         repeat = args.repeat if args.repeat is not None else 3
+        query_repeats = (
+            args.query_repeats if args.query_repeats is not None else 200
+        )
 
-    print(
-        f"update-exchange scale benchmark: peers={peer_counts} "
-        f"base={base}/peer insert={insert}/peer repeat={repeat}"
-    )
-    result = run_benchmark(
-        peer_counts, base, insert, seed=args.seed, repeat=repeat
-    )
+    if args.only in ("all", "exchange"):
+        print(
+            f"update-exchange scale benchmark: peers={peer_counts} "
+            f"base={base}/peer insert={insert}/peer repeat={repeat}"
+        )
+        result = run_benchmark(
+            peer_counts, base, insert, seed=args.seed, repeat=repeat
+        )
 
-    if args.baseline is not None and args.baseline.exists():
-        baseline = json.loads(args.baseline.read_text())
-        result["baseline"] = baseline
-        result["speedup_vs_baseline"] = _speedups(baseline, result)
-        for phase, ratios in result["speedup_vs_baseline"].items():
-            rendered = ", ".join(
-                f"{peers} peers: {ratio:.2f}x"
-                for peers, ratio in ratios.items()
-            )
-            print(f"  speedup[{phase}]: {rendered}")
+        if args.baseline is not None and args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            result["baseline"] = baseline
+            result["speedup_vs_baseline"] = _speedups(baseline, result)
+            for phase, ratios in result["speedup_vs_baseline"].items():
+                rendered = ", ".join(
+                    f"{peers} peers: {ratio:.2f}x"
+                    for peers, ratio in ratios.items()
+                )
+                print(f"  speedup[{phase}]: {rendered}")
 
-    args.out.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {args.out}")
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.only in ("all", "query"):
+        print(
+            f"repeated-parameterized-query benchmark: peers={peer_counts} "
+            f"base={base}/peer repeats={query_repeats}"
+        )
+        query_result = run_query_benchmark(
+            peer_counts, base, query_repeats, seed=args.seed
+        )
+        query_out.write_text(json.dumps(query_result, indent=2) + "\n")
+        print(f"wrote {query_out}")
     return 0
 
 

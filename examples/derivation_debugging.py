@@ -10,7 +10,8 @@ introspection toolkit:
 * **goal-directed derivability** — the Section 4.1.3 test, both the direct
   implementation and the literal inverse-rule datalog program;
 * **EXPLAIN** — the bind-join plans the engine actually runs (the paper's
-  Section 5.1 tuning pains, made visible);
+  Section 5.1 tuning pains, made visible), including a prepared query's
+  pipeline with its parameter slots pre-bound;
 * **checkpoint/restore** — ORCHESTRA's auxiliary-storage persistence:
   freeze the whole exchanged state (including provenance tables and labeled
   nulls) and resume incrementally later.
@@ -90,6 +91,31 @@ def explain_plans(cdss: CDSS) -> None:
     print("\n".join(shown[:8]))
     print("...\n")
 
+    # Prepared queries expose their pipeline the same way.  The parameter c
+    # occupies a pre-bound slot, so U is probed on its second column — and
+    # re-executing with a new binding replans nothing (engine plan cache).
+    prepared = cdss.prepare("ans(i, n) :- B(i, n), U(n, c)", params=("c",))
+    print(prepared.explain())
+    print(f"answers for c=5: {sorted(prepared.execute(c=5), key=repr)}")
+    print(f"answers for c=2: {sorted(prepared.execute(c=2), key=repr)}\n")
+
+
+def pushdown_views(cdss: CDSS) -> None:
+    print("=== Structured view predicates (indexed pushdown) ===")
+    from repro import col
+
+    B = cdss.relation("B")
+    keyed = B.where(col("id") == 3)
+    print(f"B where id=3: {sorted(keyed, key=repr)}")
+    # The same selection as an annotated query: every answer row carries
+    # its provenance-semiring expression (computed via provenance.annotated).
+    annotated = (
+        cdss.prepare(B.select(col("id") == 3)).execute().annotated()
+    )
+    for row, expression in annotated.items():
+        print(f"  Pv{row!r} = {expression!r}")
+    print()
+
 
 def checkpoint_resume(cdss: CDSS) -> None:
     print("=== Checkpoint / resume (auxiliary storage) ===")
@@ -114,4 +140,5 @@ if __name__ == "__main__":
     derivation_trees(cdss)
     what_if_analysis(cdss)
     explain_plans(cdss)
+    pushdown_views(cdss)
     checkpoint_resume(cdss)

@@ -61,11 +61,28 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 4. Queries with certain-answer semantics (Example 3's queries).
     #    Labeled nulls join on equality but are dropped from answers.
+    #    One-shot text queries, a prepared + parameterized query (planned
+    #    and compiled once, re-executed with new bindings), and the fluent
+    #    builder with structured predicates all share one subsystem.
     # ------------------------------------------------------------------
     q1 = cdss.query("ans(x, y) :- U(x, z), U(y, z)")
     q2 = cdss.query("ans(x, y) :- U(x, y)")
     print(f"\nans(x, y) :- U(x, z), U(y, z)  ->  {sorted(q1)}")
     print(f"ans(x, y) :- U(x, y)           ->  {sorted(q2)}")
+
+    from repro import col, param
+
+    by_name = cdss.prepare("ans(i) :- B(i, n)", params=("n",))
+    print(f"B ids with nam=2: {sorted(by_name.execute(n=2))}")
+    print(f"B ids with nam=5: {sorted(by_name.execute(n=5))}")
+
+    synonyms = cdss.prepare(
+        pubio.relation("U")
+        .join("U", on="can", alias="U2")
+        .select(col("U.nam") == param("n"))
+        .project("U2.nam")
+    )
+    print(f"synonyms of 2: {sorted(synonyms.execute(n=2).to_rows())}")
 
     # ------------------------------------------------------------------
     # 5. Provenance (Examples 5 and 6) through the relation view: how was
@@ -86,6 +103,7 @@ def main() -> None:
     pbio.delete("B", (3, 2))
     cdss.update_exchange()
     print(f"\nafter curating away B(3,2): B = {sorted(B)}")
+    print(f"B where id=3 (indexed pushdown): {sorted(B.where(col('id') == 3))}")
     print(f"U = {sorted(pubio.relation('U'), key=repr)}")
     print(f"rejections at B: {sorted(cdss.system().rejections('B'))}")
 

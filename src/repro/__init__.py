@@ -29,17 +29,22 @@ paper-figure reproductions.
 """
 
 from .api import (
+    AnswerSet,
     Batch,
     BatchError,
     EditSpec,
     MappingSpec,
     PeerHandle,
     PeerSpec,
+    PreparedQuery,
+    Query,
     RelationSpec,
     RelationView,
     SpecError,
     SystemSpec,
     TrustScope,
+    col,
+    param,
 )
 from .core import (
     CDSS,
@@ -62,6 +67,7 @@ from .schema import PeerSchema, RelationSchema, SchemaMapping
 __version__ = "2.0.0"
 
 __all__ = [
+    "AnswerSet",
     "Batch",
     "BatchError",
     "BooleanSemiring",
@@ -74,6 +80,8 @@ __all__ = [
     "PeerHandle",
     "PeerSchema",
     "PeerSpec",
+    "PreparedQuery",
+    "Query",
     "RelationSchema",
     "RelationSpec",
     "RelationView",
@@ -89,4 +97,6 @@ __all__ = [
     "TrustScope",
     "WhySemiring",
     "__version__",
+    "col",
+    "param",
 ]

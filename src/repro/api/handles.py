@@ -106,6 +106,20 @@ class PeerHandle:
         self._own(name)
         return RelationView(self._cdss, name)
 
+    # -- querying ----------------------------------------------------------
+
+    def prepare(self, query, params: Iterable[str] = ()) -> "object":
+        """Prepare a query posed at this peer (Section 2.1: peers answer
+        queries over their local instances).  Delegates to
+        :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>`; the returned
+        :class:`~repro.api.query.PreparedQuery` reads the same exchanged
+        local instances every peer queries."""
+        return self._cdss.prepare(query, tuple(params))
+
+    def query(self, text: str, certain: bool = True):
+        """One-shot conjunctive query posed at this peer."""
+        return self._cdss.query(text, certain=certain)
+
     # -- editing (offline) -------------------------------------------------
 
     def insert(self, relation: str, row: Iterable[object]) -> None:

@@ -1,0 +1,1061 @@
+"""First-class queries: composable, prepared, parameterized, plan-cached.
+
+The paper's peers answer conjunctive queries over their local instances
+with certain-answer semantics (Section 2.1) and provenance annotations
+(Section 3.2).  This module is the serving-oriented query surface of the
+v2 API — the counterpart of the transactional update path:
+
+* :class:`Query` — an immutable query description, built either from
+  datalog text (``Query.parse("ans(x, y) :- U(x, z), U(y, z)")``) or with
+  a fluent builder over relations / :class:`~repro.api.views.RelationView`
+  (``select`` / ``join`` / ``project`` with structured predicates like
+  ``col("city") == param("c")``);
+* :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>` →
+  :class:`PreparedQuery` — rewrites the query to the internal ``R__o``
+  relations, plans it through the engine-level plan cache, and compiles it
+  through :func:`~repro.datalog.plan.compile_plan` exactly **once**;
+  parameters occupy reserved environment slots in the compiled plan, so
+  re-executing with new bindings changes only the initial environment —
+  zero replanning, zero recompilation;
+* :meth:`PreparedQuery.execute` → :class:`AnswerSet` — a lazy answer
+  stream with the three answer modes of Section 2.1: ``certain`` (default;
+  labeled-null rows dropped), ``with_nulls`` (the superset), and
+  ``annotated`` (each row paired with its provenance-semiring expression,
+  computed via :mod:`repro.provenance.annotated`).
+
+Structured predicates are also what :meth:`RelationView.where
+<repro.api.views.RelationView.where>` pushes down to indexed probes; the
+compilation helper for that single-relation case
+(:func:`compile_row_condition`) lives here too.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..core.query import QueryError, _rewrite_to_internal
+from ..datalog.ast import (
+    Atom,
+    Constant,
+    Rule,
+    Variable,
+    tuple_has_labeled_null,
+)
+from ..datalog.parser import parse_rule
+from ..datalog.plan import CompiledPlan, RulePlan, compile_plan, execute_plan
+from ..schema.internal import InternalSchema
+from ..schema.relation import RelationSchema
+from ..storage.database import Database
+from ..storage.instance import Instance, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cdss import CDSS
+    from ..datalog.engine import SemiNaiveEngine
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+ANSWER_PREDICATE = "ans"
+
+
+# ---------------------------------------------------------------------------
+# The structured-predicate DSL: col / param / comparisons / conjunction
+# ---------------------------------------------------------------------------
+
+
+class Parameter:
+    """A named query parameter, bound at :meth:`PreparedQuery.execute`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise QueryError(f"parameter name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"param({self.name!r})"
+
+
+class ColumnRef:
+    """A reference to a column, by attribute name or ``Relation.attribute``.
+
+    Comparison operators build :class:`Comparison` conditions instead of
+    booleans — this is a tiny expression DSL, not a value.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+    def __hash__(self) -> int:  # identity: comparisons are not equality
+        return object.__hash__(self)
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("==", self, other)
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, other)
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, other)
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, other)
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, other)
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, other)
+
+
+def col(name: str) -> ColumnRef:
+    """A column reference for structured predicates: ``col("city")``."""
+    return ColumnRef(name)
+
+
+def param(name: str) -> Parameter:
+    """A named parameter placeholder: ``col("city") == param("c")``."""
+    return Parameter(name)
+
+
+class Condition:
+    """Base class of structured predicates; ``&`` conjoins conditions."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Condition") -> "Condition":
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return And(self.conjuncts() + other.conjuncts())
+
+    def __bool__(self) -> bool:
+        # Catch `cond1 and cond2` (which short-circuits through bool and
+        # silently drops conditions) for comparisons AND conjunctions.
+        raise QueryError(
+            f"{self!r} is a structured predicate, not a boolean; combine "
+            "with & and pass it to .where()/.select() instead of using "
+            "'and'/'or' or evaluating it"
+        )
+
+    def conjuncts(self) -> tuple["Comparison", ...]:
+        raise NotImplementedError
+
+
+class Comparison(Condition):
+    """One comparison between a column and a value / parameter / column."""
+
+    __slots__ = ("op", "column", "value")
+
+    def __init__(self, op: str, column: ColumnRef, value: object) -> None:
+        self.op = op
+        self.column = column
+        self.value = value
+
+    def conjuncts(self) -> tuple["Comparison", ...]:
+        return (self,)
+
+    def __repr__(self) -> str:
+        return f"({self.column!r} {self.op} {self.value!r})"
+
+
+class And(Condition):
+    """A conjunction of comparisons."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Comparison]) -> None:
+        self.parts = tuple(parts)
+
+    def conjuncts(self) -> tuple[Comparison, ...]:
+        return self.parts
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(p) for p in self.parts)
+
+
+# ---------------------------------------------------------------------------
+# Single-relation condition compilation (the RelationView.where pushdown)
+# ---------------------------------------------------------------------------
+
+
+def compile_row_condition(
+    condition: Condition, schema: RelationSchema
+) -> tuple[tuple[int, ...], tuple[object, ...], Callable[[Row], bool] | None]:
+    """Compile a condition against one relation's rows.
+
+    Returns ``(probe_columns, probe_values, residual)``: equality
+    comparisons against literals become an indexed probe template
+    (column positions + values for :meth:`Instance.lookup`); everything
+    else becomes a residual row predicate.  Parameters are rejected —
+    they only make sense under :meth:`CDSS.prepare`.
+    """
+    probes: dict[int, object] = {}
+    residuals: list[Callable[[Row], bool]] = []
+    for comparison in condition.conjuncts():
+        position = schema.position_of(_bare_attribute(comparison.column, schema))
+        value = comparison.value
+        if isinstance(value, Parameter):
+            raise QueryError(
+                f"parameter {value.name!r} in a view predicate; parameters "
+                "require a prepared query (cdss.prepare)"
+            )
+        if isinstance(value, ColumnRef):
+            other = schema.position_of(_bare_attribute(value, schema))
+            fn = _OPS[comparison.op]
+            residuals.append(
+                lambda row, fn=fn, i=position, j=other: fn(row[i], row[j])
+            )
+        elif comparison.op == "==":
+            if position in probes and probes[position] != value:
+                # Contradictory equalities: nothing can match.
+                return ((), (), lambda row: False)
+            probes[position] = value
+        else:
+            fn = _OPS[comparison.op]
+            residuals.append(
+                lambda row, fn=fn, i=position, v=value: fn(row[i], v)
+            )
+    cols = tuple(sorted(probes))
+    values = tuple(probes[c] for c in cols)
+    if not residuals:
+        return (cols, values, None)
+    if len(residuals) == 1:
+        return (cols, values, residuals[0])
+    return (
+        cols,
+        values,
+        lambda row, checks=tuple(residuals): all(c(row) for c in checks),
+    )
+
+
+def _bare_attribute(column: ColumnRef, schema: RelationSchema) -> str:
+    name = column.name
+    if "." in name:
+        relation, _, attribute = name.partition(".")
+        if relation != schema.name:
+            raise QueryError(
+                f"column {name!r} does not belong to relation {schema.name!r}"
+            )
+        return attribute
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Query: an immutable description (datalog text or fluent builder)
+# ---------------------------------------------------------------------------
+
+
+class _Scan:
+    """One builder scan: a relation occurrence under an alias."""
+
+    __slots__ = ("relation", "alias", "schema")
+
+    def __init__(
+        self, relation: str, alias: str, schema: RelationSchema | None
+    ) -> None:
+        self.relation = relation
+        self.alias = alias
+        self.schema = schema
+
+
+def _scan_of(source: object, alias: str | None) -> _Scan:
+    """Normalize a relation name / RelationView / handle-ish into a scan."""
+    schema = None
+    if isinstance(source, str):
+        name = source
+    elif hasattr(source, "name") and hasattr(source, "schema"):
+        name = source.name  # a RelationView (duck-typed: no import cycle)
+        schema = source.schema
+    else:
+        raise QueryError(
+            f"cannot scan {source!r}: expected a relation name or RelationView"
+        )
+    return _Scan(name, alias or name, schema)
+
+
+class _Resolved:
+    """A builder/text query lowered to a user-level rule + metadata."""
+
+    __slots__ = ("rule", "params", "param_names", "residuals", "unsat")
+
+    def __init__(
+        self,
+        rule: Rule,
+        params: tuple[Variable, ...],
+        param_names: tuple[str, ...],
+        residuals: tuple[tuple[str, object, object], ...],
+        unsat: bool = False,
+    ) -> None:
+        self.rule = rule
+        self.params = params
+        self.param_names = param_names
+        self.residuals = residuals
+        self.unsat = unsat
+
+
+class Query:
+    """An immutable, composable query over user relations.
+
+    Build one from datalog text::
+
+        Query.parse("ans(x, y) :- U(x, z), U(y, z)")
+        Query.parse("ans(n) :- U(n, c)", params=("c",))   # c bound at execute
+
+    or fluently over relations / views (each method returns a new query)::
+
+        (Query.scan(B)
+              .join(U, on=(("nam", "can"),))   # B.nam == U.can
+              .select(col("id") == param("i"))
+              .project("id", "U.nam"))
+
+    Queries hold no system reference; :meth:`CDSS.prepare
+    <repro.core.cdss.CDSS.prepare>` binds them to a system, plans and
+    compiles them once, and returns a :class:`PreparedQuery`.
+    """
+
+    __slots__ = ("_rule", "_text_params", "_scans", "_conditions", "_projection")
+
+    def __init__(self) -> None:
+        self._rule: Rule | None = None
+        self._text_params: tuple[str, ...] = ()
+        self._scans: tuple[_Scan, ...] = ()
+        # (comparison, visible): bare column names in the comparison's left
+        # side resolve among the first ``visible`` scans (None = all) — this
+        # keeps natural-join names like on="nam" unambiguous after the
+        # joined relation introduces the same attribute again.
+        self._conditions: tuple[tuple[Comparison, int | None], ...] = ()
+        self._projection: tuple[str, ...] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def parse(text: str | Rule, params: Sequence[str] = ()) -> "Query":
+        """A query from datalog text over user relation names.
+
+        ``params`` names body variables to treat as execute-time
+        parameters (prepared-statement constant slots).
+        """
+        rule = parse_rule(text) if isinstance(text, str) else text
+        if not rule.body:
+            raise QueryError("query must have a non-empty body")
+        rule.check_safety()
+        names = tuple(params)
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate parameter names: {names!r}")
+        rule_vars = {v.name for v in rule.variables()}
+        for name in names:
+            if name not in rule_vars:
+                raise QueryError(
+                    f"parameter {name!r} does not occur in the query"
+                )
+        query = Query()
+        query._rule = rule
+        query._text_params = names
+        return query
+
+    @staticmethod
+    def scan(source: object, alias: str | None = None) -> "Query":
+        """A builder query scanning one relation (name or view)."""
+        query = Query()
+        query._scans = (_scan_of(source, alias),)
+        return query
+
+    def _copy(self) -> "Query":
+        query = Query()
+        query._rule = self._rule
+        query._text_params = self._text_params
+        query._scans = self._scans
+        query._conditions = self._conditions
+        query._projection = self._projection
+        return query
+
+    def _require_builder(self, method: str) -> None:
+        if self._rule is not None:
+            raise QueryError(
+                f"Query.{method} is a builder operation; this query was "
+                "constructed from datalog text"
+            )
+        if not self._scans:
+            raise QueryError("empty query: start with Query.scan(relation)")
+
+    # -- builder operations ------------------------------------------------
+
+    def select(self, *conditions: Condition) -> "Query":
+        """Conjoin structured predicates (``col(...) == param(...)``)."""
+        self._require_builder("select")
+        # Bare column names resolve among the scans present *now*: a later
+        # join introducing the same attribute must not retroactively make
+        # an already-written select ambiguous.
+        visible = len(self._scans)
+        extra: list[tuple[Comparison, int | None]] = []
+        for condition in conditions:
+            if not isinstance(condition, Condition):
+                raise QueryError(
+                    f"select expects structured predicates, got "
+                    f"{condition!r}; Python callables belong to "
+                    "RelationView.where's deprecated slow path"
+                )
+            extra.extend((c, visible) for c in condition.conjuncts())
+        query = self._copy()
+        query._conditions = self._conditions + tuple(extra)
+        return query
+
+    def join(
+        self,
+        source: object,
+        on: object,
+        alias: str | None = None,
+    ) -> "Query":
+        """Join another relation.
+
+        ``on`` is an attribute name (equal in both), an iterable of names
+        or of ``(left, right)`` pairs, or a structured condition over
+        qualified columns.
+        """
+        self._require_builder("join")
+        scan = _scan_of(source, alias)
+        if any(s.alias == scan.alias for s in self._scans):
+            raise QueryError(
+                f"alias {scan.alias!r} already used; pass alias= for self-joins"
+            )
+        visible = len(self._scans)  # bare left names resolve pre-join
+        conditions: list[tuple[Comparison, int | None]] = []
+        if isinstance(on, Condition):
+            conditions.extend((c, None) for c in on.conjuncts())
+        else:
+            pairs: list[tuple[str, str]]
+            if isinstance(on, str):
+                pairs = [(on, on)]
+            else:
+                pairs = []
+                for item in on:
+                    if isinstance(item, str):
+                        pairs.append((item, item))
+                    else:
+                        left, right = item
+                        pairs.append((left, right))
+            if not pairs:
+                raise QueryError("join requires at least one column pair")
+            for left, right in pairs:
+                right_name = right if "." in right else f"{scan.alias}.{right}"
+                conditions.append(
+                    (
+                        Comparison("==", ColumnRef(left), ColumnRef(right_name)),
+                        visible,
+                    )
+                )
+        query = self._copy()
+        query._scans = self._scans + (scan,)
+        query._conditions = self._conditions + tuple(conditions)
+        return query
+
+    def project(self, *columns: str | ColumnRef) -> "Query":
+        """Choose and order the output columns (default: every column)."""
+        self._require_builder("project")
+        if not columns:
+            raise QueryError("project requires at least one column")
+        names = tuple(
+            c.name if isinstance(c, ColumnRef) else c for c in columns
+        )
+        query = self._copy()
+        query._projection = names
+        return query
+
+    # -- lowering ----------------------------------------------------------
+
+    def _resolve(self, catalog: Mapping[str, RelationSchema]) -> _Resolved:
+        """Lower to a user-level rule + params + residual comparisons."""
+        if self._rule is not None:
+            params = tuple(Variable(name) for name in self._text_params)
+            return _Resolved(self._rule, params, self._text_params, ())
+        return self._resolve_builder(catalog)
+
+    def _resolve_builder(
+        self, catalog: Mapping[str, RelationSchema]
+    ) -> _Resolved:
+        scans = list(self._scans)
+        schemas: list[RelationSchema] = []
+        for scan in scans:
+            schema = scan.schema or catalog.get(scan.relation)
+            if schema is None:
+                raise QueryError(
+                    f"query references unknown relation {scan.relation!r}"
+                )
+            schemas.append(schema)
+
+        def locate(name: str, visible: int | None = None) -> tuple[int, int]:
+            """(scan index, position) for a column name.
+
+            Qualified names (``Alias.attr``) resolve globally; bare names
+            resolve among the first ``visible`` scans (all by default) and
+            must be unambiguous there.
+            """
+            if "." in name:
+                alias, _, attribute = name.partition(".")
+                for index, scan in enumerate(scans):
+                    if scan.alias == alias:
+                        if attribute not in schemas[index].attributes:
+                            raise QueryError(
+                                f"relation {scan.relation!r} (alias "
+                                f"{alias!r}) has no attribute {attribute!r}"
+                            )
+                        return (
+                            index,
+                            schemas[index].attributes.index(attribute),
+                        )
+                raise QueryError(f"unknown relation alias in column {name!r}")
+            limit = len(scans) if visible is None else visible
+            matches = [
+                (index, schemas[index].attributes.index(name))
+                for index in range(limit)
+                if name in schemas[index].attributes
+            ]
+            if not matches:
+                raise QueryError(f"unknown column {name!r}")
+            if len(matches) > 1:
+                raise QueryError(
+                    f"column {name!r} is ambiguous; qualify it as 'Alias.attr'"
+                )
+            return matches[0]
+
+        # One variable per column position, then unify through the
+        # equality conditions (union-find over term assignments).
+        variables = [
+            [
+                Variable(f"{scan.alias}.{attribute}")
+                for attribute in schema.attributes
+            ]
+            for scan, schema in zip(scans, schemas)
+        ]
+        assign: dict[Variable, object] = {}
+
+        def resolve_term(term: object) -> object:
+            while isinstance(term, Variable) and term in assign:
+                term = assign[term]
+            return term
+
+        param_vars: dict[str, Variable] = {}
+
+        def term_for_value(value: object, visible: int | None) -> object:
+            if isinstance(value, Parameter):
+                var = param_vars.get(value.name)
+                if var is None:
+                    var = Variable(f"${value.name}")
+                    param_vars[value.name] = var
+                return var
+            if isinstance(value, ColumnRef):
+                index, position = locate(value.name, visible)
+                return variables[index][position]
+            return Constant(value)
+
+        def is_param(term: object) -> bool:
+            return isinstance(term, Variable) and term.name.startswith("$")
+
+        residuals: list[tuple[str, object, object]] = []
+        unsat = False
+        for comparison, visible in self._conditions:
+            index, position = locate(comparison.column.name, visible)
+            left = resolve_term(variables[index][position])
+            right = resolve_term(term_for_value(comparison.value, visible))
+            if comparison.op != "==":
+                residuals.append((comparison.op, left, right))
+                continue
+            if left == right:
+                continue
+            # Parameter variables stay roots: binding them to a constant or
+            # each other must remain a runtime check, not a rewrite, or a
+            # later execute() binding would be silently ignored.
+            if isinstance(left, Variable) and not is_param(left):
+                assign[left] = right
+            elif isinstance(right, Variable) and not is_param(right):
+                assign[right] = left
+            elif isinstance(left, Constant) and isinstance(right, Constant):
+                if left.value != right.value:
+                    unsat = True
+            else:
+                # parameter vs. constant, or two parameters: runtime check.
+                residuals.append(("==", left, right))
+
+        body = tuple(
+            Atom(
+                scan.relation,
+                tuple(
+                    resolve_term(variables[index][position])
+                    for position in range(schemas[index].arity)
+                ),
+            )
+            for index, scan in enumerate(scans)
+        )
+        if self._projection is None:
+            projection = tuple(
+                f"{scan.alias}.{attribute}"
+                for scan, schema in zip(scans, schemas)
+                for attribute in schema.attributes
+            )
+        else:
+            projection = self._projection
+        head_terms = []
+        for name in projection:
+            index, position = locate(name)
+            head_terms.append(resolve_term(variables[index][position]))
+        rule = Rule(Atom(ANSWER_PREDICATE, tuple(head_terms)), body)
+        # Residual terms must survive resolution too (a later equality may
+        # have re-rooted them).
+        final_residuals = tuple(
+            (op, resolve_term(left), resolve_term(right))
+            for op, left, right in residuals
+        )
+        names = tuple(param_vars)
+        params = tuple(param_vars[name] for name in names)
+        return _Resolved(rule, params, names, final_residuals, unsat)
+
+    def __repr__(self) -> str:
+        if self._rule is not None:
+            suffix = f" params={list(self._text_params)}" if self._text_params else ""
+            return f"<Query {self._rule!r}{suffix}>"
+        parts = ", ".join(
+            s.relation if s.alias == s.relation else f"{s.relation} as {s.alias}"
+            for s in self._scans
+        )
+        return (
+            f"<Query scan[{parts}] "
+            f"where {len(self._conditions)} condition(s)>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Preparation and execution
+# ---------------------------------------------------------------------------
+
+
+def _residual_closure(
+    specs: Sequence[tuple[str, object, object]],
+    slot_of: Mapping[Variable, int],
+) -> Callable[[tuple], bool] | None:
+    """Compile residual comparisons into one environment predicate."""
+    if not specs:
+        return None
+
+    def getter(spec: object) -> Callable[[tuple], object]:
+        if isinstance(spec, Variable):
+            slot = slot_of[spec]
+            return lambda env, _s=slot: env[_s]
+        if isinstance(spec, Constant):
+            return lambda env, _v=spec.value: _v
+        raise QueryError(f"cannot compile residual term {spec!r}")
+
+    checks = tuple(
+        (_OPS[op], getter(left), getter(right)) for op, left, right in specs
+    )
+    if len(checks) == 1:
+        fn, lf, rf = checks[0]
+        return lambda env: fn(lf(env), rf(env))
+    return lambda env: all(fn(lf(env), rf(env)) for fn, lf, rf in checks)
+
+
+class _Binding:
+    """Everything a prepared query needs against one concrete system."""
+
+    __slots__ = (
+        "db",
+        "engine",
+        "internal",
+        "internal_rule",
+        "params",
+        "residual_specs",
+        "use_engine_cache",
+        "plan",
+        "compiled",
+        "residual",
+    )
+
+    def __init__(
+        self,
+        resolved: _Resolved,
+        db: Database,
+        internal: InternalSchema,
+        engine: "SemiNaiveEngine",
+        use_engine_cache: bool = True,
+    ) -> None:
+        self.db = db
+        self.engine = engine
+        self.internal = internal
+        self.internal_rule = _rewrite_to_internal(resolved.rule, internal)
+        self.params = resolved.params
+        self.residual_specs = resolved.residuals
+        self.use_engine_cache = use_engine_cache
+        self.plan: RulePlan = self._plan()
+        self._compile()
+        self._check_safety(resolved)
+
+    def _plan(self) -> RulePlan:
+        """Plan through the engine cache, or straight through the planner.
+
+        One-shot queries (``CDSS.query``) bypass the engine-level cache:
+        its id-keyed entries would never hit for freshly built rules and
+        would crowd out the exchange program's warm plans.  The planner's
+        own value-keyed cache still deduplicates repeated identical text.
+        """
+        if self.use_engine_cache:
+            return self.engine.cached_plan(
+                self.internal_rule, self.db, None, self.params
+            )
+        if self.params:
+            return self.engine.planner.plan(
+                self.internal_rule, self.db, None, self.params
+            )
+        return self.engine.planner.plan(self.internal_rule, self.db, None)
+
+    def _compile(self) -> None:
+        """(Re)compile the plan and everything derived from its slots.
+
+        The residual closure indexes the compiled plan's environment
+        slots, so it must be rebuilt whenever the plan changes (e.g. a
+        cost-based planner re-planning after a data change).
+        """
+        self.compiled: CompiledPlan = compile_plan(self.plan)
+        self.residual = _residual_closure(
+            self.residual_specs, self.compiled.slot_of
+        )
+
+    def _check_safety(self, resolved: _Resolved) -> None:
+        # Builder rules bypass Rule.check_safety (parameters count as
+        # bound); everything they mention must have landed in a slot.
+        for op, left, right in resolved.residuals:
+            for spec in (left, right):
+                if isinstance(spec, Variable) and spec not in self.compiled.slot_of:
+                    raise QueryError(
+                        f"residual comparison references unbound {spec!r}"
+                    )
+
+    def refresh_plan(self) -> None:
+        """Re-probe the plan cache (a hit unless invalidated/re-planned)."""
+        plan = self._plan()
+        if plan is not self.plan:
+            self.plan = plan
+            self._compile()
+
+    def resolver(self) -> Callable[[int, Atom], object]:
+        db = self.db
+
+        def resolve(_index: int, atom: Atom) -> object:
+            if atom.predicate in db:
+                return db[atom.predicate]
+            return Instance(atom.predicate, atom.arity)
+
+        return resolve
+
+
+class PreparedQuery:
+    """A query planned and compiled once, executable with new bindings.
+
+    Created by :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>`.  The
+    compiled plan is registered in the engine-level plan cache; every
+    :meth:`execute` probes that cache (a hit — zero replanning) and swaps
+    only the parameter values in the initial environment.  If the CDSS is
+    reconfigured, the prepared query transparently re-binds against the
+    rebuilt system on the next execute.
+    """
+
+    __slots__ = ("_query", "_resolved", "_cdss", "_system", "_binding")
+
+    def __init__(
+        self,
+        query: Query,
+        resolved: _Resolved,
+        binding: _Binding,
+        cdss: "CDSS | None" = None,
+        system: object | None = None,
+    ) -> None:
+        self._query = query
+        self._resolved = resolved
+        self._cdss = cdss
+        self._system = system
+        self._binding = binding
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """Names the execute() keyword bindings must supply, in order."""
+        return self._resolved.param_names
+
+    @property
+    def plan(self) -> RulePlan:
+        return self._binding.plan
+
+    def explain(self) -> str:
+        """Render the bind-join pipeline this query runs (EXPLAIN)."""
+        from ..datalog.explain import explain_plan
+
+        return explain_plan(self._binding.plan, self._binding.db)
+
+    # -- execution ---------------------------------------------------------
+
+    def _current_binding(self) -> _Binding:
+        if self._cdss is not None:
+            system = self._cdss.system()
+            if system is not self._system:
+                # The CDSS was reconfigured and rebuilt: re-prepare against
+                # the new system (a one-time plan-cache miss, like prepare).
+                self._binding = _Binding(
+                    self._resolved,
+                    system.db,
+                    system.internal,
+                    system.engine,
+                    self._binding.use_engine_cache,
+                )
+                self._system = system
+        self._binding.refresh_plan()
+        return self._binding
+
+    def execute(self, **bindings: object) -> "AnswerSet":
+        """Bind parameters and return a lazy :class:`AnswerSet`.
+
+        Every parameter named at preparation must be bound by keyword;
+        unknown keywords are rejected.  No planning or compilation happens
+        here; each *consumption* of the answer set probes the plan cache
+        once (a hit) and reads the then-current system state.
+        """
+        names = self._resolved.param_names
+        missing = [n for n in names if n not in bindings]
+        extra = [n for n in bindings if n not in names]
+        if missing or extra:
+            raise QueryError(
+                f"parameter mismatch: missing {missing!r}, unexpected {extra!r}"
+                if missing
+                else f"unexpected parameters {extra!r}"
+            )
+        values = tuple(bindings[n] for n in names)
+        return AnswerSet(self, values, empty=self._resolved.unsat)
+
+    def __repr__(self) -> str:
+        return f"<PreparedQuery {self._binding.internal_rule!r}>"
+
+
+class AnswerSet:
+    """A lazy stream of query answers with selectable answer mode.
+
+    Iteration re-runs the compiled plan against the live database — like
+    :class:`~repro.api.views.RelationView`, an answer set observes the
+    current state each time it is consumed.  Rows are deduplicated
+    (set semantics).  Modes:
+
+    * :meth:`certain` (default) — labeled-null rows dropped (§2.1);
+    * :meth:`with_nulls` — the superset including labeled nulls;
+    * :meth:`annotated` — materialized ``{row: provenance}`` computed
+      through :mod:`repro.provenance.annotated`.
+    """
+
+    MODE_CERTAIN = "certain"
+    MODE_WITH_NULLS = "with_nulls"
+
+    __slots__ = ("_prepared", "_values", "_mode", "_empty")
+
+    def __init__(
+        self,
+        prepared: PreparedQuery,
+        values: tuple[object, ...],
+        mode: str = MODE_CERTAIN,
+        empty: bool = False,
+    ) -> None:
+        self._prepared = prepared
+        self._values = values
+        self._mode = mode
+        self._empty = empty
+
+    # -- modes -------------------------------------------------------------
+
+    def certain(self) -> "AnswerSet":
+        """Answers with labeled-null rows dropped (the default)."""
+        return AnswerSet(
+            self._prepared, self._values, self.MODE_CERTAIN, self._empty
+        )
+
+    def with_nulls(self) -> "AnswerSet":
+        """The answer superset including labeled-null rows."""
+        return AnswerSet(
+            self._prepared, self._values, self.MODE_WITH_NULLS, self._empty
+        )
+
+    # -- streaming ---------------------------------------------------------
+
+    def _derivations(self):
+        """(row, substitution) pairs from the compiled pipeline.
+
+        The binding is fetched through the prepared query so every
+        consumption sees the current system — including after a CDSS
+        reconfiguration rebuilds it (the prepared query re-binds; this is
+        a plan-cache hit otherwise).
+        """
+        binding = self._prepared._current_binding()
+        residual = binding.residual
+        head_filter = (
+            None
+            if residual is None
+            else (lambda _row, subst: residual(subst._env))
+        )
+        return binding, execute_plan(
+            binding.plan,
+            binding.resolver(),
+            head_filter=head_filter,
+            params=self._values,
+        )
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._empty:
+            return
+        drop_nulls = self._mode == self.MODE_CERTAIN
+        seen: set[Row] = set()
+        _, derivations = self._derivations()
+        for row, _subst in derivations:
+            if row in seen:
+                continue
+            seen.add(row)
+            if drop_nulls and tuple_has_labeled_null(row):
+                continue
+            yield row
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __contains__(self, row: Iterable[object]) -> bool:
+        row = tuple(row)
+        return any(answer == row for answer in self)
+
+    def __bool__(self) -> bool:
+        return any(True for _ in self)
+
+    def to_rows(self) -> frozenset[Row]:
+        """Materialize the current answers as a plain frozenset."""
+        return frozenset(self)
+
+    # -- provenance-annotated answers --------------------------------------
+
+    def annotated(
+        self, semiring=None, max_depth: int = 8
+    ) -> dict[Row, object]:
+        """Each answer row paired with its provenance annotation.
+
+        The annotation of an answer is the sum over its derivations of the
+        product of the body tuples' annotations — evaluated through
+        :class:`~repro.provenance.annotated.AnnotatedDatabase`.  With the
+        default (expression) semiring each row maps to a
+        :class:`~repro.provenance.expression.ProvenanceExpression` built
+        from the body tuples' stored provenance (cycles unfolded to
+        ``max_depth``); pass any other semiring to get values in it.
+        """
+        cdss = self._prepared._cdss
+        if cdss is None:
+            raise QueryError(
+                "annotated answers need a CDSS-bound prepared query "
+                "(use cdss.prepare)"
+            )
+        if self._empty:
+            return {}
+        from ..datalog.ast import instantiate_atom
+        from ..provenance.annotated import AnnotatedDatabase, ExpressionSemiring
+        from ..schema.internal import OUTPUT_SUFFIX
+
+        graph = cdss.provenance_graph()
+        if semiring is None:
+            semiring = ExpressionSemiring()
+            cache: dict[tuple[str, Row], object] = {}
+
+            def base_value(relation: str, row: Row) -> object:
+                key = (relation, row)
+                value = cache.get(key)
+                if value is None:
+                    value = graph.expression_for(
+                        relation, row, max_depth=max_depth
+                    )
+                    cache[key] = value
+                return value
+
+        else:
+            solved = graph.evaluate(semiring)
+
+            def base_value(relation: str, row: Row) -> object:
+                return solved.get((relation, row), semiring.zero)
+
+        drop_nulls = self._mode == self.MODE_CERTAIN
+        accumulator = AnnotatedDatabase(semiring)
+        binding, derivations = self._derivations()
+        rule = binding.internal_rule
+        for row, subst in derivations:
+            if drop_nulls and tuple_has_labeled_null(row):
+                continue
+            contribution = semiring.one
+            for atom in rule.body:
+                if atom.negated:
+                    continue
+                body_row = instantiate_atom(atom, subst)
+                user_relation = atom.predicate[: -len(OUTPUT_SUFFIX)]
+                contribution = semiring.times(
+                    contribution, base_value(user_relation, body_row)
+                )
+            accumulator.annotate(ANSWER_PREDICATE, row, contribution)
+        # AnnotatedDatabase preserves first-seen row order (dict-backed).
+        return accumulator.rows(ANSWER_PREDICATE)
+
+    def __repr__(self) -> str:
+        return f"<AnswerSet [{self._mode}] of {self._prepared!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Preparation entry points
+# ---------------------------------------------------------------------------
+
+
+def as_query(query: "str | Rule | Query", params: Sequence[str] = ()) -> Query:
+    """Coerce datalog text / a Rule / a Query into a :class:`Query`."""
+    if isinstance(query, Query):
+        if params:
+            raise QueryError(
+                "params= applies to datalog text; builder queries declare "
+                "parameters with param(name)"
+            )
+        return query
+    return Query.parse(query, params)
+
+
+def prepare(
+    query: "str | Rule | Query",
+    db: Database,
+    internal: InternalSchema,
+    engine: "SemiNaiveEngine | None" = None,
+    params: Sequence[str] = (),
+    cdss: "CDSS | None" = None,
+    system: object | None = None,
+    use_engine_cache: bool = True,
+) -> PreparedQuery:
+    """Plan + compile ``query`` once against ``db``; the low-level entry.
+
+    :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>` calls this with
+    the exchange system's engine (sharing its plan cache); standalone
+    callers may pass their own engine or none (a private engine is made).
+    ``use_engine_cache=False`` plans through the planner only — for
+    one-shot queries whose fresh rule objects would pollute the engine's
+    id-keyed cache.
+    """
+    if engine is None:
+        from ..datalog.engine import SemiNaiveEngine
+
+        engine = SemiNaiveEngine()
+    query_obj = as_query(query, params)
+    resolved = query_obj._resolve(internal.catalog)
+    binding = _Binding(resolved, db, internal, engine, use_engine_cache)
+    return PreparedQuery(query_obj, resolved, binding, cdss=cdss, system=system)

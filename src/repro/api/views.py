@@ -8,38 +8,68 @@ the post-exchange state — there is nothing to refresh.
 
 Views compose: :meth:`~RelationView.where` conjoins a row predicate and
 :meth:`~RelationView.certain` drops labeled-null rows, each returning a new
-(equally lazy) view.  :meth:`~RelationView.to_rows` materializes the view as
-a plain ``frozenset`` for callers that want the old bare-set behaviour.
+(equally lazy) view.  Predicates come in two flavours:
+
+* **structured predicates** (``view.where(col("nam") == 5)``) — compiled
+  once and *pushed down*: equality comparisons against literals probe the
+  relation's hash index through the live ``R__o`` table instead of
+  scanning and filtering in Python;
+* **Python callables** (``view.where(lambda r: r[0] == 5)``) — the
+  deprecated slow path: every row crosses the interpreter.  Still
+  supported, but emits :class:`DeprecationWarning`.
+
+Views are also the entry point to the query builder:
+:meth:`~RelationView.select` / :meth:`~RelationView.join` /
+:meth:`~RelationView.project` return a composable
+:class:`~repro.api.query.Query` for :meth:`CDSS.prepare
+<repro.core.cdss.CDSS.prepare>`.  :meth:`~RelationView.to_rows`
+materializes a view as a plain ``frozenset``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
+from ..datalog.ast import tuple_has_labeled_null
 from ..provenance.expression import ProvenanceExpression
 from ..schema.relation import RelationSchema
 from ..storage.instance import Row
+from .query import Condition, Query, compile_row_condition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.cdss import CDSS
 
 RowPredicate = Callable[[Row], bool]
 
+_CompiledCondition = tuple[
+    tuple[int, ...], tuple[object, ...], "Callable[[Row], bool] | None"
+]
+
 
 class RelationView:
     """A lazy view of one user relation's local instance.
 
-    Supports iteration, ``len``, ``in``, predicate filtering, certain-answer
-    restriction, provenance lookup, and materialization::
+    Supports iteration, ``len``, ``in``, predicate filtering (structured
+    pushdown or deprecated callables), certain-answer restriction,
+    provenance lookup, query building, and materialization::
 
         B = cdss.relation("B")
-        len(B)                      # live count
-        (3, 2) in B                 # membership
-        B.where(lambda r: r[0] == 3).to_rows()
-        B.provenance((3, 2))        # Pv(B(3,2))
+        len(B)                          # live count
+        (3, 2) in B                     # membership
+        B.where(col("id") == 3).to_rows()   # indexed pushdown
+        B.provenance((3, 2))            # Pv(B(3,2))
+        B.select(col("id") == param("i"))   # -> Query, for cdss.prepare
     """
 
-    __slots__ = ("_cdss", "_relation", "_predicate", "_certain_only")
+    __slots__ = (
+        "_cdss",
+        "_relation",
+        "_predicate",
+        "_condition",
+        "_certain_only",
+        "_compiled_condition",
+    )
 
     def __init__(
         self,
@@ -47,11 +77,14 @@ class RelationView:
         relation: str,
         predicate: RowPredicate | None = None,
         certain_only: bool = False,
+        condition: Condition | None = None,
     ) -> None:
         self._cdss = cdss
         self._relation = relation
         self._predicate = predicate
+        self._condition = condition
         self._certain_only = certain_only
+        self._compiled_condition: _CompiledCondition | None = None
 
     # -- identity ----------------------------------------------------------
 
@@ -76,37 +109,103 @@ class RelationView:
             return system.certain_instance(self._relation)
         return system.instance(self._relation)
 
+    def _compiled(self) -> _CompiledCondition:
+        # Only reached when self._condition is not None.
+        if self._compiled_condition is None:
+            self._compiled_condition = compile_row_condition(
+                self._condition, self.schema
+            )
+        return self._compiled_condition
+
+    def _iter_live(self) -> Iterator[Row]:
+        """Iterate matching rows, probing indexes for pushdown equalities."""
+        predicate = self._predicate
+        if self._condition is None:
+            for row in self._base_rows():
+                if predicate is None or predicate(row):
+                    yield row
+            return
+        system = self._cdss.system()
+        cols, values, residual = self._compiled()
+        table = system.output_table(self._relation)
+        if cols:
+            # lookup returns a live index bucket view: snapshot it so the
+            # caller may mutate the system between yields.
+            rows: Iterable[Row] = tuple(table.lookup(cols, values))
+        else:
+            rows = table.rows()
+        certain_only = self._certain_only
+        for row in rows:
+            if residual is not None and not residual(row):
+                continue
+            if certain_only and tuple_has_labeled_null(row):
+                continue
+            if predicate is not None and not predicate(row):
+                continue
+            yield row
+
     def to_rows(self) -> frozenset[Row]:
         """Materialize the view as a plain frozenset of rows."""
-        rows = self._base_rows()
-        if self._predicate is not None:
-            rows = frozenset(r for r in rows if self._predicate(r))
-        return rows
+        return frozenset(self._iter_live())
 
     def __iter__(self) -> Iterator[Row]:
-        predicate = self._predicate
-        for row in self._base_rows():
-            if predicate is None or predicate(row):
-                yield row
+        return self._iter_live()
 
     def __len__(self) -> int:
-        if self._predicate is None:
+        if self._predicate is None and self._condition is None:
             return len(self._base_rows())
-        return sum(1 for _ in self)
+        return sum(1 for _ in self._iter_live())
 
     def __contains__(self, row: Iterable[object]) -> bool:
         row = tuple(row)
         if self._predicate is not None and not self._predicate(row):
             return False
+        if self._condition is not None:
+            cols, values, residual = self._compiled()
+            if any(row[c] != v for c, v in zip(cols, values)):
+                return False
+            if residual is not None and not residual(row):
+                return False
         return row in self._base_rows()
 
     def __bool__(self) -> bool:
-        return any(True for _ in self)
+        return any(True for _ in self._iter_live())
 
     # -- composition -------------------------------------------------------
 
-    def where(self, predicate: RowPredicate) -> "RelationView":
-        """A narrower view keeping only rows satisfying ``predicate``."""
+    def where(self, predicate: Condition | RowPredicate) -> "RelationView":
+        """A narrower view keeping only rows satisfying ``predicate``.
+
+        Structured predicates (``col("nam") == 5``) are pushed down to
+        indexed probes.  Python callables still work but are the
+        deprecated slow path (full scan through the interpreter).
+        """
+        if isinstance(predicate, Condition):
+            condition = (
+                predicate
+                if self._condition is None
+                else self._condition & predicate
+            )
+            return RelationView(
+                self._cdss,
+                self._relation,
+                self._predicate,
+                self._certain_only,
+                condition,
+            )
+        if not callable(predicate):
+            raise TypeError(
+                f"where() expects a structured predicate or callable, "
+                f"got {predicate!r}"
+            )
+        warnings.warn(
+            "callable row predicates are deprecated (they scan every row "
+            "in Python); use structured predicates, e.g. "
+            'where(col("attr") == value), which push down to indexed '
+            "probes — see DESIGN.md's query-subsystem section",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         previous = self._predicate
         if previous is None:
             combined = predicate
@@ -114,14 +213,58 @@ class RelationView:
             def combined(row: Row, _p=previous, _q=predicate) -> bool:
                 return _p(row) and _q(row)
         return RelationView(
-            self._cdss, self._relation, combined, self._certain_only
+            self._cdss,
+            self._relation,
+            combined,
+            self._certain_only,
+            self._condition,
         )
 
     def certain(self) -> "RelationView":
         """The view restricted to certain answers (no labeled nulls)."""
         return RelationView(
-            self._cdss, self._relation, self._predicate, certain_only=True
+            self._cdss,
+            self._relation,
+            self._predicate,
+            True,
+            self._condition,
         )
+
+    # -- query building ----------------------------------------------------
+
+    def _as_query(self) -> Query:
+        if self._predicate is not None:
+            from ..core.query import QueryError
+
+            raise QueryError(
+                "cannot build a Query from a view filtered with a Python "
+                "callable; use structured predicates instead"
+            )
+        query = Query.scan(self)
+        if self._condition is not None:
+            query = query.select(self._condition)
+        return query
+
+    def select(self, *conditions: Condition) -> Query:
+        """A :class:`~repro.api.query.Query` over this relation with the
+        given structured predicates conjoined (prepare with
+        :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>`)."""
+        return self._as_query().select(*conditions)
+
+    def join(
+        self,
+        other: "RelationView | str",
+        on: object,
+        alias: str | None = None,
+    ) -> Query:
+        """A :class:`~repro.api.query.Query` joining this relation with
+        ``other`` (see :meth:`Query.join <repro.api.query.Query.join>`)."""
+        return self._as_query().join(other, on, alias)
+
+    def project(self, *columns: str) -> Query:
+        """A :class:`~repro.api.query.Query` projecting this relation onto
+        the named columns."""
+        return self._as_query().project(*columns)
 
     # -- provenance --------------------------------------------------------
 
@@ -137,7 +280,7 @@ class RelationView:
         # No row count here: len() would (re)build the exchange system,
         # and repr must stay side-effect free for debuggers and logging.
         qualifiers = []
-        if self._predicate is not None:
+        if self._predicate is not None or self._condition is not None:
             qualifiers.append("filtered")
         if self._certain_only:
             qualifiers.append("certain")

@@ -1,16 +1,20 @@
-"""Command-line interface: run specs, the paper's experiments, and demos.
+"""Command-line interface: run specs, queries, the paper's experiments.
 
 Usage::
 
     python -m repro quickstart            # the paper's running example
     python -m repro run bio.json          # execute a declarative SystemSpec
+    python -m repro query bio.json 'ans(x, y) :- U(x, z), U(y, z)'
     python -m repro fig4 --scale 0.5      # reproduce one figure
     python -m repro all --scale 0.25      # every figure + ablations
     python -m repro list                  # what is available
 
 ``run`` loads a :class:`~repro.api.spec.SystemSpec` JSON document (as
 written by ``cdss.to_spec().save(path)``), performs one update exchange,
-and prints every relation's local instance.
+and prints every relation's local instance.  ``query`` does the same but
+then answers one conjunctive query through the prepared-query subsystem
+(modes: certain / with-nulls / annotated; ``--param name=value`` binds
+parameterized variables).
 
 Each figure command regenerates the corresponding data series from
 Section 6 and prints it as a table (the docstrings in
@@ -130,14 +134,14 @@ def _quickstart() -> None:
 def _run_spec(path: str, strategy: str | None) -> int:
     """Execute a declarative SystemSpec JSON: build, exchange, print."""
     from . import CDSS, SpecError
-    from .datalog.parser import ParseError
+    from .datalog.ast import DatalogError  # covers ParseError, SafetyError
     from .schema import SchemaError
 
     try:
         cdss = CDSS.from_spec(path)
         # Schema validation (e.g. weak acyclicity) fires lazily on first use.
         report = cdss.update_exchange(strategy=strategy)
-    except (OSError, SpecError, ParseError, SchemaError) as error:
+    except (OSError, SpecError, DatalogError, SchemaError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(
@@ -149,6 +153,60 @@ def _run_spec(path: str, strategy: str | None) -> int:
         for relation in peer.relations():
             rows = sorted(peer.relation(relation), key=repr)
             print(f"  {relation}: {rows}")
+    return 0
+
+
+def _parse_param_value(text: str) -> object:
+    """CLI parameter literal: int / float when they parse, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _run_query(
+    path: str,
+    text: str,
+    mode: str,
+    params: list[str],
+    strategy: str | None,
+) -> int:
+    """Build a CDSS from a spec, exchange, and answer one query."""
+    from . import CDSS, SpecError
+    from .core.query import QueryError
+    from .datalog.ast import DatalogError  # covers ParseError, SafetyError
+    from .schema import SchemaError
+
+    bindings: dict[str, object] = {}
+    for item in params:
+        name, eq, value = item.partition("=")
+        if not eq or not name:
+            print(
+                f"error: --param expects NAME=VALUE, got {item!r}",
+                file=sys.stderr,
+            )
+            return 1
+        bindings[name] = _parse_param_value(value)
+    try:
+        cdss = CDSS.from_spec(path)
+        cdss.update_exchange(strategy=strategy)
+        prepared = cdss.prepare(text, params=tuple(bindings))
+        answers = prepared.execute(**bindings)
+        if mode == "with-nulls":
+            answers = answers.with_nulls()
+        if mode == "annotated":
+            for row, annotation in answers.annotated().items():
+                print(f"{row!r}  <-  {annotation!r}")
+        else:
+            for row in sorted(answers, key=repr):
+                print(repr(row))
+    except (OSError, SpecError, DatalogError, SchemaError, QueryError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -168,6 +226,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("spec", help="path to a spec JSON file")
     run_cmd.add_argument(
+        "--strategy",
+        choices=("incremental", "dred", "recompute"),
+        default=None,
+        help="override the spec's maintenance strategy",
+    )
+    query_cmd = sub.add_parser(
+        "query",
+        help="answer a conjunctive query over a SystemSpec's instances",
+    )
+    query_cmd.add_argument("spec", help="path to a spec JSON file")
+    query_cmd.add_argument(
+        "text", help="datalog query, e.g. 'ans(x, y) :- U(x, z), U(y, z)'"
+    )
+    query_cmd.add_argument(
+        "--mode",
+        choices=("certain", "with-nulls", "annotated"),
+        default="certain",
+        help="answer mode (default: certain answers, labeled nulls dropped)",
+    )
+    query_cmd.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind a query parameter (variable NAME); repeatable",
+    )
+    query_cmd.add_argument(
         "--strategy",
         choices=("incremental", "dred", "recompute"),
         default=None,
@@ -194,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         return _run_spec(args.spec, args.strategy)
+    if args.command == "query":
+        return _run_query(
+            args.spec, args.text, args.mode, args.param, args.strategy
+        )
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:<20} {description}")

@@ -60,13 +60,14 @@ from .exchange import (
     ExchangeReport,
     ExchangeSystem,
 )
-from .query import answer_query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..api.batch import Batch
     from ..api.handles import PeerHandle
+    from ..api.query import PreparedQuery, Query
     from ..api.spec import SystemSpec
     from ..api.views import RelationView
+    from ..datalog.ast import Rule
 
 
 @dataclass
@@ -468,9 +469,61 @@ class CDSS:
         _deprecated("certain_instance", "relation(name).certain()")
         return self.system().certain_instance(relation)
 
-    def query(self, text: str, certain: bool = True) -> frozenset[Row]:
+    # -- queries ----------------------------------------------------------------
+
+    def prepare(
+        self,
+        query: "str | Rule | Query",
+        params: Sequence[str] = (),
+    ) -> "PreparedQuery":
+        """Prepare a query: plan + compile once, execute many times.
+
+        ``query`` is datalog text over user relation names, a parsed
+        :class:`~repro.datalog.ast.Rule`, or a fluent
+        :class:`~repro.api.query.Query` built with
+        ``select``/``join``/``project``.  ``params`` (text queries only)
+        names body variables bound at :meth:`PreparedQuery.execute
+        <repro.api.query.PreparedQuery.execute>` time.  The plan is
+        registered in the exchange engine's plan cache; re-executing with
+        new parameter bindings performs zero replanning.
+        """
+        from ..api.query import prepare
+
         system = self.system()
-        return answer_query(text, system.db, system.internal, certain=certain)
+        return prepare(
+            query,
+            system.db,
+            system.internal,
+            engine=system.engine,
+            params=params,
+            cdss=self,
+            system=system,
+        )
+
+    def query(self, text: str, certain: bool = True) -> frozenset[Row]:
+        """One-shot conjunctive query with certain-answer semantics.
+
+        A convenience over :meth:`prepare`; for repeated or parameterized
+        execution prepare the query once and re-execute it.  One-shots
+        plan through the planner only (their fresh rule objects would
+        pollute the engine-level plan cache without ever hitting).
+        """
+        from ..api.query import prepare
+
+        system = self.system()
+        prepared = prepare(
+            text,
+            system.db,
+            system.internal,
+            engine=system.engine,
+            cdss=self,
+            system=system,
+            use_engine_cache=False,
+        )
+        answers = prepared.execute()
+        if not certain:
+            answers = answers.with_nulls()
+        return answers.to_rows()
 
     def query_program(
         self, text: str, answer: str = "ans", certain: bool = True

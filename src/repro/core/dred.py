@@ -102,7 +102,7 @@ class DRedMaintainer(IncrementalMaintainer):
                     instance = db.get(head_pred)
                     if instance is None:
                         continue
-                    for row in _evaluate_with_delta(
+                    for row in self._evaluate_with_delta(
                         rule, index, delta_rows, snapshot
                     ):
                         if instance.delete(row):
@@ -128,7 +128,7 @@ class DRedMaintainer(IncrementalMaintainer):
                 else None
             )
             instance = db[head_pred]
-            for row in _evaluate_with_delta(rule, None, None, db):
+            for row in self._evaluate_with_delta(rule, None, None, db):
                 if row in candidates and row not in instance:
                     if head_filter is not None and not head_filter(row):
                         continue
@@ -151,28 +151,36 @@ class DRedMaintainer(IncrementalMaintainer):
                 report.output_deletions[relation] = lost
         return report
 
+    def _evaluate_with_delta(
+        self,
+        rule,
+        delta_index: int | None,
+        delta_rows: set[Row] | None,
+        db: Database,
+    ) -> list[Row]:
+        """Evaluate one rule, optionally pinning a body atom to a delta set.
 
-def _evaluate_with_delta(
-    rule,
-    delta_index: int | None,
-    delta_rows: set[Row] | None,
-    db: Database,
-) -> list[Row]:
-    """Evaluate one rule, optionally pinning a body atom to a delta set."""
-    from ..datalog.plan import execute_plan
-    from ..datalog.planner import PreparedPlanner
+        Plans come from the engine's memoized plan cache and the delta set
+        is swapped into the engine's persistent Δ-relation pool, so repeated
+        DRed rounds reuse warm plans and probe indexes instead of building a
+        fresh planner and instance per call.  The evaluation itself is
+        unchanged — DRed stays the paper's pessimistic baseline.
+        """
+        from ..datalog.plan import run_plan
 
-    delta_source = None
-    if delta_index is not None and delta_rows is not None:
-        arity = rule.body[delta_index].arity
-        delta_source = Instance("Δ", arity, delta_rows)
-    plan = PreparedPlanner().plan(rule, db, delta_index)
+        delta_source = None
+        if delta_index is not None and delta_rows is not None:
+            arity = rule.body[delta_index].arity
+            delta_source = self.engine.delta_instance(
+                rule.body[delta_index].predicate, arity, delta_rows
+            )
+        plan = self.engine.cached_plan(rule, db, delta_index)
 
-    def resolve(index: int, atom):
-        if index == delta_index and delta_source is not None:
-            return delta_source
-        if atom.predicate in db:
-            return db[atom.predicate]
-        return Instance(atom.predicate, atom.arity)
+        def resolve(index: int, atom):
+            if index == delta_index and delta_source is not None:
+                return delta_source
+            if atom.predicate in db:
+                return db[atom.predicate]
+            return Instance(atom.predicate, atom.arity)
 
-    return [row for row, _ in execute_plan(plan, resolve)]
+        return run_plan(plan, resolve)

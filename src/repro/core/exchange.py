@@ -102,6 +102,14 @@ class ExchangeSystem:
         """The local instance of a user relation (its ``R__o`` table)."""
         return self.db[output_name(relation)].rows()
 
+    def output_table(self, relation: str):
+        """The live ``R__o`` :class:`~repro.storage.instance.Instance`.
+
+        This is the indexed table that pushdown predicates probe (the
+        relation-view ``where`` fast path); treat it as read-only.
+        """
+        return self.db[output_name(relation)]
+
     def certain_instance(self, relation: str) -> frozenset[Row]:
         """The local instance with labeled-null rows dropped."""
         return certain_rows(self.instance(relation))

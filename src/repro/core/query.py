@@ -14,15 +14,14 @@ syntax over *user* relation names, e.g. Example 3's
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from ..datalog.ast import Atom, Rule, tuple_has_labeled_null
-from ..datalog.parser import parse_rule
-from ..datalog.plan import execute_plan
-from ..datalog.planner import Planner, PreparedPlanner
+from ..datalog.planner import Planner
 from ..schema.internal import InternalSchema, output_name
 from ..storage.database import Database
-from ..storage.instance import Instance, Row
+from ..storage.instance import Row
 
 
 class QueryError(Exception):
@@ -55,31 +54,31 @@ def answer_query(
     certain: bool = True,
     planner: Planner | None = None,
 ) -> frozenset[Row]:
-    """Evaluate a conjunctive query against the peers' local instances.
+    """Deprecated one-shot query helper; use the prepared-query subsystem.
 
-    With ``certain=True`` (default), answers containing labeled nulls are
-    discarded — the certain-answer semantics validated by "over a decade of
-    use in data integration and data exchange" (Section 2.1).  With
-    ``certain=False`` the superset including labeled nulls is returned.
+    A thin shim over :mod:`repro.api.query`: the query is prepared (planned
+    + compiled once) and executed immediately.  With ``certain=True``
+    (default), answers containing labeled nulls are discarded — the
+    certain-answer semantics of Section 2.1; with ``certain=False`` the
+    superset including labeled nulls is returned.  Prefer
+    :meth:`CDSS.prepare <repro.core.cdss.CDSS.prepare>` (re-executable,
+    parameterized, plan-cached) or :meth:`CDSS.query
+    <repro.core.cdss.CDSS.query>` for one-shots.
     """
-    rule = parse_rule(query) if isinstance(query, str) else query
-    if not rule.body:
-        raise QueryError("query must have a non-empty body")
-    rule.check_safety()
-    internal_rule = _rewrite_to_internal(rule, internal)
-    plan = (planner or PreparedPlanner()).plan(internal_rule, db, None)
+    warnings.warn(
+        "answer_query is deprecated; use cdss.prepare(query).execute() or "
+        "cdss.query(...) (see DESIGN.md's query-subsystem migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api.query import prepare
+    from ..datalog.engine import SemiNaiveEngine
 
-    def resolve(_index: int, atom: Atom):
-        if atom.predicate in db:
-            return db[atom.predicate]
-        return Instance(atom.predicate, atom.arity)
-
-    answers = {row for row, _ in execute_plan(plan, resolve)}
-    if certain:
-        answers = {
-            row for row in answers if not tuple_has_labeled_null(row)
-        }
-    return frozenset(answers)
+    engine = SemiNaiveEngine(planner) if planner is not None else None
+    answers = prepare(query, db, internal, engine=engine).execute()
+    if not certain:
+        answers = answers.with_nulls()
+    return answers.to_rows()
 
 
 def certain_rows(rows: Iterable[Row]) -> frozenset[Row]:
@@ -157,15 +156,24 @@ def answer_program(
         rewritten.append(Rule(rule.head, tuple(body), label=rule.label))
 
     scratch = Database()
+    attached: list[str] = []
     for relation in internal.relation_names():
         instance = db.get(output_name(relation))
         if instance is not None:
             scratch.attach(instance)
+            attached.append(instance.name)
     engine = SemiNaiveEngine(planner)
     from ..datalog.ast import Program as ProgramCls
 
-    engine.run(ProgramCls(tuple(rewritten), name="query"), scratch)
-    answers = scratch[answer].rows()
+    try:
+        engine.run(ProgramCls(tuple(rewritten), name="query"), scratch)
+        answers = scratch[answer].rows()
+    finally:
+        # Detach the shared instances: attach registered the scratch
+        # database as a mutation watcher, which must not outlive this
+        # call (it would leak the scratch db and slow every future write).
+        for name in attached:
+            scratch.drop(name)
     if certain:
         answers = certain_rows(answers)
     return frozenset(answers)

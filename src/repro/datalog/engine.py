@@ -178,6 +178,7 @@ class SemiNaiveEngine:
         db: Database,
         delta_index: int | None,
         result: EvaluationResult,
+        params: tuple = (),
     ) -> RulePlan:
         """Memoized ``planner.plan`` per (rule, delta occurrence).
 
@@ -185,7 +186,8 @@ class SemiNaiveEngine:
         unchanged: prepared planners issue a constant token (their plans are
         data-independent), the cost-based planner issues the database
         version (re-planning whenever the data changed, exactly its round-
-        trip-per-statement behaviour).
+        trip-per-statement behaviour).  ``params`` are parameter variables
+        (prepared-query constant slots) passed through to the planner.
         """
         token_fn = self._token_fn
         token = token_fn(db) if token_fn is not None else db.version
@@ -194,20 +196,45 @@ class SemiNaiveEngine:
         if entry is not None and entry[2] == token:
             result.plan_cache_hits += 1
             return entry[1]
-        plan = self.planner.plan(rule, db, delta_index)
+        if params:
+            plan = self.planner.plan(rule, db, delta_index, params)
+        else:
+            # Legacy two-planner call shape, kept so planner objects that
+            # predate parameter support keep working for ordinary rules.
+            plan = self.planner.plan(rule, db, delta_index)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
         self._plan_cache[key] = (rule, plan, token)
         result.plan_cache_misses += 1
         return plan
 
-    def _delta_instance(
+    def cached_plan(
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None = None,
+        params: tuple = (),
+    ) -> RulePlan:
+        """Public entry to the engine-level plan cache.
+
+        Used by the prepared-query subsystem and the DRed maintainer, which
+        plan outside a full engine run; cache hits/misses accrue directly to
+        the engine's cumulative :attr:`stats`.
+        """
+        result = EvaluationResult()
+        plan = self._plan_for(rule, db, delta_index, result, params)
+        self.stats.plan_cache_hits += result.plan_cache_hits
+        self.stats.plan_cache_misses += result.plan_cache_misses
+        return plan
+
+    def delta_instance(
         self, predicate: str, arity: int, rows: set[Row]
     ) -> Instance:
         """The reusable Δ-relation for ``predicate``, swapped to ``rows``.
 
         Contents are replaced diff-wise so materialized probe indexes are
-        maintained incrementally instead of rebuilt every round.
+        maintained incrementally instead of rebuilt every round.  Public so
+        the DRed maintainer shares the same persistent Δ pool.
         """
         key = (predicate, arity)
         delta = self._delta_instances.get(key)
@@ -383,7 +410,7 @@ class SemiNaiveEngine:
         while delta_sets:
             rounds += 1
             deltas = {
-                pred: self._delta_instance(
+                pred: self.delta_instance(
                     pred,
                     db[pred].arity if pred in db else len(next(iter(rows))),
                     rows,

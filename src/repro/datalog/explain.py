@@ -26,7 +26,12 @@ def explain_plan(plan: RulePlan, db: Database | None = None) -> str:
     """
     rule = plan.rule
     lines = [f"plan for {rule!r}"]
-    bound: set[Variable] = set()
+    if plan.params:
+        names = ", ".join(v.name for v in plan.params)
+        lines.append(f"  parameters (bound at execute): {names}")
+    # Parameter variables occupy pre-bound environment slots, so they are
+    # probeable from the first step on — mirror the compiler's view.
+    bound: set[Variable] = set(plan.params)
     for step, index in enumerate(plan.order, start=1):
         atom = rule.body[index]
         # Shares the executor's probe-derivation code path, so EXPLAIN

@@ -92,25 +92,40 @@ class RulePlan:
     ``order`` is a permutation of body-atom indices.  The plan is valid iff
     every negated atom appears after all its variables are bound by earlier
     positive atoms; :func:`check_plan` verifies this.
+
+    ``params`` are *parameter variables*: variables treated as bound before
+    the first atom runs.  They occupy the leading environment slots, and
+    executing the plan supplies their values as the initial environment —
+    this is what lets a prepared query re-bind parameters without
+    recompiling (the constant slots stay in the compiled probe templates,
+    only the initial environment changes).
     """
 
     rule: Rule
     order: tuple[int, ...]
+    params: tuple[Variable, ...] = ()
 
     def __post_init__(self) -> None:
-        check_plan(self.rule, self.order)
+        object.__setattr__(self, "params", tuple(self.params))
+        if len(set(self.params)) != len(self.params):
+            raise PlanError(f"duplicate parameter variables: {self.params!r}")
+        check_plan(self.rule, self.order, self.params)
 
 
 class PlanError(DatalogError):
     """An invalid physical plan was constructed."""
 
 
-def check_plan(rule: Rule, order: Sequence[int]) -> None:
+def check_plan(
+    rule: Rule,
+    order: Sequence[int],
+    params: Sequence[Variable] = (),
+) -> None:
     if sorted(order) != list(range(len(rule.body))):
         raise PlanError(
             f"order {order!r} is not a permutation of body atoms of {rule!r}"
         )
-    bound: set[Variable] = set()
+    bound: set[Variable] = set(params)
     for index in order:
         atom = rule.body[index]
         if atom.negated:
@@ -288,7 +303,12 @@ class CompiledPlan:
     def __init__(self, plan: RulePlan) -> None:
         rule = plan.rule
         self.plan = plan
-        slot_of: dict[Variable, int] = {}
+        # Parameter variables occupy the leading slots, in declaration
+        # order; the initial environment at execution time is the tuple of
+        # their bound values (empty for parameterless plans).
+        slot_of: dict[Variable, int] = {
+            var: slot for slot, var in enumerate(plan.params)
+        }
         steps: list[_Step] = []
         for index in plan.order:
             atom = rule.body[index]
@@ -454,9 +474,14 @@ def _extend_all(
     return next_envs
 
 
-def _run_pipeline(compiled: CompiledPlan, resolve: SourceResolver) -> list[Env]:
-    """Push environments through every compiled step; the pipeline core."""
-    envs: list[Env] = [()]
+def _run_pipeline(
+    compiled: CompiledPlan, resolve: SourceResolver, init_env: Env = ()
+) -> list[Env]:
+    """Push environments through every compiled step; the pipeline core.
+
+    ``init_env`` pre-binds the plan's parameter slots (see
+    :attr:`RulePlan.params`)."""
+    envs: list[Env] = [init_env]
     for step in compiled.steps:
         source = resolve(step.index, step.atom)
         if step.negated:
@@ -492,20 +517,33 @@ def _run_pipeline(compiled: CompiledPlan, resolve: SourceResolver) -> list[Env]:
     return envs
 
 
+def _init_env(plan: RulePlan, params: Sequence[object]) -> Env:
+    """Validate and shape parameter values into the initial environment."""
+    if len(params) != len(plan.params):
+        raise PlanError(
+            f"plan expects {len(plan.params)} parameter values "
+            f"({', '.join(v.name for v in plan.params) or 'none'}), "
+            f"got {len(params)}"
+        )
+    return tuple(params)
+
+
 def run_plan(
     plan: RulePlan,
     resolve: SourceResolver,
     row_filter: Callable[[Row], bool] | None = None,
+    params: Sequence[object] = (),
 ) -> list[Row]:
     """Run a rule plan to a materialized list of head rows.
 
     The engine's hot path: no generator machinery and no substitution
     objects are created.  ``row_filter`` (if given) drops head rows before
     they are collected — this is where trust conditions are applied during
-    update exchange (Section 4.2).
+    update exchange (Section 4.2).  ``params`` supplies one value per
+    :attr:`RulePlan.params` variable, in order.
     """
     compiled = compile_plan(plan)
-    envs = _run_pipeline(compiled, resolve)
+    envs = _run_pipeline(compiled, resolve, _init_env(plan, params))
     head_builder = compiled.head_builder
     if row_filter is None:
         return [head_builder(env) for env in envs]
@@ -518,18 +556,20 @@ def execute_plan(
     plan: RulePlan,
     resolve: SourceResolver,
     head_filter: Callable[[Row, Mapping[Variable, object]], bool] | None = None,
+    params: Sequence[object] = (),
 ) -> Iterator[tuple[Row, Mapping[Variable, object]]]:
     """Run a rule plan, yielding (head row, substitution) pairs.
 
     ``head_filter`` (if given) drops derivations before they are yielded.
     The substitution is a lazy read-only mapping over the plan's compact
-    environment; it stays valid after the generator advances.  Callers that
-    only need the head rows should prefer :func:`run_plan`.
+    environment; it stays valid after the generator advances.  ``params``
+    supplies one value per :attr:`RulePlan.params` variable, in order.
+    Callers that only need the head rows should prefer :func:`run_plan`.
     """
     compiled = compile_plan(plan)
     head_builder = compiled.head_builder
     slot_of = compiled.slot_of
-    for env in _run_pipeline(compiled, resolve):
+    for env in _run_pipeline(compiled, resolve, _init_env(plan, params)):
         head_row = head_builder(env)
         subst = PlanSubstitution(slot_of, env)
         if head_filter is None or head_filter(head_row, subst):

@@ -32,8 +32,19 @@ class Planner(Protocol):
     """Chooses a body-atom order for a rule evaluation round."""
 
     def plan(
-        self, rule: Rule, db: Database, delta_index: int | None
-    ) -> RulePlan: ...
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None,
+        params: tuple[Variable, ...] = (),
+    ) -> RulePlan:
+        """Plan ``rule``, optionally pinning one body atom to a delta.
+
+        ``params`` are parameter variables (prepared-query constant slots):
+        bound before the first atom runs, so they count as probeable when
+        ordering atoms and the resulting :class:`RulePlan` carries them.
+        """
+        ...
 
     def invalidate(self) -> None:
         """Forget cached plans (after schema changes)."""
@@ -93,7 +104,9 @@ class PreparedPlanner:
     """Static heuristic planner with per-(rule, delta) plan caching."""
 
     def __init__(self) -> None:
-        self._cache: dict[tuple[Rule, int | None], RulePlan] = {}
+        self._cache: dict[
+            tuple[Rule, int | None, tuple[Variable, ...]], RulePlan
+        ] = {}
         self._epoch = 0
         self.plans_built = 0  # instrumentation for benchmarks/tests
 
@@ -106,21 +119,30 @@ class PreparedPlanner:
         return self._epoch
 
     def plan(
-        self, rule: Rule, db: Database, delta_index: int | None
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None,
+        params: tuple[Variable, ...] = (),
     ) -> RulePlan:
-        key = (rule, delta_index)
+        key = (rule, delta_index, params)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        plan = self._build(rule, delta_index)
+        plan = self._build(rule, delta_index, params)
         self._cache[key] = plan
         self.plans_built += 1
         return plan
 
-    def _build(self, rule: Rule, delta_index: int | None) -> RulePlan:
+    def _build(
+        self,
+        rule: Rule,
+        delta_index: int | None,
+        params: tuple[Variable, ...],
+    ) -> RulePlan:
         order: list[int] = []
         remaining = set(range(len(rule.body)))
-        bound: set[Variable] = set()
+        bound: set[Variable] = set(params)
         if delta_index is not None:
             order.append(delta_index)
             remaining.discard(delta_index)
@@ -139,7 +161,9 @@ class PreparedPlanner:
 
             return min(candidates, key=score)
 
-        return RulePlan(rule, _finish_order(rule, order, remaining, bound, choose))
+        return RulePlan(
+            rule, _finish_order(rule, order, remaining, bound, choose), params
+        )
 
 
 class CostBasedPlanner:
@@ -157,12 +181,16 @@ class CostBasedPlanner:
         return db.version
 
     def plan(
-        self, rule: Rule, db: Database, delta_index: int | None
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None,
+        params: tuple[Variable, ...] = (),
     ) -> RulePlan:
         self.plans_built += 1
         order: list[int] = []
         remaining = set(range(len(rule.body)))
-        bound: set[Variable] = set()
+        bound: set[Variable] = set(params)
         if delta_index is not None:
             order.append(delta_index)
             remaining.discard(delta_index)
@@ -181,4 +209,6 @@ class CostBasedPlanner:
                 key=lambda i: (estimated_fanout(i, current), i),
             )
 
-        return RulePlan(rule, _finish_order(rule, order, remaining, bound, choose))
+        return RulePlan(
+            rule, _finish_order(rule, order, remaining, bound, choose), params
+        )

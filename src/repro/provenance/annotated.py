@@ -25,11 +25,56 @@ from typing import Callable, Iterable, Mapping
 
 from ..datalog.ast import Atom, Rule, instantiate_atom, match_atom
 from ..storage.instance import Row
-from .expression import ProvenanceError
+from .expression import (
+    ONE,
+    ZERO,
+    ProvenanceError,
+    ProvenanceExpression,
+    mapping_app,
+    product_of,
+    sum_of,
+)
 from .semiring import Semiring
 
 Annotations = dict[str, dict[Row, object]]
 """relation name -> row -> annotation (zero-annotated rows are absent)."""
+
+
+class ExpressionSemiring(Semiring):
+    """The free semiring of provenance expressions (Section 3.2).
+
+    Values are normalized :class:`ProvenanceExpression` trees; ``plus``
+    collects alternative derivations, ``times`` joins, and mapping
+    applications stay symbolic.  Because expressions normalize on
+    construction (flattening, 0/1-simplification, sorted arguments),
+    fixpoint detection by equality works — this is what the query
+    subsystem's ``annotated`` answer mode evaluates in by default.
+    """
+
+    name = "expression"
+
+    @property
+    def zero(self) -> ProvenanceExpression:
+        return ZERO
+
+    @property
+    def one(self) -> ProvenanceExpression:
+        return ONE
+
+    def plus(
+        self, a: ProvenanceExpression, b: ProvenanceExpression
+    ) -> ProvenanceExpression:
+        return sum_of((a, b))
+
+    def times(
+        self, a: ProvenanceExpression, b: ProvenanceExpression
+    ) -> ProvenanceExpression:
+        return product_of((a, b))
+
+    def map_apply(
+        self, mapping_name: str, value: ProvenanceExpression
+    ) -> ProvenanceExpression:
+        return mapping_app(mapping_name, value)
 
 
 class AnnotatedDatabase:

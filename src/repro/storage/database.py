@@ -25,18 +25,19 @@ class Database:
     def __init__(self) -> None:
         self._relations: dict[str, Instance] = {}
         self._stats = StatisticsCache()
-        self._catalog_version = 0
+        self._version = 0
 
     @property
     def version(self) -> int:
-        """A counter that changes whenever any relation's contents or the
-        catalog itself change — the invalidation token for plan and
-        statistics caches.  Computed as the catalog version plus the sum of
-        every instance's mutation counter, so no per-mutation bookkeeping
-        is needed in the instances."""
-        return self._catalog_version + sum(
-            instance.version for instance in self._relations.values()
-        )
+        """A monotone counter that changes whenever any relation's contents
+        or the catalog itself change — the invalidation token for plan and
+        statistics caches.  O(1): every registered instance pushes a
+        dirty-bit up through :meth:`Instance.add_watcher` instead of the
+        database summing per-instance counters on every read."""
+        return self._version
+
+    def _mark_dirty(self) -> None:
+        self._version += 1
 
     # -- catalog management -------------------------------------------------
 
@@ -46,7 +47,8 @@ class Database:
             raise StorageError(f"relation {name!r} already exists")
         instance = Instance(name, arity, rows)
         self._relations[name] = instance
-        self._catalog_version += 1
+        instance.add_watcher(self._mark_dirty)
+        self._version += 1
         return instance
 
     def ensure(self, name: str, arity: int) -> Instance:
@@ -71,7 +73,8 @@ class Database:
         if instance.name in self._relations:
             raise StorageError(f"relation {instance.name!r} already exists")
         self._relations[instance.name] = instance
-        self._catalog_version += 1
+        instance.add_watcher(self._mark_dirty)
+        self._version += 1
         return instance
 
     def drop(self, name: str) -> bool:
@@ -79,9 +82,8 @@ class Database:
         dropped = self._relations.pop(name, None)
         if dropped is None:
             return False
-        # Compensate for the dropped instance's contribution so the
-        # database version stays strictly monotone.
-        self._catalog_version += dropped.version + 1
+        dropped.remove_watcher(self._mark_dirty)
+        self._version += 1
         return True
 
     def __contains__(self, name: str) -> bool:

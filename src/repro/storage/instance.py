@@ -41,7 +41,7 @@ class Instance:
         Optional initial contents.
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes", "_version")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_version", "_watchers")
 
     def __init__(
         self, name: str, arity: int, rows: Iterable[Row] = ()
@@ -51,6 +51,7 @@ class Instance:
         self._rows: set[Row] = set()
         self._indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
         self._version = 0
+        self._watchers: tuple[Callable[[], None], ...] = ()
         for row in rows:
             self.insert(row)
 
@@ -73,6 +74,25 @@ class Instance:
         """Monotone counter bumped on every mutation (used by stats caches)."""
         return self._version
 
+    def _bump(self) -> None:
+        """Record one mutation: bump the version and notify watchers.
+
+        This is the dirty-bit that keeps :attr:`Database.version` O(1): each
+        owning catalog registers a watcher and maintains its own counter
+        instead of summing every instance's version on read.
+        """
+        self._version += 1
+        for notify in self._watchers:
+            notify()
+
+    def add_watcher(self, notify: Callable[[], None]) -> None:
+        """Register a zero-argument callback invoked on every mutation."""
+        self._watchers += (notify,)
+
+    def remove_watcher(self, notify: Callable[[], None]) -> None:
+        """Unregister a callback added with :meth:`add_watcher`."""
+        self._watchers = tuple(w for w in self._watchers if w != notify)
+
     def rows(self) -> frozenset[Row]:
         """A frozen snapshot of the current contents."""
         return frozenset(self._rows)
@@ -93,7 +113,7 @@ class Instance:
         if row in self._rows:
             return False
         self._rows.add(row)
-        self._version += 1
+        self._bump()
         for cols, index in self._indexes.items():
             key = tuple(row[c] for c in cols)
             index.setdefault(key, set()).add(row)
@@ -134,7 +154,7 @@ class Instance:
         if not added:
             return added
         existing.update(batch)
-        self._version += 1
+        self._bump()
         for cols, index in self._indexes.items():
             for row in added:
                 key = tuple(row[c] for c in cols)
@@ -147,7 +167,7 @@ class Instance:
         if row not in self._rows:
             return False
         self._rows.discard(row)
-        self._version += 1
+        self._bump()
         for cols, index in self._indexes.items():
             key = tuple(row[c] for c in cols)
             bucket = index.get(key)
@@ -176,7 +196,7 @@ class Instance:
         if not removed:
             return 0
         existing.difference_update(batch)
-        self._version += 1
+        self._bump()
         for cols, index in self._indexes.items():
             for row in removed:
                 key = tuple(row[c] for c in cols)
@@ -190,7 +210,7 @@ class Instance:
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
-        self._version += 1
+        self._bump()
 
     def replace(self, rows: Iterable[Sequence[object]]) -> None:
         """Replace the whole extension (drops indexes)."""
@@ -215,7 +235,7 @@ class Instance:
             self._rows.clear()
             for index in self._indexes.values():
                 index.clear()
-            self._version += 1
+            self._bump()
             self.insert_many(new_rows)
             return
         fresh = new_rows - self._rows
