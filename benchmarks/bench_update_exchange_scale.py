@@ -8,7 +8,16 @@ so the repository has a measured perf trajectory:
   "time to join" shape);
 * **incremental insertion** — a small batch of fresh entries per peer
   propagated with the insertion delta rules (Figures 7/8's common case,
-  and the workload the evaluation hot path is tuned for).
+  and the workload the evaluation hot path is tuned for);
+* **deletion** — the same batch deleted again and propagated with
+  PropagateDelete (Figure 9's shape; the per-row-churn workload the
+  deferred index policy targets).
+
+The exchange series runs under **both index maintenance policies**
+(``eager`` and ``deferred``, see ``repro.storage.indexes``) and records
+the eager/deferred wall-time ratio per phase (``policy_speedup``), plus a
+smaller **string-dataset** series (the paper's SWISS-PROT strings instead
+of integer hashes) under both policies.
 
 A second series exercises the serving-side query subsystem and writes
 ``BENCH_query.json``:
@@ -37,6 +46,7 @@ before an optimization) under ``"baseline"`` and prints the speedups
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -49,8 +59,36 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
-RESULT_FORMAT = "repro/bench-update-exchange@1"
+RESULT_FORMAT = "repro/bench-update-exchange@2"
 QUERY_RESULT_FORMAT = "repro/bench-query@1"
+
+INDEX_POLICIES = ("eager", "deferred")
+PRIMARY_POLICY = "deferred"  # the shipped default; fills the legacy "cells"
+PHASES = (
+    "publish",
+    "incremental_insertion",
+    "deletion",
+    "serving",
+    "serving_cold",
+)
+
+
+def _timed(fn) -> float:
+    """Wall seconds for ``fn()`` with the GC quiesced.
+
+    Collection runs *between* measured phases instead of inside them — GC
+    pauses landing inside one policy's phase and not the other's were the
+    dominant run-to-run variance at these phase durations.
+    """
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    try:
+        fn()
+    finally:
+        seconds = time.perf_counter() - start
+        gc.enable()
+    return seconds
 
 
 def _engine_stats(cdss) -> dict[str, float] | None:
@@ -89,56 +127,244 @@ def _stats_delta(
     return delta
 
 
-def run_cell(
-    peers: int, base_per_peer: int, insert_per_peer: int, seed: int
-) -> dict[str, object]:
-    """One benchmark cell: publish a base load, then time an incremental
-    insertion exchange on top of it."""
-    generator = CDSSWorkloadGenerator(
-        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
-    )
-    cdss = generator.build_cdss()
+def _build_cdss(generator, index_policy: str):
+    """Build the workload CDSS under ``index_policy``.
 
-    generator.record_insertions(cdss, generator.insertions(base_per_peer))
+    Feature-detected by signature, not by catching TypeError — a
+    swallowed unrelated TypeError would silently run both policy series
+    against the default configuration and fabricate ~1.0x comparisons.
+    Older trees (baseline measurement) predate index policies and get the
+    plain build.
+    """
+    from inspect import signature
+
+    from repro.core.cdss import CDSS
+
+    if "index_policy" in signature(CDSS.__init__).parameters:
+        return generator.build_cdss(index_policy=index_policy)
+    return generator.build_cdss()
+
+
+def _prepare_serving_queries(cdss, generator) -> tuple[list, list]:
+    """The serving mix: prepared indexed lookups on every relation.
+
+    Executing each query once materializes its probe index on the live
+    ``R__o`` table, so the exchange phases measure update propagation
+    *while the system serves indexed reads* — the HTAP shape the
+    index-maintenance policies differ on.  Returns ``(hot, cold)``:
+
+    * **hot** — a key lookup per relation, re-served after every exchange
+      phase (skewed OLTP-style traffic);
+    * **cold** — lookups on two non-key attributes per relation, probed
+      only once at the end of the cell (the long tail of query shapes
+      whose indexes exist but see no traffic between exchanges).
+
+    Eager maintenance patches every one of these indexes inside each
+    exchange; the deferred barrier patches the hot ones and retires
+    rebuild-scale cold debt to the (single) next probe.
+    """
+    from repro.api.query import Query, col, param
+
+    hot: list = []
+    cold: list = []
+    for layout in generator.layouts:
+        for part in range(len(layout.partitions)):
+            view = cdss.relation(layout.relation_name(part))
+            schema = view.schema
+            for position, attr in enumerate(schema.attributes[:3]):
+                query = cdss.prepare(
+                    Query.scan(view).select(col(attr) == param("k"))
+                )
+                query.execute(k=None).to_rows()  # materialize the index
+                (hot if position == 0 else cold).append(query)
+    return hot, cold
+
+
+def _serve(prepared: list[object], keys: list[object]) -> float:
+    """Execute every serving query once per key; return wall seconds."""
+
+    def read() -> None:
+        for query in prepared:
+            for key in keys:
+                query.execute(k=key).to_rows()
+
+    return _timed(read)
+
+
+def run_cell(
+    peers: int,
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int,
+    index_policy: str = PRIMARY_POLICY,
+    dataset: str = "integer",
+) -> dict[str, object]:
+    """One benchmark cell: publish a base load under a serving workload,
+    then time an incremental insertion exchange and a deletion exchange,
+    re-serving the prepared queries after every phase."""
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset=dataset, seed=seed)
+    )
+    cdss = _build_cdss(generator, index_policy)
+    hot_queries, cold_queries = _prepare_serving_queries(cdss, generator)
+    serving_seconds = 0.0
+
+    base_updates = generator.insertions(base_per_peer)
+    serve_keys = [update.key for update in base_updates[:10]]
+    generator.record_insertions(cdss, base_updates)
     before = _engine_stats(cdss)
-    start = time.perf_counter()
-    cdss.update_exchange()
-    publish_seconds = time.perf_counter() - start
+    publish_seconds = _timed(cdss.update_exchange)
     publish_stats = _stats_delta(_engine_stats(cdss), before)
+    serving_seconds += _serve(hot_queries, serve_keys)
 
     generator.record_insertions(cdss, generator.insertions(insert_per_peer))
     before = _engine_stats(cdss)
-    start = time.perf_counter()
-    cdss.update_exchange()
-    incremental_seconds = time.perf_counter() - start
+    incremental_seconds = _timed(cdss.update_exchange)
     incremental_stats = _stats_delta(_engine_stats(cdss), before)
+    serving_seconds += _serve(hot_queries, serve_keys)
+
+    total_tuples = cdss.system().total_tuples()
+
+    # Deletion workload: the freshly inserted entries leave again through
+    # PropagateDelete (per-row provenance/output churn).
+    generator.record_deletions(cdss, generator.deletions(insert_per_peer))
+    before = _engine_stats(cdss)
+    deletion_seconds = _timed(cdss.update_exchange)
+    deletion_stats = _stats_delta(_engine_stats(cdss), before)
+    serving_seconds += _serve(hot_queries, serve_keys)
+
+    # The cold tail, exactly once: pays any maintenance debt the deferred
+    # barrier retired to the next probe, so the phase comparison cannot
+    # hide deferred work — it lands here, visibly.
+    cold_seconds = _serve(cold_queries, serve_keys)
 
     return {
         "peers": peers,
         "base_per_peer": base_per_peer,
         "insert_per_peer": insert_per_peer,
-        "total_tuples": cdss.system().total_tuples(),
+        "index_policy": index_policy,
+        "dataset": dataset,
+        "serving_queries": {
+            "hot": len(hot_queries),
+            "cold": len(cold_queries),
+        },
+        "total_tuples": total_tuples,
         "publish": {"seconds": publish_seconds, **publish_stats},
         "incremental_insertion": {
             "seconds": incremental_seconds,
             **incremental_stats,
         },
+        "deletion": {"seconds": deletion_seconds, **deletion_stats},
+        "serving": {"seconds": serving_seconds},
+        "serving_cold": {"seconds": cold_seconds},
     }
 
 
 def _median_cell(samples: list[dict[str, object]]) -> dict[str, object]:
-    """The sampled cell whose incremental wall time is the median one —
-    keeping seconds and engine counters from the same run."""
-    ordered = sorted(
-        samples,
-        key=lambda c: c["incremental_insertion"]["seconds"],
-    )
-    cell = ordered[len(ordered) // 2]
+    """Per-phase medians: for each phase, the sample with the median wall
+    time contributes that phase's seconds *and* engine counters (so the
+    counters stay from a real run), which de-noises phases independently."""
+    cell = dict(samples[0])
     cell["samples"] = len(samples)
-    cell["incremental_insertion"]["seconds_all"] = sorted(
-        c["incremental_insertion"]["seconds"] for c in samples
-    )
+    for phase in PHASES:
+        if phase not in cell:
+            continue
+        ordered = sorted(samples, key=lambda c: c[phase]["seconds"])
+        median = dict(ordered[len(ordered) // 2][phase])
+        median["seconds_all"] = sorted(c[phase]["seconds"] for c in samples)
+        cell[phase] = median
     return cell
+
+
+def _policy_speedup(
+    policies: dict[str, dict[str, object]]
+) -> dict[str, dict[str, float]]:
+    """Eager/deferred wall-time ratios per phase and peer count (>1 means
+    the deferred policy is faster)."""
+    eager = policies.get("eager", {}).get("cells", ())
+    deferred = policies.get("deferred", {}).get("cells", ())
+    by_peers = {cell["peers"]: cell for cell in eager}
+    out: dict[str, dict[str, float]] = {}
+    for cell in deferred:
+        base = by_peers.get(cell["peers"])
+        if base is None:
+            continue
+        for phase in PHASES:
+            seconds = cell.get(phase, {}).get("seconds", 0.0)
+            if seconds <= 0 or phase not in base:
+                continue
+            out.setdefault(phase, {})[str(cell["peers"])] = (
+                base[phase]["seconds"] / seconds
+            )
+    return out
+
+
+def run_policy_series(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int = 0,
+    repeat: int = 1,
+    index_policies: tuple[str, ...] = INDEX_POLICIES,
+    dataset: str = "integer",
+) -> dict[str, object]:
+    """The exchange series under every requested index policy.
+
+    Policy samples are interleaved (sample 1 of every policy, then sample
+    2, ...) so slow machine-level drift hits all policies evenly instead
+    of biasing whichever ran last; per-phase medians de-noise the rest.
+    """
+    policies: dict[str, dict[str, object]] = {}
+    for peers in peer_counts:
+        samples: dict[str, list[dict[str, object]]] = {
+            policy: [] for policy in index_policies
+        }
+        for _ in range(max(1, repeat)):
+            for policy in index_policies:
+                samples[policy].append(
+                    run_cell(
+                        peers,
+                        base_per_peer,
+                        insert_per_peer,
+                        seed,
+                        index_policy=policy,
+                        dataset=dataset,
+                    )
+                )
+        for policy in index_policies:
+            cell = _median_cell(samples[policy])
+            policies.setdefault(policy, {"cells": []})["cells"].append(cell)
+            print(
+                f"  [{dataset}/{policy}] peers={peers:3d}"
+                f"  publish={cell['publish']['seconds']:.3f}s"
+                f"  incremental={cell['incremental_insertion']['seconds']:.3f}s"
+                f"  deletion={cell['deletion']['seconds']:.3f}s"
+                f"  serving={cell['serving']['seconds']:.3f}s"
+                f"  hit_rate="
+                f"{cell['incremental_insertion'].get('plan_cache_hit_rate', 0.0):.2f}"
+            )
+    result: dict[str, object] = {
+        "workload": {
+            "dataset": dataset,
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "insert_per_peer": insert_per_peer,
+            "delete_per_peer": insert_per_peer,
+            "seed": seed,
+            "repeat": repeat,
+        },
+        "policies": policies,
+    }
+    speedup = _policy_speedup(policies)
+    if speedup:
+        result["policy_speedup_deferred_vs_eager"] = speedup
+        for phase, ratios in speedup.items():
+            rendered = ", ".join(
+                f"{peers} peers: {ratio:.2f}x"
+                for peers, ratio in ratios.items()
+            )
+            print(f"  deferred-vs-eager[{phase}]: {rendered}")
+    return result
 
 
 def run_benchmark(
@@ -147,33 +373,41 @@ def run_benchmark(
     insert_per_peer: int,
     seed: int = 0,
     repeat: int = 1,
+    index_policies: tuple[str, ...] = INDEX_POLICIES,
+    string_base_per_peer: int | None = None,
 ) -> dict[str, object]:
-    cells = []
-    for peers in peer_counts:
-        samples = [
-            run_cell(peers, base_per_peer, insert_per_peer, seed)
-            for _ in range(max(1, repeat))
-        ]
-        cell = _median_cell(samples)
-        cells.append(cell)
+    series = run_policy_series(
+        peer_counts,
+        base_per_peer,
+        insert_per_peer,
+        seed=seed,
+        repeat=repeat,
+        index_policies=index_policies,
+    )
+    result: dict[str, object] = {"format": RESULT_FORMAT, **series}
+    # The legacy top-level cells: the shipped-default policy's series (what
+    # --baseline comparisons across PRs read).
+    primary = (
+        PRIMARY_POLICY
+        if PRIMARY_POLICY in series["policies"]
+        else next(iter(series["policies"]))
+    )
+    result["cells"] = series["policies"][primary]["cells"]
+    if string_base_per_peer:
         print(
-            f"  peers={peers:3d}  publish={cell['publish']['seconds']:.3f}s"
-            f"  incremental={cell['incremental_insertion']['seconds']:.3f}s"
-            f"  hit_rate="
-            f"{cell['incremental_insertion'].get('plan_cache_hit_rate', 0.0):.2f}"
+            f"string-dataset series: base={string_base_per_peer}/peer "
+            f"insert={insert_per_peer}/peer"
         )
-    return {
-        "format": RESULT_FORMAT,
-        "workload": {
-            "dataset": "integer",
-            "topology": "chain",
-            "base_per_peer": base_per_peer,
-            "insert_per_peer": insert_per_peer,
-            "seed": seed,
-            "repeat": repeat,
-        },
-        "cells": cells,
-    }
+        result["string_series"] = run_policy_series(
+            peer_counts,
+            string_base_per_peer,
+            insert_per_peer,
+            seed=seed,
+            repeat=1,
+            index_policies=index_policies,
+            dataset="string",
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +451,18 @@ def run_query_cell(
     prepared_seconds = time.perf_counter() - start
     prepared_stats = _stats_delta(_engine_stats(cdss), before)
 
+    # Prepared + result cache: one binding re-executed ``repeats`` times.
+    # After the first execute the version-keyed result cache serves the
+    # materialized rows O(1) (hits recorded on the prepared query).
+    hot_key = chosen[0]
+    cached_hits_before = getattr(prepared, "result_cache_hits", 0)
+    start = time.perf_counter()
+    cached_matched = sum(
+        len(prepared.execute(k=hot_key).to_rows()) for _ in range(repeats)
+    )
+    cached_seconds = time.perf_counter() - start
+    cached_hits = getattr(prepared, "result_cache_hits", 0) - cached_hits_before
+
     # Ad hoc: the same lookups as one-shot text queries (plan every time).
     head_vars = ", ".join(f"v{i}" for i in range(1, schema.arity))
     adhoc_matched = 0
@@ -257,12 +503,22 @@ def run_query_cell(
         "distinct_keys": len(keys),
         "rows_matched": matched,
         "prepared": {"seconds": prepared_seconds, **prepared_stats},
+        "prepared_cached": {
+            "seconds": cached_seconds,
+            "result_cache_hits": cached_hits,
+            "rows_per_execute": cached_matched // max(1, repeats),
+        },
         "adhoc": {"seconds": adhoc_seconds},
         "where_pushdown": {"seconds": pushdown_seconds},
         "where_callable": {"seconds": callable_seconds},
         "speedups": {
             "prepared_vs_adhoc": (
                 adhoc_seconds / prepared_seconds if prepared_seconds > 0 else 0.0
+            ),
+            "cached_vs_prepared": (
+                (prepared_seconds / repeats) / (cached_seconds / repeats)
+                if cached_seconds > 0
+                else 0.0
             ),
             "pushdown_vs_callable": (
                 callable_seconds / pushdown_seconds
@@ -316,7 +572,9 @@ def _speedups(
         base = by_peers.get(cell["peers"])
         if base is None:
             continue
-        for phase in ("publish", "incremental_insertion"):
+        for phase in PHASES:
+            if phase not in cell or phase not in base:
+                continue  # older baselines predate the deletion series
             current_seconds = cell[phase]["seconds"]
             if current_seconds <= 0:
                 continue
@@ -340,7 +598,10 @@ def main(argv: list[str] | None = None) -> int:
         "--repeat",
         type=int,
         default=None,
-        help="samples per cell, median reported (default: 3, or 1 with --quick)",
+        help=(
+            "samples per cell, interleaved across policies; per-phase "
+            "medians reported (default: 5, or 1 with --quick)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -354,6 +615,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=("all", "exchange", "query"),
         default="all",
         help="which series to run (default: both)",
+    )
+    parser.add_argument(
+        "--index-policy",
+        choices=("eager", "deferred", "both"),
+        default="both",
+        help="index maintenance policies for the exchange series "
+        "(default: both, so policy regressions are visible per run)",
+    )
+    parser.add_argument(
+        "--string-base",
+        type=int,
+        default=None,
+        help="base entries/peer for the string-dataset series "
+        "(default: a third of --base; 0 disables the series)",
     )
     parser.add_argument(
         "--query-repeats",
@@ -389,19 +664,37 @@ def main(argv: list[str] | None = None) -> int:
     else:
         peer_counts = tuple(args.peers or (2, 5, 10))
         base = args.base if args.base is not None else 400
-        insert = args.insert if args.insert is not None else 20
-        repeat = args.repeat if args.repeat is not None else 3
+        insert = args.insert if args.insert is not None else 40
+        repeat = args.repeat if args.repeat is not None else 5
         query_repeats = (
             args.query_repeats if args.query_repeats is not None else 200
         )
 
+    index_policies = (
+        INDEX_POLICIES
+        if args.index_policy == "both"
+        else (args.index_policy,)
+    )
+    string_base = (
+        args.string_base
+        if args.string_base is not None
+        else max(1, base // 3)
+    )
+
     if args.only in ("all", "exchange"):
         print(
             f"update-exchange scale benchmark: peers={peer_counts} "
-            f"base={base}/peer insert={insert}/peer repeat={repeat}"
+            f"base={base}/peer insert={insert}/peer repeat={repeat} "
+            f"policies={index_policies}"
         )
         result = run_benchmark(
-            peer_counts, base, insert, seed=args.seed, repeat=repeat
+            peer_counts,
+            base,
+            insert,
+            seed=args.seed,
+            repeat=repeat,
+            index_policies=index_policies,
+            string_base_per_peer=string_base,
         )
 
         if args.baseline is not None and args.baseline.exists():

@@ -759,6 +759,31 @@ class _Binding:
         return resolve
 
 
+_RESULT_CACHE_LIMIT = 1024
+"""Result-cache entries per prepared query before wholesale clearing."""
+
+
+def _binding_derivations(
+    binding: "_Binding", values: tuple[object, ...]
+) -> Iterator[tuple[Row, Mapping[Variable, object]]]:
+    """(row, substitution) pairs from one binding's compiled pipeline,
+    with its residual comparisons applied as the head filter — the single
+    execution path shared by the result cache and the annotated-answers
+    stream."""
+    residual = binding.residual
+    head_filter = (
+        None
+        if residual is None
+        else (lambda _row, subst: residual(subst._env))
+    )
+    return execute_plan(
+        binding.plan,
+        binding.resolver(),
+        head_filter=head_filter,
+        params=values,
+    )
+
+
 class PreparedQuery:
     """A query planned and compiled once, executable with new bindings.
 
@@ -768,9 +793,25 @@ class PreparedQuery:
     only the parameter values in the initial environment.  If the CDSS is
     reconfigured, the prepared query transparently re-binds against the
     rebuilt system on the next execute.
+
+    Materialized answers are additionally cached per ``(bindings, answer
+    mode)`` with :attr:`Database.version <repro.storage.database.Database.
+    version>` as the invalidation token (the O(1) dirty-bit counter): while
+    no relation changes, re-executing with identical bindings serves the
+    previous rows without touching the pipeline at all.  Any mutation moves
+    the version and the entry silently misses — invalidation is free.
     """
 
-    __slots__ = ("_query", "_resolved", "_cdss", "_system", "_binding")
+    __slots__ = (
+        "_query",
+        "_resolved",
+        "_cdss",
+        "_system",
+        "_binding",
+        "_result_cache",
+        "result_cache_hits",
+        "result_cache_misses",
+    )
 
     def __init__(
         self,
@@ -785,6 +826,16 @@ class PreparedQuery:
         self._cdss = cdss
         self._system = system
         self._binding = binding
+        # (values, mode) -> (database, version, rows); the database is
+        # compared by identity so a re-bind after CDSS reconfiguration can
+        # never collide with a stale entry from the previous system.
+        self._result_cache: dict[
+            tuple[tuple[object, ...], str],
+            tuple[Database, int, tuple[Row, ...]],
+        ] = {}
+        #: Result-cache statistics (hits are O(1) serves).
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -819,16 +870,67 @@ class PreparedQuery:
                     self._binding.use_engine_cache,
                 )
                 self._system = system
+                # Entries pinned the superseded system's database (by
+                # identity); they can never hit again — drop them so they
+                # do not keep the old database generation alive.
+                self._result_cache.clear()
         self._binding.refresh_plan()
         return self._binding
 
+    def _cached_answers(
+        self, values: tuple[object, ...], mode: str
+    ) -> tuple[Row, ...]:
+        """The materialized answer rows for one (bindings, mode) pair.
+
+        Served from the result cache while ``Database.version`` is
+        unchanged; recomputed (and re-cached) otherwise.  Rows keep their
+        first-derivation order, deduplicated, with the mode's null filter
+        applied.
+        """
+        binding = self._current_binding()
+        db = binding.db
+        version = db.version
+        key: tuple[tuple[object, ...], str] | None = (values, mode)
+        try:
+            entry = self._result_cache.get(key)  # type: ignore[arg-type]
+        except TypeError:
+            # Unhashable binding values: execute uncached.
+            key = None
+            entry = None
+        if (
+            entry is not None
+            and entry[0] is db
+            and entry[1] == version
+        ):
+            self.result_cache_hits += 1
+            return entry[2]
+        self.result_cache_misses += 1
+        drop_nulls = mode == AnswerSet.MODE_CERTAIN
+        seen: set[Row] = set()
+        answers: list[Row] = []
+        for row, _subst in _binding_derivations(binding, values):
+            if row in seen:
+                continue
+            seen.add(row)
+            if drop_nulls and tuple_has_labeled_null(row):
+                continue
+            answers.append(row)
+        rows = tuple(answers)
+        if key is not None:
+            if len(self._result_cache) >= _RESULT_CACHE_LIMIT:
+                self._result_cache.clear()
+            self._result_cache[key] = (db, version, rows)
+        return rows
+
     def execute(self, **bindings: object) -> "AnswerSet":
-        """Bind parameters and return a lazy :class:`AnswerSet`.
+        """Bind parameters and return an :class:`AnswerSet`.
 
         Every parameter named at preparation must be bound by keyword;
         unknown keywords are rejected.  No planning or compilation happens
-        here; each *consumption* of the answer set probes the plan cache
-        once (a hit) and reads the then-current system state.
+        here; the first *consumption* of the answer set runs the compiled
+        plan against the then-current system state and materializes the
+        rows into the result cache — repeated consumptions with the same
+        bindings and mode are O(1) serves until any relation changes.
         """
         names = self._resolved.param_names
         missing = [n for n in names if n not in bindings]
@@ -847,12 +949,16 @@ class PreparedQuery:
 
 
 class AnswerSet:
-    """A lazy stream of query answers with selectable answer mode.
+    """A stream of query answers with selectable answer mode.
 
-    Iteration re-runs the compiled plan against the live database — like
-    :class:`~repro.api.views.RelationView`, an answer set observes the
-    current state each time it is consumed.  Rows are deduplicated
-    (set semantics).  Modes:
+    An answer set observes the current state each time it is consumed —
+    like :class:`~repro.api.views.RelationView`.  Consumption goes through
+    the prepared query's version-keyed result cache: the first iteration
+    after a data change runs the compiled plan and materializes the rows,
+    repeated consumptions with the same bindings and mode are O(1) serves
+    of the cached tuple (``Database.version`` is the invalidation token,
+    so "current state" semantics are preserved exactly).  Rows are
+    deduplicated (set semantics).  Modes:
 
     * :meth:`certain` (default) — labeled-null rows dropped (§2.1);
     * :meth:`with_nulls` — the superset including labeled nulls;
@@ -902,32 +1008,14 @@ class AnswerSet:
         a plan-cache hit otherwise).
         """
         binding = self._prepared._current_binding()
-        residual = binding.residual
-        head_filter = (
-            None
-            if residual is None
-            else (lambda _row, subst: residual(subst._env))
-        )
-        return binding, execute_plan(
-            binding.plan,
-            binding.resolver(),
-            head_filter=head_filter,
-            params=self._values,
-        )
+        return binding, _binding_derivations(binding, self._values)
 
     def __iter__(self) -> Iterator[Row]:
         if self._empty:
-            return
-        drop_nulls = self._mode == self.MODE_CERTAIN
-        seen: set[Row] = set()
-        _, derivations = self._derivations()
-        for row, _subst in derivations:
-            if row in seen:
-                continue
-            seen.add(row)
-            if drop_nulls and tuple_has_labeled_null(row):
-                continue
-            yield row
+            return iter(())
+        return iter(
+            self._prepared._cached_answers(self._values, self._mode)
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

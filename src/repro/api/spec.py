@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from ..core.exchange import STRATEGIES, STRATEGY_INCREMENTAL
 from ..provenance.relations import ENCODING_STYLES, ENCODING_COMPOSITE
+from ..storage.indexes import INDEX_POLICIES, POLICY_DEFERRED
 from ..schema.relation import PeerSchema, RelationSchema, SchemaError
 from ..schema.tgd import SchemaMapping
 
@@ -188,6 +189,7 @@ class SystemSpec:
     strategy: str = STRATEGY_INCREMENTAL
     encoding_style: str = ENCODING_COMPOSITE
     perspective: str | None = None
+    index_policy: str = POLICY_DEFERRED
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "peers", tuple(self.peers))
@@ -202,6 +204,11 @@ class SystemSpec:
             raise SpecError(
                 f"unknown encoding style {self.encoding_style!r}; expected "
                 f"one of {ENCODING_STYLES}"
+            )
+        if self.index_policy not in INDEX_POLICIES:
+            raise SpecError(
+                f"unknown index policy {self.index_policy!r}; expected one "
+                f"of {INDEX_POLICIES}"
             )
 
     # -- construction ------------------------------------------------------
@@ -224,6 +231,7 @@ class SystemSpec:
             "name": self.name,
             "strategy": self.strategy,
             "encoding_style": self.encoding_style,
+            "index_policy": self.index_policy,
             "peers": [p.to_dict() for p in self.peers],
             "mappings": [m.to_dict() for m in self.mappings],
             "edits": [e.to_dict() for e in self.edits],
@@ -242,7 +250,7 @@ class SystemSpec:
             )
         known = {
             "format", "name", "strategy", "encoding_style", "perspective",
-            "peers", "mappings", "edits",
+            "index_policy", "peers", "mappings", "edits",
         }
         unknown = set(document) - known
         if unknown:
@@ -265,6 +273,7 @@ class SystemSpec:
                 document.get("encoding_style", ENCODING_COMPOSITE)
             ),
             perspective=None if perspective is None else str(perspective),
+            index_policy=str(document.get("index_policy", POLICY_DEFERRED)),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -131,14 +131,26 @@ def _quickstart() -> None:
     )
 
 
-def _run_spec(path: str, strategy: str | None) -> int:
+def _load_spec(path: str, index_policy: str | None):
+    """Load a SystemSpec, optionally overriding its index policy."""
+    from dataclasses import replace
+
+    from .api.spec import SystemSpec
+
+    spec = SystemSpec.load(path)
+    if index_policy is not None:
+        spec = replace(spec, index_policy=index_policy)
+    return spec
+
+
+def _run_spec(path: str, strategy: str | None, index_policy: str | None) -> int:
     """Execute a declarative SystemSpec JSON: build, exchange, print."""
     from . import CDSS, SpecError
     from .datalog.ast import DatalogError  # covers ParseError, SafetyError
     from .schema import SchemaError
 
     try:
-        cdss = CDSS.from_spec(path)
+        cdss = CDSS.from_spec(_load_spec(path, index_policy))
         # Schema validation (e.g. weak acyclicity) fires lazily on first use.
         report = cdss.update_exchange(strategy=strategy)
     except (OSError, SpecError, DatalogError, SchemaError) as error:
@@ -174,6 +186,7 @@ def _run_query(
     mode: str,
     params: list[str],
     strategy: str | None,
+    index_policy: str | None,
 ) -> int:
     """Build a CDSS from a spec, exchange, and answer one query."""
     from . import CDSS, SpecError
@@ -192,7 +205,7 @@ def _run_query(
             return 1
         bindings[name] = _parse_param_value(value)
     try:
-        cdss = CDSS.from_spec(path)
+        cdss = CDSS.from_spec(_load_spec(path, index_policy))
         cdss.update_exchange(strategy=strategy)
         prepared = cdss.prepare(text, params=tuple(bindings))
         answers = prepared.execute(**bindings)
@@ -231,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's maintenance strategy",
     )
+    run_cmd.add_argument(
+        "--index-policy",
+        choices=("eager", "deferred"),
+        default=None,
+        help="override the spec's storage index-maintenance policy",
+    )
     query_cmd = sub.add_parser(
         "query",
         help="answer a conjunctive query over a SystemSpec's instances",
@@ -258,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's maintenance strategy",
     )
+    query_cmd.add_argument(
+        "--index-policy",
+        choices=("eager", "deferred"),
+        default=None,
+        help="override the spec's storage index-maintenance policy",
+    )
     sub.add_parser("list", help="list available experiments")
     for name, (description, _) in EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
@@ -278,10 +303,15 @@ def main(argv: list[str] | None = None) -> int:
         _quickstart()
         return 0
     if args.command == "run":
-        return _run_spec(args.spec, args.strategy)
+        return _run_spec(args.spec, args.strategy, args.index_policy)
     if args.command == "query":
         return _run_query(
-            args.spec, args.text, args.mode, args.param, args.strategy
+            args.spec,
+            args.text,
+            args.mode,
+            args.param,
+            args.strategy,
+            args.index_policy,
         )
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():

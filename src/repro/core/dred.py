@@ -56,11 +56,28 @@ class DRedMaintainer(IncrementalMaintainer):
                 "DRed deletion is unsupported for mappings with negated "
                 "LHS atoms; use the full-recomputation strategy"
             )
+        # DRed's over-delete/re-derive churn is the worst case for eager
+        # per-row index maintenance: whole derivation chains are deleted
+        # row by row and then largely re-inserted.  One deferral scope
+        # around both phases lets that churn coalesce to its net effect
+        # before any index is patched (probes stay snapshot-consistent).
+        with self.db.defer_maintenance():
+            return self._propagate_deletions_deferred(
+                local_deletes, rejection_inserts
+            )
+
+    def _propagate_deletions_deferred(
+        self,
+        local_deletes: Rows | None,
+        rejection_inserts: Rows | None,
+    ) -> DRedReport:
         report = DRedReport()
         db = self.db
         # The over-deletion delta rules must join against the PRE-deletion
         # state: a rule body may join several tuples that are deleted in the
         # same batch, and each delta occurrence needs to see the others.
+        # (Instance.copy carries index definitions, so the snapshot's probe
+        # indexes start warm instead of being rebuilt on first probe.)
         snapshot = db.copy()
 
         # Phase 0: apply edb changes; seed the over-deletion frontier.
@@ -87,7 +104,9 @@ class DRedMaintainer(IncrementalMaintainer):
                     # The deletion delta of (tR)'s negated R__r atom.
                     seed(output_name(relation), row)
 
-        # Phase 1: transitive over-deletion against the snapshot.
+        # Phase 1: transitive over-deletion against the snapshot.  Each
+        # rule's doomed heads are deleted in one bulk run (the evaluation
+        # reads the snapshot, so batching cannot change what is derived).
         while any(frontier.values()):
             report.rounds += 1
             next_frontier: dict[str, set[Row]] = {}
@@ -102,15 +121,17 @@ class DRedMaintainer(IncrementalMaintainer):
                     instance = db.get(head_pred)
                     if instance is None:
                         continue
-                    for row in self._evaluate_with_delta(
-                        rule, index, delta_rows, snapshot
-                    ):
-                        if instance.delete(row):
-                            report.overdeleted += 1
-                            deleted.setdefault(head_pred, set()).add(row)
-                            next_frontier.setdefault(head_pred, set()).add(
-                                row
-                            )
+                    removed = instance.delete_existing(
+                        self._evaluate_with_delta(
+                            rule, index, delta_rows, snapshot
+                        )
+                    )
+                    if removed:
+                        report.overdeleted += len(removed)
+                        deleted.setdefault(head_pred, set()).update(removed)
+                        next_frontier.setdefault(head_pred, set()).update(
+                            removed
+                        )
             frontier = next_frontier
 
         # Phase 2: re-derivation.  One full pass over the reduced database

@@ -39,6 +39,7 @@ from ..schema.internal import (
     trusted_name,
 )
 from ..storage.database import Database
+from ..storage.indexes import INDEX_POLICIES, POLICY_DEFERRED
 from ..storage.instance import Row
 from .dred import DRedMaintainer
 from .editlog import PublishDelta
@@ -77,7 +78,24 @@ class ExchangeSystem:
         encoding_style: str = ENCODING_COMPOSITE,
         perspective: str | None = None,
         db: Database | None = None,
+        index_policy: str | None = None,
     ) -> None:
+        if index_policy is not None and index_policy not in INDEX_POLICIES:
+            raise ExchangeError(
+                f"unknown index policy {index_policy!r}; expected one of "
+                f"{INDEX_POLICIES}"
+            )
+        if (
+            db is not None
+            and index_policy is not None
+            and db.index_policy != index_policy
+        ):
+            # Silently keeping the db's policy would discard the caller's
+            # request (and with it every deferral-scope benefit).
+            raise ExchangeError(
+                f"requested index policy {index_policy!r} conflicts with "
+                f"the provided database's {db.index_policy!r}"
+            )
         self.internal = internal
         self.policies: dict[str, TrustPolicy] = dict(policies or {})
         self.perspective = perspective
@@ -87,7 +105,14 @@ class ExchangeSystem:
             internal, self.encoding, self.policies, perspective
         )
         self.engine = SemiNaiveEngine(planner, head_filters=self.head_filters)
-        self.db = db if db is not None else Database()
+        if db is None:
+            db = Database(
+                index_policy=(
+                    index_policy if index_policy is not None else POLICY_DEFERRED
+                )
+            )
+        self.db = db
+        self.index_policy = self.db.index_policy
         self.encoding.setup_database(self.db)
         self._maintainer = IncrementalMaintainer(
             self.db, self.encoding, self.program, self.engine
@@ -143,17 +168,18 @@ class ExchangeSystem:
     def recompute(self) -> ExchangeReport:
         """Clear all derived state; re-run the fixpoint from the edbs."""
         start = time.perf_counter()
-        for relation in self.internal.relation_names():
-            for derived in (
-                input_name(relation),
-                trusted_name(relation),
-                output_name(relation),
-            ):
-                self.db[derived].clear()
-        for name in self.encoding.provenance_relation_names():
-            self.db[name].clear()
-        self.engine.invalidate_plans()
-        result = self.engine.run(self.program, self.db)
+        with self.db.defer_maintenance():
+            for relation in self.internal.relation_names():
+                for derived in (
+                    input_name(relation),
+                    trusted_name(relation),
+                    output_name(relation),
+                ):
+                    self.db[derived].clear()
+            for name in self.encoding.provenance_relation_names():
+                self.db[name].clear()
+            self.engine.invalidate_plans()
+            result = self.engine.run(self.program, self.db)
         return ExchangeReport(
             strategy=STRATEGY_RECOMPUTE,
             seconds=time.perf_counter() - start,
@@ -185,13 +211,14 @@ class ExchangeSystem:
             maintainer = (
                 self._dred if strategy == STRATEGY_DRED else self._maintainer
             )
-            deletion_report = maintainer.propagate_deletions(
-                delta.local_deletes, delta.rejection_inserts
-            )
-            unreject_report = maintainer.apply_unrejections(
-                delta.rejection_deletes
-            )
-            insert_report = maintainer.apply_insertions(delta.local_inserts)
+            with self.db.defer_maintenance():
+                deletion_report = maintainer.propagate_deletions(
+                    delta.local_deletes, delta.rejection_inserts
+                )
+                unreject_report = maintainer.apply_unrejections(
+                    delta.rejection_deletes
+                )
+                insert_report = maintainer.apply_insertions(delta.local_inserts)
             deleted = (
                 deletion_report.total_deleted
                 if hasattr(deletion_report, "total_deleted")
@@ -214,14 +241,15 @@ class ExchangeSystem:
         return report
 
     def _apply_by_recompute(self, delta: PublishDelta) -> ExchangeReport:
-        for relation, rows in delta.local_deletes.items():
-            self.db[local_name(relation)].delete_many(rows)
-        for relation, rows in delta.local_inserts.items():
-            self.db[local_name(relation)].insert_many(rows)
-        for relation, rows in delta.rejection_inserts.items():
-            self.db[rejection_name(relation)].insert_many(rows)
-        for relation, rows in delta.rejection_deletes.items():
-            self.db[rejection_name(relation)].delete_many(rows)
+        with self.db.defer_maintenance():
+            for relation, rows in delta.local_deletes.items():
+                self.db[local_name(relation)].delete_many(rows)
+            for relation, rows in delta.local_inserts.items():
+                self.db[local_name(relation)].insert_many(rows)
+            for relation, rows in delta.rejection_inserts.items():
+                self.db[rejection_name(relation)].insert_many(rows)
+            for relation, rows in delta.rejection_deletes.items():
+                self.db[rejection_name(relation)].delete_many(rows)
         return self.recompute()
 
     # -- consistency (used heavily by tests) -------------------------------------------

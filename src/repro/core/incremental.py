@@ -157,16 +157,21 @@ class IncrementalMaintainer:
         filters (Section 4.2's "starting point ... is already-trusted data,
         plus new base insertions which can be directly tested for trust").
         """
-        seeds: dict[str, set[Row]] = {}
-        for relation, rows in local_inserts.items():
-            target = self.db[local_name(relation)]
-            fresh = {tuple(row) for row in rows if target.insert(tuple(row))}
-            if fresh:
-                seeds[local_name(relation)] = fresh
         report = InsertionReport()
-        if seeds:
-            derived = self.engine.run_insertions(self.program, self.db, seeds)
-            report.derived = derived
+        with self.db.defer_maintenance():
+            seeds: dict[str, set[Row]] = {}
+            for relation, rows in local_inserts.items():
+                target = self.db[local_name(relation)]
+                fresh = {
+                    tuple(row) for row in rows if target.insert(tuple(row))
+                }
+                if fresh:
+                    seeds[local_name(relation)] = fresh
+            if seeds:
+                derived = self.engine.run_insertions(
+                    self.program, self.db, seeds
+                )
+                report.derived = derived
         return report
 
     def apply_unrejections(self, rejection_deletes: Rows) -> InsertionReport:
@@ -176,19 +181,22 @@ class IncrementalMaintainer:
         ``R__o`` (rule (tR)), which we compute directly for the touched rows
         and then propagate with the insertion delta rules.
         """
-        seeds: dict[str, set[Row]] = {}
-        for relation, rows in rejection_deletes.items():
-            rejection = self.db[rejection_name(relation)]
-            out = self.db[output_name(relation)]
-            for row in map(tuple, rows):
-                if not rejection.delete(row):
-                    continue
-                if self._trusted_ok(relation, row) and out.insert(row):
-                    seeds.setdefault(output_name(relation), set()).add(row)
         report = InsertionReport()
-        if seeds:
-            derived = self.engine.run_insertions(self.program, self.db, seeds)
-            report.derived = derived
+        with self.db.defer_maintenance():
+            seeds: dict[str, set[Row]] = {}
+            for relation, rows in rejection_deletes.items():
+                rejection = self.db[rejection_name(relation)]
+                out = self.db[output_name(relation)]
+                for row in map(tuple, rows):
+                    if not rejection.delete(row):
+                        continue
+                    if self._trusted_ok(relation, row) and out.insert(row):
+                        seeds.setdefault(output_name(relation), set()).add(row)
+            if seeds:
+                derived = self.engine.run_insertions(
+                    self.program, self.db, seeds
+                )
+                report.derived = derived
         return report
 
     # -- deletions (Figure 3) ------------------------------------------------------
@@ -205,6 +213,20 @@ class IncrementalMaintainer:
                 "negated LHS atoms (deletions become non-monotone); use the "
                 "full-recomputation strategy"
             )
+        # One deferral scope around the whole run: the per-row provenance
+        # and output deletions append maintenance runs instead of patching
+        # every index, and the derivability probes catch up in batched
+        # passes (see repro.storage.indexes).
+        with self.db.defer_maintenance():
+            return self._propagate_deletions_deferred(
+                local_deletes, rejection_inserts
+            )
+
+    def _propagate_deletions_deferred(
+        self,
+        local_deletes: Rows | None,
+        rejection_inserts: Rows | None,
+    ) -> DeletionReport:
         report = DeletionReport()
         output_deltas: dict[str, set[Row]] = {}
         pending_affected: set[Token] = set()
@@ -239,28 +261,33 @@ class IncrementalMaintainer:
 
             # Line 4: deletion delta rules for the provenance tables —
             # exact, because each provenance row materializes a full body
-            # instantiation.
+            # instantiation.  Two-phase per occurrence: probe the doomed
+            # rows first, then delete them in one bulk run — no probe ever
+            # interleaves with a mutation, and the index layer sees one
+            # batched deletion instead of per-row patches.
             for relation, rows in output_deltas.items():
                 for table, atom_index in self._body_occurrences.get(
                     relation, ()
                 ):
                     instance = self.db[table.relation]
+                    doomed: set[Row] = set()
                     for row in rows:
                         probe = table.body_probe(atom_index, row)
                         if probe is None:
                             continue
-                        # lookup returns a live index bucket; materialize
-                        # before deleting out from under the iteration.
-                        for prow in tuple(instance.lookup(*probe)):
-                            if instance.delete(prow):
-                                report.provenance_rows_deleted += 1
-                                for head in table.heads:
-                                    affected.add(
-                                        (
-                                            head.user_relation,
-                                            table.head_row(head, prow),
-                                        )
-                                    )
+                        doomed.update(instance.lookup(*probe))
+                    if not doomed:
+                        continue
+                    removed = instance.delete_existing(doomed)
+                    report.provenance_rows_deleted += len(removed)
+                    for prow in removed:
+                        for head in table.heads:
+                            affected.add(
+                                (
+                                    head.user_relation,
+                                    table.head_row(head, prow),
+                                )
+                            )
 
             # Lines 10-16: examine tuples whose provenance was affected.
             output_deltas = {}

@@ -372,7 +372,23 @@ class SemiNaiveEngine:
         round, and each delta-driven pass as one more.  Deltas for
         predicates no rule body in this stratum reads are dropped up front,
         so a stratum untouched by the seed contributes zero rounds.
+
+        The whole stratum runs inside one index-maintenance deferral scope
+        (a no-op under the eager policy): derived-table inserts only append
+        maintenance runs, indexes the stratum actually probes catch up in
+        batched passes, and the scope exit is the flush barrier — so the
+        database leaves every stratum with fully synchronized indexes.
         """
+        with db.defer_maintenance():
+            return self._run_stratum_deferred(rules, db, result, seed)
+
+    def _run_stratum_deferred(
+        self,
+        rules: list[Rule],
+        db: Database,
+        result: EvaluationResult,
+        seed: dict[str, set[Row]] | None,
+    ) -> dict[str, set[Row]]:
         new_total: dict[str, set[Row]] = {}
         delta_sets: dict[str, set[Row]] = {}
         body_preds = {

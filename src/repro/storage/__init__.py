@@ -6,6 +6,15 @@ tables and Berkeley DB storage of the paper's Section 5.
 
 from .btree import BPlusTree, BTreeError
 from .database import Database, UnknownRelationError
+from .indexes import (
+    INDEX_POLICIES,
+    POLICY_DEFERRED,
+    POLICY_EAGER,
+    DeferredIndexSet,
+    EagerIndexSet,
+    IndexSet,
+    make_index_set,
+)
 from .instance import ArityError, Instance, Row, StorageError
 from .kvstore import KeyValueStore, RelationStore
 from .persistence import checkpoint, checkpoint_equal, restore
@@ -16,8 +25,14 @@ __all__ = [
     "BPlusTree",
     "BTreeError",
     "Database",
+    "DeferredIndexSet",
+    "EagerIndexSet",
+    "INDEX_POLICIES",
+    "IndexSet",
     "Instance",
     "KeyValueStore",
+    "POLICY_DEFERRED",
+    "POLICY_EAGER",
     "RelationStore",
     "Row",
     "StatisticsCache",
@@ -27,5 +42,6 @@ __all__ = [
     "checkpoint",
     "checkpoint_equal",
     "compute_stats",
+    "make_index_set",
     "restore",
 ]

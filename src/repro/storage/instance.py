@@ -3,8 +3,15 @@
 This is the storage substrate that stands in for the RDBMS tables of the
 paper's Section 5.  An :class:`Instance` stores the extension of one relation
 as a set of fixed-arity tuples, and lazily builds hash indexes on the column
-subsets that query plans probe.  Index maintenance is incremental: inserts
-and deletes update every materialized index.
+subsets that query plans probe.
+
+*When* those indexes are maintained is a pluggable policy (see
+:mod:`repro.storage.indexes`): under the default **eager** policy every
+mutation patches every materialized index, while the **deferred** policy
+accumulates insert/delete runs inside :meth:`defer_maintenance` scopes and
+applies them in batched passes at probe time or at flush barriers.  The row
+set itself is always maintained eagerly, and every probe synchronizes the
+index it touches first — readers never observe stale index state.
 
 Set semantics matches the paper: "in a set-based relational model ... a tuple
 is uniquely identified by its values" (Section 4.1.2), which is also what
@@ -13,11 +20,12 @@ makes tuples usable as their own provenance tokens.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import AbstractSet, Callable, Iterable, Iterator, Sequence
 
-Row = tuple[object, ...]
+from .indexes import POLICY_EAGER, IndexSet, make_index_set
 
-_EMPTY_BUCKET: frozenset[Row] = frozenset()
+Row = tuple[object, ...]
 
 
 class StorageError(Exception):
@@ -39,17 +47,31 @@ class Instance:
         Number of columns; every stored row must have exactly this length.
     rows:
         Optional initial contents.
+    index_policy:
+        Index maintenance policy (``"eager"`` or ``"deferred"``, see
+        :mod:`repro.storage.indexes`).
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes", "_version", "_watchers")
+    __slots__ = (
+        "name",
+        "arity",
+        "_rows",
+        "_indexes",
+        "_version",
+        "_watchers",
+    )
 
     def __init__(
-        self, name: str, arity: int, rows: Iterable[Row] = ()
+        self,
+        name: str,
+        arity: int,
+        rows: Iterable[Row] = (),
+        index_policy: str = POLICY_EAGER,
     ) -> None:
         self.name = name
         self.arity = arity
         self._rows: set[Row] = set()
-        self._indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
+        self._indexes: IndexSet = make_index_set(index_policy, self._rows)
         self._version = 0
         self._watchers: tuple[Callable[[], None], ...] = ()
         for row in rows:
@@ -73,6 +95,11 @@ class Instance:
     def version(self) -> int:
         """Monotone counter bumped on every mutation (used by stats caches)."""
         return self._version
+
+    @property
+    def index_policy(self) -> str:
+        """The index maintenance policy this instance was built with."""
+        return self._indexes.policy
 
     def _bump(self) -> None:
         """Record one mutation: bump the version and notify watchers.
@@ -114,16 +141,15 @@ class Instance:
             return False
         self._rows.add(row)
         self._bump()
-        for cols, index in self._indexes.items():
-            key = tuple(row[c] for c in cols)
-            index.setdefault(key, set()).add(row)
+        if self._indexes._by_cols:
+            self._indexes.insert_rows((row,))
         return True
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
         """Insert many rows; return the number actually added.
 
-        Index maintenance is bulk: every materialized index is patched once
-        with the set of genuinely new rows, and the version bumps once.
+        Index maintenance is bulk: the set of genuinely new rows is handed
+        to the index policy in one run, and the version bumps once.
         """
         return len(self.insert_new(rows))
 
@@ -155,10 +181,8 @@ class Instance:
             return added
         existing.update(batch)
         self._bump()
-        for cols, index in self._indexes.items():
-            for row in added:
-                key = tuple(row[c] for c in cols)
-                index.setdefault(key, set()).add(row)
+        if self._indexes._by_cols:
+            self._indexes.insert_rows(added)
         return added
 
     def delete(self, row: Sequence[object]) -> bool:
@@ -168,22 +192,27 @@ class Instance:
             return False
         self._rows.discard(row)
         self._bump()
-        for cols, index in self._indexes.items():
-            key = tuple(row[c] for c in cols)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.discard(row)
-                if not bucket:
-                    del index[key]
+        if self._indexes._by_cols:
+            self._indexes.delete_rows((row,))
         return True
 
     def delete_many(self, rows: Iterable[Sequence[object]]) -> int:
         """Delete many rows; return the number actually removed.
 
-        Like :meth:`insert_many`, indexes are patched in one bulk pass and
-        the version bumps once.
+        Like :meth:`insert_many`, the genuinely removed rows reach the
+        index policy as one run and the version bumps once.
         """
-        # Two-phase like insert_many: collect first, then mutate, so an
+        return len(self.delete_existing(rows))
+
+    def delete_existing(self, rows: Iterable[Sequence[object]]) -> list[Row]:
+        """Bulk delete; return the rows that were genuinely removed.
+
+        The deletion mirror of :meth:`insert_new`: one version bump, one
+        bulk index-maintenance run, and the effective rows back to the
+        caller — what the deletion-propagation algorithms need to seed
+        their next frontier without per-row ``delete`` calls.
+        """
+        # Two-phase like insert_new: collect first, then mutate, so an
         # unhashable/bad row mid-batch cannot desynchronize the indexes.
         existing = self._rows
         removed: list[Row] = []
@@ -194,22 +223,16 @@ class Instance:
                 batch.add(row)
                 removed.append(row)
         if not removed:
-            return 0
+            return removed
         existing.difference_update(batch)
         self._bump()
-        for cols, index in self._indexes.items():
-            for row in removed:
-                key = tuple(row[c] for c in cols)
-                bucket = index.get(key)
-                if bucket is not None:
-                    bucket.discard(row)
-                    if not bucket:
-                        del index[key]
-        return len(removed)
+        if self._indexes._by_cols:
+            self._indexes.delete_rows(removed)
+        return removed
 
     def clear(self) -> None:
         self._rows.clear()
-        self._indexes.clear()
+        self._indexes.drop_all()
         self._bump()
 
     def replace(self, rows: Iterable[Sequence[object]]) -> None:
@@ -230,11 +253,10 @@ class Instance:
         stale = self._rows - new_rows
         if stale and len(stale) == len(self._rows):
             # Complete turnover (the usual case for Δ-relations: successive
-            # rounds are disjoint): keep the index dicts but skip the
+            # rounds are disjoint): keep the index structures but skip the
             # pointless per-row removals.
             self._rows.clear()
-            for index in self._indexes.values():
-                index.clear()
+            self._indexes.turnover()
             self._bump()
             self.insert_many(new_rows)
             return
@@ -254,13 +276,7 @@ class Instance:
                 raise StorageError(
                     f"index column {c} out of range for {self.name}/{self.arity}"
                 )
-        if cols in self._indexes:
-            return
-        index: dict[Row, set[Row]] = {}
-        for row in self._rows:
-            key = tuple(row[c] for c in cols)
-            index.setdefault(key, set()).add(row)
-        self._indexes[cols] = index
+        self._indexes.ensure(cols)
 
     def lookup(
         self, columns: Sequence[int], values: Sequence[object]
@@ -271,24 +287,76 @@ class Instance:
         copy is made.  Treat the result as ephemeral: do not mutate this
         instance while iterating it, and materialize (``tuple(...)``) before
         any interleaved mutation.  Use :meth:`rows` for a stable snapshot.
+
+        Probes are snapshot-consistent under every index policy: a deferred
+        index is synchronized with its pending runs before the bucket is
+        read, so the result always reflects the current row set.
         """
         cols = tuple(columns)
         if not cols:
             # Not on the executor hot path (it snapshots full scans), so
             # return a safe frozen copy rather than the mutable row set.
             return self.rows()
-        self.ensure_index(cols)
-        bucket = self._indexes[cols].get(tuple(values))
-        return bucket if bucket is not None else _EMPTY_BUCKET
+        try:
+            return self._indexes.probe(cols, tuple(values))
+        except KeyError:
+            # One-time miss: validate the columns and build the index.
+            self.ensure_index(cols)
+            return self._indexes.probe(cols, tuple(values))
+
+    def prepare_probe(self, columns: Sequence[int]) -> None:
+        """Make the index on ``columns`` current ahead of a probe loop.
+
+        The plan executor calls this once per pipeline step, so the
+        per-probe :meth:`lookup` calls that follow hit an already
+        synchronized index (the per-call pending check still guards
+        correctness; this just hoists the batched catch-up out of the
+        environment loop).
+        """
+        cols = tuple(columns)
+        if cols:
+            self.ensure_index(cols)
+            self._indexes.sync(cols)
 
     def index_key_count(self, columns: Sequence[int]) -> int:
         """Number of distinct keys in the index on ``columns``."""
         cols = tuple(columns)
         self.ensure_index(cols)
-        return len(self._indexes[cols])
+        return self._indexes.key_count(cols)
 
     def indexed_columns(self) -> tuple[tuple[int, ...], ...]:
-        return tuple(self._indexes.keys())
+        return self._indexes.columns()
+
+    # -- deferred maintenance barriers -------------------------------------
+
+    @contextmanager
+    def defer_maintenance(self):
+        """A deferral scope: batch index maintenance until exit.
+
+        Under the deferred policy, mutations inside the scope only append
+        to the maintenance log; each index catches up when probed, and the
+        outermost scope exit is a flush barrier.  Under the eager policy
+        this is a no-op, so engine code can open scopes unconditionally.
+        """
+        self._indexes.begin_defer()
+        try:
+            yield self
+        finally:
+            self._indexes.end_defer()
+
+    def flush_indexes(self) -> None:
+        """An explicit maintenance barrier.
+
+        Pending runs are applied to every index whose debt is small; an
+        index whose debt is rebuild-scale is retired instead and lazily
+        rebuilt on its next probe (see
+        :meth:`repro.storage.indexes.DeferredIndexSet.flush`).
+        """
+        self._indexes.flush()
+
+    def pending_index_ops(self) -> int:
+        """Maintenance-log entries some index has not yet applied."""
+        return self._indexes.pending_ops
 
     # -- bulk helpers -----------------------------------------------------
 
@@ -300,7 +368,21 @@ class Instance:
         return frozenset(tuple(row[c] for c in cols) for row in self._rows)
 
     def copy(self, name: str | None = None) -> "Instance":
-        return Instance(name or self.name, self.arity, self._rows)
+        """A deep copy carrying the index definitions and policy.
+
+        Indexes are copied bucket-wise (cheaper than rebuilding key
+        tuples), so probes against the copy start warm — e.g. the DRed
+        maintainer's pre-deletion snapshot probes the same columns the
+        live database just did.
+        """
+        clone = Instance(
+            name or self.name, self.arity, index_policy=self.index_policy
+        )
+        clone._rows.update(self._rows)
+        if self._rows:
+            clone._version = 1
+        clone._indexes.adopt(self._indexes)
+        return clone
 
     def estimated_bytes(self) -> int:
         """Rough storage footprint, mirroring the paper's "DB size" metric.

@@ -652,3 +652,66 @@ class TestCLIQuery:
         unsafe = "ans(i) :- B(i, n), not U(z, z)"
         assert main(["query", str(spec), unsafe]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestResultCache:
+    """PreparedQuery's (bindings, Database.version)-keyed result cache:
+    repeated identical executes are O(1) serves; any mutation moves the
+    version (the PR 3 dirty-bit) and invalidates for free."""
+
+    def test_identical_executes_hit_the_cache(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i) :- B(i, n)", params=("n",))
+        first = prepared.execute(n=2).to_rows()
+        assert prepared.result_cache_misses == 1
+        again = prepared.execute(n=2).to_rows()
+        assert again == first
+        assert prepared.result_cache_hits == 1
+        # A different binding is its own entry.
+        prepared.execute(n=5).to_rows()
+        assert prepared.result_cache_misses == 2
+
+    def test_cache_is_mode_keyed(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(n, c) :- U(n, c)")
+        certain = prepared.execute().to_rows()
+        with_nulls = prepared.execute().with_nulls().to_rows()
+        assert certain < with_nulls  # m3 invents a labeled null
+        assert prepared.result_cache_misses == 2
+        assert prepared.execute().with_nulls().to_rows() == with_nulls
+        assert prepared.result_cache_hits == 1
+
+    def test_any_mutation_invalidates_for_free(self):
+        cdss = paper_cdss()
+        pgus = cdss.peer("PGUS")
+        prepared = cdss.prepare("ans(i) :- B(i, n)", params=("n",))
+        before = prepared.execute(n=3).to_rows()
+        assert prepared.execute(n=3).to_rows() == before
+        assert prepared.result_cache_hits == 1
+        pgus.insert("G", (7, 8, 3))
+        cdss.update_exchange()
+        after = prepared.execute(n=3).to_rows()
+        assert (7,) in after and (7,) not in before
+        # The stale entry silently missed; no explicit invalidation ran.
+        assert prepared.result_cache_misses == 2
+
+    def test_cache_survives_reconfiguration_by_identity(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i) :- B(i, n)", params=("n",))
+        prepared.execute(n=2).to_rows()
+        # Reconfiguring rebuilds the system: the old entry's database
+        # identity no longer matches, so it cannot serve stale rows.
+        cdss.add_peer("P4", {"W": ("w",)})
+        cdss.update_exchange()
+        prepared.execute(n=2).to_rows()
+        assert prepared.result_cache_misses == 2
+
+    def test_len_contains_and_iter_share_the_cache(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i) :- B(i, n)")
+        answers = prepared.execute()
+        n = len(answers)
+        assert bool(answers) == (n > 0)
+        assert sorted(answers) == sorted(answers.to_rows())
+        assert prepared.result_cache_misses == 1
+        assert prepared.result_cache_hits >= 3
