@@ -17,7 +17,12 @@ The exchange series runs under **both index maintenance policies**
 (``eager`` and ``deferred``, see ``repro.storage.indexes``) and records
 the eager/deferred wall-time ratio per phase (``policy_speedup``), plus a
 smaller **string-dataset** series (the paper's SWISS-PROT strings instead
-of integer hashes) under both policies.
+of integer hashes) under both policies, plus a **shard-parallel workers
+series** (``workers ∈ {1, 2, 4}`` by default, see ``repro.parallel``)
+re-running the exchange phases under an N-process evaluation pool with
+``speedup_vs_workers1`` ratios and the host ``cpu_count`` recorded — N
+workers cannot beat 1 without N cores, so on a 1-CPU host the series
+measures the replication protocol's overhead rather than a speedup.
 
 A second series exercises the serving-side query subsystem and writes
 ``BENCH_query.json``:
@@ -59,7 +64,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
-RESULT_FORMAT = "repro/bench-update-exchange@2"
+RESULT_FORMAT = "repro/bench-update-exchange@3"
 QUERY_RESULT_FORMAT = "repro/bench-query@1"
 
 INDEX_POLICIES = ("eager", "deferred")
@@ -127,22 +132,26 @@ def _stats_delta(
     return delta
 
 
-def _build_cdss(generator, index_policy: str):
-    """Build the workload CDSS under ``index_policy``.
+def _build_cdss(generator, index_policy: str, workers: int | None = None):
+    """Build the workload CDSS under ``index_policy`` (+ worker count).
 
     Feature-detected by signature, not by catching TypeError — a
     swallowed unrelated TypeError would silently run both policy series
     against the default configuration and fabricate ~1.0x comparisons.
-    Older trees (baseline measurement) predate index policies and get the
-    plain build.
+    Older trees (baseline measurement) predate index policies / parallel
+    evaluation and get the plain build.
     """
     from inspect import signature
 
     from repro.core.cdss import CDSS
 
-    if "index_policy" in signature(CDSS.__init__).parameters:
-        return generator.build_cdss(index_policy=index_policy)
-    return generator.build_cdss()
+    parameters = signature(CDSS.__init__).parameters
+    kwargs = {}
+    if "index_policy" in parameters:
+        kwargs["index_policy"] = index_policy
+    if workers is not None and "workers" in parameters:
+        kwargs["workers"] = workers
+    return generator.build_cdss(**kwargs)
 
 
 def _prepare_serving_queries(cdss, generator) -> tuple[list, list]:
@@ -198,6 +207,7 @@ def run_cell(
     seed: int,
     index_policy: str = PRIMARY_POLICY,
     dataset: str = "integer",
+    workers: int | None = None,
 ) -> dict[str, object]:
     """One benchmark cell: publish a base load under a serving workload,
     then time an incremental insertion exchange and a deletion exchange,
@@ -205,7 +215,11 @@ def run_cell(
     generator = CDSSWorkloadGenerator(
         WorkloadConfig(peers=peers, dataset=dataset, seed=seed)
     )
-    cdss = _build_cdss(generator, index_policy)
+    # Pin the worker count explicitly: passing None through would let the
+    # CDSS resolve a REPRO_WORKERS environment default, silently running
+    # (and mislabeling) a "sequential" series under a pool.
+    workers = 1 if workers is None else workers
+    cdss = _build_cdss(generator, index_policy, workers)
     hot_queries, cold_queries = _prepare_serving_queries(cdss, generator)
     serving_seconds = 0.0
 
@@ -244,6 +258,7 @@ def run_cell(
         "insert_per_peer": insert_per_peer,
         "index_policy": index_policy,
         "dataset": dataset,
+        "workers": workers,
         "serving_queries": {
             "hot": len(hot_queries),
             "cold": len(cold_queries),
@@ -307,6 +322,7 @@ def run_policy_series(
     repeat: int = 1,
     index_policies: tuple[str, ...] = INDEX_POLICIES,
     dataset: str = "integer",
+    workers: int | None = None,
 ) -> dict[str, object]:
     """The exchange series under every requested index policy.
 
@@ -329,6 +345,7 @@ def run_policy_series(
                         seed,
                         index_policy=policy,
                         dataset=dataset,
+                        workers=workers,
                     )
                 )
         for policy in index_policies:
@@ -352,6 +369,7 @@ def run_policy_series(
             "delete_per_peer": insert_per_peer,
             "seed": seed,
             "repeat": repeat,
+            "workers": workers if workers is not None else 1,
         },
         "policies": policies,
     }
@@ -375,6 +393,8 @@ def run_benchmark(
     repeat: int = 1,
     index_policies: tuple[str, ...] = INDEX_POLICIES,
     string_base_per_peer: int | None = None,
+    workers: int | None = None,
+    workers_counts: tuple[int, ...] | None = None,
 ) -> dict[str, object]:
     series = run_policy_series(
         peer_counts,
@@ -383,8 +403,19 @@ def run_benchmark(
         seed=seed,
         repeat=repeat,
         index_policies=index_policies,
+        workers=workers,
     )
     result: dict[str, object] = {"format": RESULT_FORMAT, **series}
+    if workers_counts:
+        print(f"workers series: workers={workers_counts}")
+        result["workers_series"] = run_workers_series(
+            peer_counts,
+            base_per_peer,
+            insert_per_peer,
+            seed=seed,
+            repeat=repeat,
+            workers_counts=workers_counts,
+        )
     # The legacy top-level cells: the shipped-default policy's series (what
     # --baseline comparisons across PRs read).
     primary = (
@@ -406,8 +437,124 @@ def run_benchmark(
             repeat=1,
             index_policies=index_policies,
             dataset="string",
+            workers=workers,
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Shard-parallel workers series (workers ∈ {1, 2, 4})
+# ---------------------------------------------------------------------------
+
+
+def run_workers_series(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int = 0,
+    repeat: int = 1,
+    workers_counts: tuple[int, ...] = (1, 2, 4),
+    index_policy: str = PRIMARY_POLICY,
+) -> dict[str, object]:
+    """The exchange phases under a range of evaluation worker counts.
+
+    Same cell shape as the policy series (publish / incremental /
+    deletion under the serving mix), all under the shipped-default index
+    policy, one sub-series per worker count; samples are interleaved
+    across worker counts like the policy series.  ``cpu_count`` is
+    recorded because it is the whole story for this series: N workers
+    cannot beat 1 on wall time without N cores to run on — on a 1-CPU
+    host the series measures the protocol's overhead (Δ-shard shipping +
+    merge), on an N-core host its speedup.
+    """
+    import os
+
+    counts: dict[str, dict[str, object]] = {}
+    for peers in peer_counts:
+        samples: dict[int, list[dict[str, object]]] = {
+            workers: [] for workers in workers_counts
+        }
+        for _ in range(max(1, repeat)):
+            for workers in workers_counts:
+                samples[workers].append(
+                    run_cell(
+                        peers,
+                        base_per_peer,
+                        insert_per_peer,
+                        seed,
+                        index_policy=index_policy,
+                        workers=workers,
+                    )
+                )
+        for workers in workers_counts:
+            cell = _median_cell(samples[workers])
+            counts.setdefault(str(workers), {"cells": []})["cells"].append(
+                cell
+            )
+            print(
+                f"  [workers={workers}] peers={peers:3d}"
+                f"  publish={cell['publish']['seconds']:.3f}s"
+                f"  incremental={cell['incremental_insertion']['seconds']:.3f}s"
+                f"  deletion={cell['deletion']['seconds']:.3f}s"
+                f"  parallel_rounds="
+                f"{cell['publish'].get('parallel_rounds', 0):.0f}"
+            )
+    result: dict[str, object] = {
+        "workload": {
+            "dataset": "integer",
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "insert_per_peer": insert_per_peer,
+            "delete_per_peer": insert_per_peer,
+            "seed": seed,
+            "repeat": repeat,
+            "index_policy": index_policy,
+            "workers_counts": list(workers_counts),
+            "cpu_count": os.cpu_count(),
+        },
+        "workers": counts,
+    }
+    speedup = _workers_speedup(counts)
+    if speedup:
+        result["speedup_vs_workers1"] = speedup
+        for phase, by_workers in speedup.items():
+            rendered = ", ".join(
+                f"{workers}w: "
+                + ", ".join(
+                    f"{peers} peers {ratio:.2f}x"
+                    for peers, ratio in ratios.items()
+                )
+                for workers, ratios in by_workers.items()
+            )
+            print(f"  workers-vs-sequential[{phase}]: {rendered}")
+    return result
+
+
+def _workers_speedup(
+    counts: dict[str, dict[str, object]]
+) -> dict[str, dict[str, dict[str, float]]]:
+    """workers=1 / workers=N wall ratios per phase, worker count and peer
+    count (>1 means the parallel configuration is faster)."""
+    baseline = {
+        cell["peers"]: cell
+        for cell in counts.get("1", {}).get("cells", ())
+    }
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for workers, series in counts.items():
+        if workers == "1":
+            continue
+        for cell in series["cells"]:
+            base = baseline.get(cell["peers"])
+            if base is None:
+                continue
+            for phase in PHASES:
+                seconds = cell.get(phase, {}).get("seconds", 0.0)
+                if seconds <= 0 or phase not in base:
+                    continue
+                out.setdefault(phase, {}).setdefault(workers, {})[
+                    str(cell["peers"])
+                ] = base[phase]["seconds"] / seconds
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -624,6 +771,23 @@ def main(argv: list[str] | None = None) -> int:
         "(default: both, so policy regressions are visible per run)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation worker count for the exchange/string series "
+        "(default: sequential)",
+    )
+    parser.add_argument(
+        "--workers-counts",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="worker counts for the shard-parallel series "
+        "(default: 1 2 4, or 1 2 with --quick; pass no values to skip)",
+    )
+    parser.add_argument(
         "--string-base",
         type=int,
         default=None,
@@ -680,6 +844,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.string_base is not None
         else max(1, base // 3)
     )
+    if args.workers_counts is None:
+        workers_counts = (1, 2) if args.quick else (1, 2, 4)
+    else:
+        workers_counts = tuple(args.workers_counts)
 
     if args.only in ("all", "exchange"):
         print(
@@ -695,6 +863,8 @@ def main(argv: list[str] | None = None) -> int:
             repeat=repeat,
             index_policies=index_policies,
             string_base_per_peer=string_base,
+            workers=args.workers,
+            workers_counts=workers_counts,
         )
 
         if args.baseline is not None and args.baseline.exists():

@@ -36,6 +36,7 @@ from .api import (
     MappingSpec,
     PeerHandle,
     PeerSpec,
+    PreparedProgram,
     PreparedQuery,
     Query,
     RelationSpec,
@@ -78,6 +79,7 @@ __all__ = [
     "LineageSemiring",
     "MappingSpec",
     "PeerHandle",
+    "PreparedProgram",
     "PeerSchema",
     "PeerSpec",
     "PreparedQuery",

@@ -31,6 +31,7 @@ Entry points:
 
 from .batch import Batch, BatchError
 from .handles import PeerHandle, TrustScope
+from .programs import PreparedProgram, ProgramAnswers, prepare_program
 from .query import (
     AnswerSet,
     Comparison,
@@ -60,7 +61,9 @@ __all__ = [
     "MappingSpec",
     "PeerHandle",
     "PeerSpec",
+    "PreparedProgram",
     "PreparedQuery",
+    "ProgramAnswers",
     "Query",
     "RelationSpec",
     "RelationView",
@@ -69,4 +72,5 @@ __all__ = [
     "TrustScope",
     "col",
     "param",
+    "prepare_program",
 ]

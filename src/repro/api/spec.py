@@ -190,6 +190,7 @@ class SystemSpec:
     encoding_style: str = ENCODING_COMPOSITE
     perspective: str | None = None
     index_policy: str = POLICY_DEFERRED
+    workers: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "peers", tuple(self.peers))
@@ -209,6 +210,14 @@ class SystemSpec:
             raise SpecError(
                 f"unknown index policy {self.index_policy!r}; expected one "
                 f"of {INDEX_POLICIES}"
+            )
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise SpecError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
             )
 
     # -- construction ------------------------------------------------------
@@ -232,6 +241,7 @@ class SystemSpec:
             "strategy": self.strategy,
             "encoding_style": self.encoding_style,
             "index_policy": self.index_policy,
+            "workers": self.workers,
             "peers": [p.to_dict() for p in self.peers],
             "mappings": [m.to_dict() for m in self.mappings],
             "edits": [e.to_dict() for e in self.edits],
@@ -250,7 +260,7 @@ class SystemSpec:
             )
         known = {
             "format", "name", "strategy", "encoding_style", "perspective",
-            "index_policy", "peers", "mappings", "edits",
+            "index_policy", "workers", "peers", "mappings", "edits",
         }
         unknown = set(document) - known
         if unknown:
@@ -274,6 +284,7 @@ class SystemSpec:
             ),
             perspective=None if perspective is None else str(perspective),
             index_policy=str(document.get("index_policy", POLICY_DEFERRED)),
+            workers=document.get("workers", 1),  # type: ignore[arg-type]
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -131,8 +131,8 @@ def _quickstart() -> None:
     )
 
 
-def _load_spec(path: str, index_policy: str | None):
-    """Load a SystemSpec, optionally overriding its index policy."""
+def _load_spec(path: str, index_policy: str | None, workers: int | None):
+    """Load a SystemSpec, optionally overriding engine options."""
     from dataclasses import replace
 
     from .api.spec import SystemSpec
@@ -140,17 +140,24 @@ def _load_spec(path: str, index_policy: str | None):
     spec = SystemSpec.load(path)
     if index_policy is not None:
         spec = replace(spec, index_policy=index_policy)
+    if workers is not None:
+        spec = replace(spec, workers=workers)
     return spec
 
 
-def _run_spec(path: str, strategy: str | None, index_policy: str | None) -> int:
+def _run_spec(
+    path: str,
+    strategy: str | None,
+    index_policy: str | None,
+    workers: int | None,
+) -> int:
     """Execute a declarative SystemSpec JSON: build, exchange, print."""
     from . import CDSS, SpecError
     from .datalog.ast import DatalogError  # covers ParseError, SafetyError
     from .schema import SchemaError
 
     try:
-        cdss = CDSS.from_spec(_load_spec(path, index_policy))
+        cdss = CDSS.from_spec(_load_spec(path, index_policy, workers))
         # Schema validation (e.g. weak acyclicity) fires lazily on first use.
         report = cdss.update_exchange(strategy=strategy)
     except (OSError, SpecError, DatalogError, SchemaError) as error:
@@ -187,6 +194,7 @@ def _run_query(
     params: list[str],
     strategy: str | None,
     index_policy: str | None,
+    workers: int | None,
 ) -> int:
     """Build a CDSS from a spec, exchange, and answer one query."""
     from . import CDSS, SpecError
@@ -205,7 +213,7 @@ def _run_query(
             return 1
         bindings[name] = _parse_param_value(value)
     try:
-        cdss = CDSS.from_spec(_load_spec(path, index_policy))
+        cdss = CDSS.from_spec(_load_spec(path, index_policy, workers))
         cdss.update_exchange(strategy=strategy)
         prepared = cdss.prepare(text, params=tuple(bindings))
         answers = prepared.execute(**bindings)
@@ -250,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's storage index-maintenance policy",
     )
+    run_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's evaluation worker count (1 = sequential)",
+    )
     query_cmd = sub.add_parser(
         "query",
         help="answer a conjunctive query over a SystemSpec's instances",
@@ -283,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's storage index-maintenance policy",
     )
+    query_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's evaluation worker count (1 = sequential)",
+    )
     sub.add_parser("list", help="list available experiments")
     for name, (description, _) in EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
@@ -303,7 +325,9 @@ def main(argv: list[str] | None = None) -> int:
         _quickstart()
         return 0
     if args.command == "run":
-        return _run_spec(args.spec, args.strategy, args.index_policy)
+        return _run_spec(
+            args.spec, args.strategy, args.index_policy, args.workers
+        )
     if args.command == "query":
         return _run_query(
             args.spec,
@@ -312,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
             args.param,
             args.strategy,
             args.index_policy,
+            args.workers,
         )
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():

@@ -65,10 +65,17 @@ from .exchange import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..api.batch import Batch
     from ..api.handles import PeerHandle
+    from ..api.programs import PreparedProgram
     from ..api.query import PreparedQuery, Query
     from ..api.spec import SystemSpec
     from ..api.views import RelationView
     from ..datalog.ast import Rule
+
+
+_PROGRAM_CACHE_LIMIT = 64
+"""query_program's prepared-program entries before wholesale clearing
+(each entry pins its own engine + plan cache; parameterize instead of
+inlining constants to stay under it)."""
 
 
 @dataclass
@@ -114,6 +121,8 @@ class CDSS:
         perspective: str | None = None,
         strategy: str = STRATEGY_INCREMENTAL,
         index_policy: str | None = None,
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         self.name = name
         self.strategy = strategy
@@ -122,9 +131,16 @@ class CDSS:
         self._perspective = perspective
         # None -> the exchange system's default (deferred/batched).
         self._index_policy = index_policy
+        # None -> the REPRO_WORKERS environment default (1 = sequential).
+        self._workers = workers
+        self._start_method = start_method
         self._peers: dict[str, Peer] = {}
         self._mappings: dict[str, SchemaMapping] = {}
         self._relation_owner: dict[str, str] = {}
+        # query_program's per-text cache of PreparedPrograms (prepared
+        # programs re-bind themselves after reconfiguration, so entries
+        # stay valid for the CDSS's whole lifetime).
+        self._program_cache: dict[tuple[str, str], "PreparedProgram"] = {}
         self._system: ExchangeSystem | None = None
         self._previous_system: ExchangeSystem | None = None
         self.exchange_reports: list[ExchangeReport] = []
@@ -205,6 +221,7 @@ class CDSS:
             perspective=spec.perspective,
             strategy=spec.strategy,
             index_policy=spec.index_policy,
+            workers=spec.workers,
         )
         for peer_spec in spec.peers:
             cdss.add_peer(peer_spec.name, peer_spec.to_schemas())
@@ -272,6 +289,7 @@ class CDSS:
             encoding_style=self._encoding_style,
             perspective=self._perspective,
             index_policy=self.index_policy,
+            workers=self.workers,
         )
 
     # -- trust (internal entry points; public surface is TrustScope) ---------
@@ -409,9 +427,6 @@ class CDSS:
             tuple(p.schema for p in self._peers.values()),
             tuple(self._mappings.values()),
         )
-        system_kwargs: dict[str, object] = {}
-        if self._index_policy is not None:
-            system_kwargs["index_policy"] = self._index_policy
         system = ExchangeSystem(
             internal,
             policies={
@@ -420,7 +435,9 @@ class CDSS:
             planner=self._planner,
             encoding_style=self._encoding_style,
             perspective=self._perspective,
-            **system_kwargs,  # type: ignore[arg-type]
+            index_policy=self._index_policy,
+            workers=self._workers,
+            start_method=self._start_method,
         )
         if self._previous_system is not None:
             from ..schema.internal import local_name, rejection_name
@@ -435,6 +452,9 @@ class CDSS:
                         carried = True
             if carried:
                 system.recompute()
+            # The superseded system is dead: release its worker pool now
+            # rather than waiting for garbage collection.
+            self._previous_system.close()
             self._previous_system = None
         self._system = system
         return system
@@ -448,6 +468,14 @@ class CDSS:
             if self._index_policy is not None
             else POLICY_DEFERRED
         )
+
+    @property
+    def workers(self) -> int:
+        """The evaluation worker count in effect (1 = sequential; see
+        :mod:`repro.parallel`)."""
+        from ..parallel import resolve_workers
+
+        return resolve_workers(self._workers)
 
     @property
     def internal_schema(self) -> InternalSchema:
@@ -545,6 +573,34 @@ class CDSS:
             answers = answers.with_nulls()
         return answers.to_rows()
 
+    def prepare_program(
+        self,
+        program: str,
+        answer: str = "ans",
+        params: Sequence[str] = (),
+    ) -> "PreparedProgram":
+        """Prepare a recursive query program: validate + rewrite once.
+
+        The returned :class:`~repro.api.programs.PreparedProgram` keeps a
+        dedicated engine whose plan cache and Δ-relations stay warm
+        across :meth:`~repro.api.programs.PreparedProgram.execute` calls;
+        ``params`` names program variables bound per execution
+        (``prepared.execute(name=value)``).
+        """
+        from ..api.programs import prepare_program
+
+        system = self.system()
+        return prepare_program(
+            program,
+            system.db,
+            system.internal,
+            answer=answer,
+            params=params,
+            planner=self._planner,
+            cdss=self,
+            system=system,
+        )
+
     def query_program(
         self, text: str, answer: str = "ans", certain: bool = True
     ) -> frozenset[Row]:
@@ -553,13 +609,28 @@ class CDSS:
         Bodies reference user relations; the program may define auxiliary
         intensional predicates (evaluated to fixpoint in scratch space).
         Returns the extension of the ``answer`` predicate.
-        """
-        from .query import answer_program
 
-        system = self.system()
-        return answer_program(
-            text, system.db, system.internal, answer=answer, certain=certain
-        )
+        A convenience over :meth:`prepare_program`: the prepared program
+        is cached per ``(text, answer)``, so repeated calls with the same
+        text re-plan nothing.
+        """
+        if isinstance(text, str):
+            key = (text, answer)
+            prepared = self._program_cache.get(key)
+            if prepared is None:
+                prepared = self.prepare_program(text, answer=answer)
+                if len(self._program_cache) >= _PROGRAM_CACHE_LIMIT:
+                    # Each entry pins a dedicated engine; callers that
+                    # inline constants into the text (instead of params=)
+                    # must not grow this without bound.
+                    self._program_cache.clear()
+                self._program_cache[key] = prepared
+        else:
+            # Pre-parsed Program objects: prepare fresh (identity-keyed
+            # caching would never hit for equal-but-distinct objects).
+            prepared = self.prepare_program(text, answer=answer)
+        answers = prepared.execute()
+        return answers.certain() if certain else answers.with_nulls()
 
     # -- provenance -------------------------------------------------------------
 

@@ -79,6 +79,8 @@ class ExchangeSystem:
         perspective: str | None = None,
         db: Database | None = None,
         index_policy: str | None = None,
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         if index_policy is not None and index_policy not in INDEX_POLICIES:
             raise ExchangeError(
@@ -104,7 +106,16 @@ class ExchangeSystem:
         self.head_filters = exchange_head_filters(
             internal, self.encoding, self.policies, perspective
         )
-        self.engine = SemiNaiveEngine(planner, head_filters=self.head_filters)
+        # workers=None resolves the REPRO_WORKERS environment default; the
+        # worker pool itself is spawned once per exchange system, lazily,
+        # on the first parallel stratum round (see repro.parallel).
+        self.engine = SemiNaiveEngine(
+            planner,
+            head_filters=self.head_filters,
+            workers=workers,
+            start_method=start_method,
+        )
+        self.workers = self.engine.workers
         if db is None:
             db = Database(
                 index_policy=(
@@ -120,6 +131,13 @@ class ExchangeSystem:
         self._dred = DRedMaintainer(
             self.db, self.encoding, self.program, self.engine
         )
+
+    def close(self) -> None:
+        """Release the evaluation worker pool, if one was spawned.
+
+        Idempotent; the system remains usable afterwards (evaluation
+        falls back to the sequential path)."""
+        self.engine.close()
 
     # -- state access ----------------------------------------------------------
 
@@ -257,11 +275,15 @@ class ExchangeSystem:
     def is_consistent(self) -> bool:
         """Check Definition 3.1: derived state equals a fresh fixpoint from
         the current edbs."""
+        # The reference recomputation is a one-shot correctness check:
+        # always sequential (workers=1), so consistency probes never spawn
+        # a second worker pool.
         reference = ExchangeSystem(
             self.internal,
             self.policies,
             encoding_style=self.encoding.style,
             perspective=self.perspective,
+            workers=1,
         )
         for relation in self.internal.relation_names():
             reference.db[local_name(relation)].insert_many(

@@ -88,42 +88,24 @@ def certain_rows(rows: Iterable[Row]) -> frozenset[Row]:
     )
 
 
-def answer_program(
-    program: "str | object",
-    db: Database,
-    internal: InternalSchema,
-    answer: str = "ans",
-    certain: bool = True,
-    planner: Planner | None = None,
-) -> frozenset[Row]:
-    """Evaluate a (possibly recursive) datalog program over peer instances.
+def rewrite_program_to_internal(
+    parsed: "object", internal: InternalSchema, answer: str
+) -> "object":
+    """Validate a query program and rewrite its EDB atoms to ``R__o``.
 
-    The program's extensional predicates are user relation names (resolved
-    to their ``R__o`` tables); its intensional predicates are scratch
-    relations evaluated to fixpoint without touching the exchanged state.
-    The extension of ``answer`` is returned, with labeled-null rows dropped
-    under certain-answer semantics.
-
-    Example — reachability over a synonym relation::
-
-        answer_program('''
-            Reach(x, y) :- U(x, y)
-            Reach(x, z) :- Reach(x, y), U(y, z)
-            ans(x, y) :- Reach(x, y)
-        ''', db, internal)
+    The program's extensional predicates must be user relation names
+    (resolved to their output tables); its intensional predicates are
+    scratch relations and must not collide with peer relations.  Shared
+    by the prepared-program subsystem (:mod:`repro.api.programs`) and the
+    deprecated :func:`answer_program` shim.
     """
     from ..datalog.ast import Program
-    from ..datalog.engine import SemiNaiveEngine
-    from ..datalog.parser import parse_program
 
-    parsed: Program = (
-        parse_program(program) if isinstance(program, str) else program  # type: ignore[assignment]
-    )
-    if answer not in parsed.idb_predicates():
+    idb = parsed.idb_predicates()
+    if answer not in idb:
         raise QueryError(
             f"program does not define the answer predicate {answer!r}"
         )
-    idb = parsed.idb_predicates()
     for predicate in idb:
         if predicate in internal.catalog:
             raise QueryError(
@@ -154,26 +136,38 @@ def answer_program(
                     f"query references unknown relation {atom.predicate!r}"
                 )
         rewritten.append(Rule(rule.head, tuple(body), label=rule.label))
+    return Program(tuple(rewritten), name="query")
 
-    scratch = Database()
-    attached: list[str] = []
-    for relation in internal.relation_names():
-        instance = db.get(output_name(relation))
-        if instance is not None:
-            scratch.attach(instance)
-            attached.append(instance.name)
-    engine = SemiNaiveEngine(planner)
-    from ..datalog.ast import Program as ProgramCls
 
-    try:
-        engine.run(ProgramCls(tuple(rewritten), name="query"), scratch)
-        answers = scratch[answer].rows()
-    finally:
-        # Detach the shared instances: attach registered the scratch
-        # database as a mutation watcher, which must not outlive this
-        # call (it would leak the scratch db and slow every future write).
-        for name in attached:
-            scratch.drop(name)
-    if certain:
-        answers = certain_rows(answers)
-    return frozenset(answers)
+def answer_program(
+    program: "str | object",
+    db: Database,
+    internal: InternalSchema,
+    answer: str = "ans",
+    certain: bool = True,
+    planner: Planner | None = None,
+) -> frozenset[Row]:
+    """Deprecated one-shot program helper; use the prepared subsystem.
+
+    A thin shim over :func:`repro.api.programs.prepare_program`: the
+    program is prepared (rewritten + validated once) and executed
+    immediately, bypassing every reuse benefit — plan caching across
+    executes, parameterization, warm Δ-relations.  Prefer
+    :meth:`CDSS.prepare_program <repro.core.cdss.CDSS.prepare_program>`
+    (re-executable) or :meth:`CDSS.query_program
+    <repro.core.cdss.CDSS.query_program>` (cached per program text).
+    """
+    warnings.warn(
+        "answer_program is deprecated; use cdss.prepare_program(...) / "
+        "cdss.query_program(...) (see DESIGN.md's query-subsystem "
+        "migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api.programs import prepare_program
+
+    prepared = prepare_program(
+        program, db, internal, answer=answer, planner=planner
+    )
+    answers = prepared.execute()
+    return answers.certain() if certain else answers.with_nulls()

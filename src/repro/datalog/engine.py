@@ -11,7 +11,11 @@ given a datalog engine with fixpoint capabilities").  It supports:
 * full fixpoint computation (:meth:`SemiNaiveEngine.run`) and incremental
   insertion propagation from externally supplied deltas
   (:meth:`SemiNaiveEngine.run_insertions` — the insertion delta rules of
-  Section 4.2), and
+  Section 4.2),
+* shard-parallel evaluation of delta-driven stratum rounds across a
+  worker-process pool (``workers > 1``, see :mod:`repro.parallel`;
+  ``workers=1`` — the default — is the unchanged sequential path and the
+  two produce identical fixpoints, provenance included), and
 * a deliberately naive reference evaluator (:class:`NaiveEngine`) used by the
   test suite to cross-check the semi-naive implementation.
 
@@ -64,6 +68,7 @@ class EvaluationResult:
     rule_applications: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    parallel_rounds: int = 0
 
     @property
     def total_inserted(self) -> int:
@@ -83,6 +88,7 @@ class EvaluationResult:
             "rule_applications": self.rule_applications,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "parallel_rounds": self.parallel_rounds,
         }
 
     @staticmethod
@@ -110,6 +116,7 @@ class EvaluationResult:
         self.rule_applications += other.rule_applications
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
+        self.parallel_rounds += other.parallel_rounds
         for predicate, count in other.inserted.items():
             self._record(predicate, count)
 
@@ -134,6 +141,35 @@ def _check_head_arities(program: Program) -> None:
                 )
 
 
+class DeltaPool:
+    """Persistent, reusable Δ-relations keyed by (predicate, arity).
+
+    Contents are replaced diff-wise (:meth:`Instance.replace_contents`)
+    so materialized probe indexes are maintained incrementally instead of
+    rebuilt every round.  Shared by the engine, the DRed maintainer (via
+    :meth:`SemiNaiveEngine.delta_instance`), and the parallel subsystem's
+    worker replicas — one implementation, identical Δ-index maintenance
+    everywhere.
+    """
+
+    __slots__ = ("_instances",)
+
+    def __init__(self) -> None:
+        self._instances: dict[tuple[str, int], Instance] = {}
+
+    def instance(
+        self, predicate: str, arity: int, rows: Iterable[Row]
+    ) -> Instance:
+        key = (predicate, arity)
+        delta = self._instances.get(key)
+        if delta is None:
+            delta = Instance(f"Δ{predicate}", arity, rows)
+            self._instances[key] = delta
+        else:
+            delta.replace_contents(rows)
+        return delta
+
+
 class SemiNaiveEngine:
     """Stratified semi-naive fixpoint evaluator."""
 
@@ -141,9 +177,23 @@ class SemiNaiveEngine:
         self,
         planner: Planner | None = None,
         head_filters: Mapping[str, HeadFilter] | None = None,
+        workers: int | None = 1,
+        start_method: str | None = None,
     ) -> None:
         self.planner: Planner = planner if planner is not None else PreparedPlanner()
         self.head_filters: dict[str, HeadFilter] = dict(head_filters or {})
+        # Shard-parallel evaluation (see repro.parallel): workers > 1 routes
+        # delta-driven stratum rounds through a persistent worker pool;
+        # workers=1 is the unchanged sequential path.  None resolves the
+        # REPRO_WORKERS environment default.
+        if workers is None or workers != 1:
+            from ..parallel import resolve_workers
+
+            workers = resolve_workers(workers)
+        self.workers: int = workers
+        self._start_method = start_method
+        self._parallel = None  # lazily constructed ParallelExecutor
+        self._parallel_closed = False
         # Planners without a token fall back to the database version
         # (conservative: any change re-plans).
         self._token_fn = getattr(self.planner, "plan_cache_token", None)
@@ -158,14 +208,37 @@ class SemiNaiveEngine:
             tuple[int, int | None], tuple[Rule, RulePlan, object]
         ] = {}
         # Persistent per-predicate delta relations, reused across rounds and
-        # runs so their probe indexes stay warm (keyed by (name, arity)).
-        self._delta_instances: dict[tuple[str, int], Instance] = {}
+        # runs so their probe indexes stay warm.
+        self._delta_pool = DeltaPool()
         #: Cumulative statistics across every run of this engine.
         self.stats = EvaluationResult()
         #: The :class:`EvaluationResult` of the most recent run.
         self.last_result: EvaluationResult | None = None
 
     # -- helpers -----------------------------------------------------------
+
+    def _executor(self):
+        """The parallel executor, spawned on first use (None if workers=1,
+        after :meth:`close`, or after a pool failure permanently fell back
+        to sequential)."""
+        if self.workers <= 1 or self._parallel_closed:
+            return None
+        executor = self._parallel
+        if executor is None:
+            from ..parallel import ParallelExecutor
+
+            executor = ParallelExecutor(self.workers, self._start_method)
+            self._parallel = executor
+        return executor if executor.available else None
+
+    def close(self) -> None:
+        """Release the worker pool and stay sequential (idempotent).
+
+        Also prevents a *later* lazy spawn: a closed engine never starts
+        a new pool, even if no parallel round had run yet."""
+        self._parallel_closed = True
+        if self._parallel is not None:
+            self._parallel.close()
 
     def invalidate_plans(self) -> None:
         """Drop all cached plans (and the planner's own cache)."""
@@ -230,20 +303,10 @@ class SemiNaiveEngine:
     def delta_instance(
         self, predicate: str, arity: int, rows: set[Row]
     ) -> Instance:
-        """The reusable Δ-relation for ``predicate``, swapped to ``rows``.
-
-        Contents are replaced diff-wise so materialized probe indexes are
-        maintained incrementally instead of rebuilt every round.  Public so
-        the DRed maintainer shares the same persistent Δ pool.
-        """
-        key = (predicate, arity)
-        delta = self._delta_instances.get(key)
-        if delta is None:
-            delta = Instance(f"Δ{predicate}", arity, rows)
-            self._delta_instances[key] = delta
-        else:
-            delta.replace_contents(rows)
-        return delta
+        """The reusable Δ-relation for ``predicate``, swapped to ``rows``
+        (see :class:`DeltaPool`).  Public so the DRed maintainer shares
+        the same persistent Δ pool."""
+        return self._delta_pool.instance(predicate, arity, rows)
 
     def _finish(self, result: EvaluationResult) -> EvaluationResult:
         self.last_result = result
@@ -286,8 +349,11 @@ class SemiNaiveEngine:
         ensure_idb_relations(program, db)
         stratification = stratify(program)
         result = EvaluationResult()
+        relevant = self._body_predicates(program)
         for stratum in stratification.strata:
-            self._run_stratum(list(stratum), db, result, seed=None)
+            self._run_stratum(
+                list(stratum), db, result, seed=None, relevant=relevant
+            )
         return self._finish(result)
 
     def run_insertions(
@@ -315,10 +381,11 @@ class SemiNaiveEngine:
         }
         derived: dict[str, set[Row]] = {}
         result = EvaluationResult()
+        relevant = self._body_predicates(program)
         for stratum in stratification.strata:
             seed = {pred: set(rows) for pred, rows in all_new.items() if rows}
             new_in_stratum = self._run_stratum(
-                list(stratum), db, result, seed=seed
+                list(stratum), db, result, seed=seed, relevant=relevant
             )
             for pred, rows in new_in_stratum.items():
                 all_new.setdefault(pred, set()).update(rows)
@@ -354,12 +421,21 @@ class SemiNaiveEngine:
 
     # -- stratum loop ---------------------------------------------------------
 
+    @staticmethod
+    def _body_predicates(program: Program) -> frozenset[str]:
+        """Every predicate some rule body reads — what worker replicas
+        must receive deltas for (head-only relations stay parent-side)."""
+        return frozenset(
+            atom.predicate for rule in program for atom in rule.body
+        )
+
     def _run_stratum(
         self,
         rules: list[Rule],
         db: Database,
         result: EvaluationResult,
         seed: dict[str, set[Row]] | None,
+        relevant: frozenset[str] | None = None,
     ) -> dict[str, set[Row]]:
         """Run one stratum to fixpoint.
 
@@ -380,7 +456,9 @@ class SemiNaiveEngine:
         database leaves every stratum with fully synchronized indexes.
         """
         with db.defer_maintenance():
-            return self._run_stratum_deferred(rules, db, result, seed)
+            return self._run_stratum_deferred(
+                rules, db, result, seed, relevant
+            )
 
     def _run_stratum_deferred(
         self,
@@ -388,6 +466,7 @@ class SemiNaiveEngine:
         db: Database,
         result: EvaluationResult,
         seed: dict[str, set[Row]] | None,
+        relevant: frozenset[str] | None = None,
     ) -> dict[str, set[Row]]:
         new_total: dict[str, set[Row]] = {}
         delta_sets: dict[str, set[Row]] = {}
@@ -398,7 +477,9 @@ class SemiNaiveEngine:
             if not atom.negated
         }
 
-        def relevant(deltas: dict[str, set[Row]]) -> dict[str, set[Row]]:
+        def stratum_relevant(
+            deltas: dict[str, set[Row]]
+        ) -> dict[str, set[Row]]:
             return {
                 pred: rows
                 for pred, rows in deltas.items()
@@ -417,46 +498,117 @@ class SemiNaiveEngine:
                     ).update(added)
             for pred, rows in delta_sets.items():
                 new_total.setdefault(pred, set()).update(rows)
-            delta_sets = relevant(delta_sets)
+            delta_sets = stratum_relevant(delta_sets)
         else:
-            delta_sets = relevant(
+            delta_sets = stratum_relevant(
                 {pred: set(rows) for pred, rows in seed.items()}
             )
 
         while delta_sets:
             rounds += 1
-            deltas = {
-                pred: self.delta_instance(
-                    pred,
-                    db[pred].arity if pred in db else len(next(iter(rows))),
-                    rows,
+            next_deltas: dict[str, set[Row]] | None = None
+            if self.workers > 1:
+                next_deltas = self._run_parallel_round(
+                    rules, db, delta_sets, result, relevant
                 )
-                for pred, rows in delta_sets.items()
-            }
-            next_deltas: dict[str, set[Row]] = {}
-            for rule in rules:
-                for index, atom in enumerate(rule.body):
-                    if atom.negated:
-                        continue
-                    delta_source = deltas.get(atom.predicate)
-                    if delta_source is None:
-                        continue
-                    rows = self._evaluate_rule(
-                        rule, db, index, delta_source, result
-                    )
-                    added = db[rule.head.predicate].insert_new(rows)
-                    if added:
-                        next_deltas.setdefault(
-                            rule.head.predicate, set()
-                        ).update(added)
+            if next_deltas is None:
+                next_deltas = self._run_sequential_round(
+                    rules, db, delta_sets, result
+                )
             for pred, rows in next_deltas.items():
                 new_total.setdefault(pred, set()).update(rows)
-            delta_sets = relevant(next_deltas)
+            delta_sets = stratum_relevant(next_deltas)
 
         result.rounds += rounds
         for pred, rows in new_total.items():
             result._record(pred, len(rows))
         return new_total
+
+    def _run_sequential_round(
+        self,
+        rules: list[Rule],
+        db: Database,
+        delta_sets: dict[str, set[Row]],
+        result: EvaluationResult,
+    ) -> dict[str, set[Row]]:
+        """One delta-driven pass over the stratum's rules, in process."""
+        deltas = {
+            pred: self.delta_instance(
+                pred,
+                db[pred].arity if pred in db else len(next(iter(rows))),
+                rows,
+            )
+            for pred, rows in delta_sets.items()
+        }
+        next_deltas: dict[str, set[Row]] = {}
+        for rule in rules:
+            for index, atom in enumerate(rule.body):
+                if atom.negated:
+                    continue
+                delta_source = deltas.get(atom.predicate)
+                if delta_source is None:
+                    continue
+                rows = self._evaluate_rule(
+                    rule, db, index, delta_source, result
+                )
+                added = db[rule.head.predicate].insert_new(rows)
+                if added:
+                    next_deltas.setdefault(
+                        rule.head.predicate, set()
+                    ).update(added)
+        return next_deltas
+
+    def _run_parallel_round(
+        self,
+        rules: list[Rule],
+        db: Database,
+        delta_sets: dict[str, set[Row]],
+        result: EvaluationResult,
+        relevant: frozenset[str] | None = None,
+    ) -> dict[str, set[Row]] | None:
+        """One delta-driven pass evaluated across the worker pool.
+
+        Every (rule, Δ-occurrence) task runs against the round-start
+        replica state; mid-round insertions — which the sequential loop's
+        later rules may observe through full-relation reads — arrive one
+        round later as Δ-seeds instead, so the fixpoint (and every
+        provenance row) is identical while ``rounds`` may differ.
+        Returns ``None`` on pool failure (the caller re-runs this same
+        round sequentially: nothing has been inserted yet).
+        """
+        executor = self._executor()
+        if executor is None:
+            return None
+        tasks: list[tuple[Rule, RulePlan, int | None, list[Row]]] = []
+        for rule in rules:
+            for index, atom in enumerate(rule.body):
+                if atom.negated:
+                    continue
+                rows = delta_sets.get(atom.predicate)
+                if not rows:
+                    continue
+                plan = self._plan_for(rule, db, index, result)
+                tasks.append((rule, plan, index, list(rows)))
+        if not tasks:
+            return {}
+        outputs = executor.run_round(
+            db,
+            [(plan, index, rows) for _, plan, index, rows in tasks],
+            relevant,
+        )
+        if outputs is None:
+            return None
+        result.rule_applications += len(tasks)
+        result.parallel_rounds += 1
+        from ..parallel import Merger
+
+        return Merger.apply(
+            db,
+            [
+                (rule.head.predicate, derived, self._filter_for(rule))
+                for (rule, _, _, _), derived in zip(tasks, outputs)
+            ],
+        )
 
 
 class NaiveEngine:
@@ -500,6 +652,8 @@ class NaiveEngine:
 class _EmptySource:
     """A permanently empty relation (for predicates absent from the db)."""
 
+    __slots__ = ()
+
     def __iter__(self):
         return iter(())
 
@@ -513,4 +667,7 @@ class _EmptySource:
         return frozenset()
 
 
-_EMPTY_SOURCE = _EmptySource()
+#: The shared empty row source (public: evaluation-adjacent code such as
+#: the parallel workers resolves absent predicates to it too).
+EMPTY_SOURCE = _EmptySource()
+_EMPTY_SOURCE = EMPTY_SOURCE

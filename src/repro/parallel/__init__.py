@@ -1,0 +1,34 @@
+"""Shard-parallel evaluation: hash-partitioned rules over a worker pool.
+
+The scaling lever on top of the evaluation pipeline (DESIGN.md,
+"Parallel evaluation"): rules within a semi-naive stratum round are
+independent, so each round's (rule, Δ-occurrence) tasks are evaluated
+across N OS processes — Δ-tuples hash-partitioned on the first join key
+(:class:`ShardPlanner`), workers holding replicated snapshots kept
+current by change-feed delta shipping (:class:`WorkerPool`,
+:mod:`repro.storage.replication`), results deduplicated across shards
+and inserted under the ambient deferred-index scope (:class:`Merger`).
+
+The subsystem hides behind the engine interface: construct the engine —
+or any layer above it, up to ``CDSS(workers=N)``, ``SystemSpec.workers``
+and the CLI's ``--workers`` — with ``workers > 1`` and stratum rounds go
+through a :class:`ParallelExecutor`; ``workers=1`` (the default) is the
+unchanged sequential path, and the ``REPRO_WORKERS`` environment
+variable supplies the default where no explicit count is given
+(:func:`resolve_workers`).
+"""
+
+from .executor import ParallelExecutor
+from .merge import Merger
+from .pool import WorkerPool, WorkerPoolError, resolve_workers
+from .shard import ShardPlanner, first_join_key
+
+__all__ = [
+    "Merger",
+    "ParallelExecutor",
+    "ShardPlanner",
+    "WorkerPool",
+    "WorkerPoolError",
+    "first_join_key",
+    "resolve_workers",
+]

@@ -1,0 +1,129 @@
+"""The parallel round driver the engine dispatches to.
+
+:class:`ParallelExecutor` sits behind the engine interface: the
+semi-naive engine hands it one stratum round — a list of ``(plan, Δ body
+index, Δ rows)`` tasks, one per (rule, Δ-occurrence) pair with a
+non-empty Δ — and gets back each task's derived head rows, merged across
+shards.  The executor owns the moving parts:
+
+1. open/reuse the pool's replication session for the database and ship
+   the pending change-feed delta (replicas catch up to exactly the
+   round-start state — which is also why a parallel round is
+   deterministic: every task is evaluated against that snapshot, and any
+   derivation a sequential round would have found through a mid-round
+   insertion arrives one round later through the Δ-seeds instead; the
+   fixpoint is identical);
+2. register plans (new ones ship once) and hash-shard each task's Δ-rows
+   (:class:`~repro.parallel.shard.ShardPlanner`);
+3. dispatch one message per engaged worker, collect, and combine via
+   :class:`~repro.parallel.merge.Merger`.
+
+Failures (a worker dying, an unpicklable value, a sandbox that forbids
+subprocesses) permanently disable the executor and return ``None``; the
+engine then re-runs the *same* round sequentially — nothing has been
+inserted yet at that point, so the fallback is exact, and every later
+round stays sequential.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Sequence
+
+from .merge import Merger
+from .pool import WorkerPool
+from .shard import ShardPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.plan import RulePlan, Row
+    from ..storage.database import Database
+
+#: One round task: (plan, Δ body-atom index, Δ rows).
+Task = "tuple[RulePlan, int | None, Sequence[Row]]"
+
+
+class ParallelExecutor:
+    """Shard-parallel evaluation of stratum rounds over a worker pool."""
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        self.workers = workers
+        self.pool = WorkerPool(workers, start_method)
+        self.sharder = ShardPlanner(workers)
+        self.available = True
+        #: Rounds successfully evaluated through the pool (diagnostics).
+        self.rounds = 0
+
+    def run_round(
+        self,
+        db: "Database",
+        tasks: Sequence[Task],
+        relevant: "frozenset[str] | None" = None,
+    ) -> "list[list[Row]] | None":
+        """Evaluate one stratum round; per-task merged rows, or ``None``.
+
+        ``relevant`` is the body-predicate set of the running program —
+        the delta-shipping filter (head-only relations never cross the
+        wire).  ``None`` means the pool failed (now permanently disabled)
+        and the caller must evaluate the round sequentially.
+        """
+        if not self.available:
+            return None
+        try:
+            return self._run_round(db, tasks, relevant)
+        except Exception as error:  # noqa: BLE001 — any failure disables
+            self.available = False
+            try:
+                self.pool.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            warnings.warn(
+                "parallel evaluation disabled after a worker-pool failure; "
+                f"continuing sequentially: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def _run_round(
+        self,
+        db: "Database",
+        tasks: Sequence[Task],
+        relevant: "frozenset[str] | None",
+    ) -> "list[list[Row]]":
+        pool = self.pool
+        if pool.reset_plans_if_full():
+            self.sharder.clear()
+        session = pool.session_for(db)
+        if not pool.sync(session, relevant):
+            # A previously stale relation became body-relevant: no delta
+            # can repair it, so rebuild the session from a fresh snapshot.
+            pool.end_session(db)
+            session = pool.session_for(db)
+            pool.sync(session, relevant)
+        workers = self.workers
+        payloads: list[list] = [[] for _ in range(workers)]
+        indices: list[list[int]] = [[] for _ in range(workers)]
+        for task_index, (plan, delta_index, rows) in enumerate(tasks):
+            pid = pool.register_plan(plan)
+            shards = self.sharder.shard(plan, delta_index, rows)
+            for worker_index, shard in enumerate(shards):
+                if shard:
+                    payloads[worker_index].append((pid, delta_index, shard))
+                    indices[worker_index].append(task_index)
+        pool.flush_plans()
+        worker_results = pool.evaluate(session, payloads)
+        merged = Merger.combine(len(tasks), indices, worker_results)
+        self.rounds += 1
+        return [list(rows) for rows in merged]
+
+    def close(self) -> None:
+        """Shut the pool down; the executor becomes unavailable."""
+        self.available = False
+        self.pool.close()
+
+    def __repr__(self) -> str:
+        state = "available" if self.available else "disabled"
+        return (
+            f"<ParallelExecutor {self.workers} workers ({state}), "
+            f"{self.rounds} rounds>"
+        )

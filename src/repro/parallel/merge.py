@@ -1,0 +1,73 @@
+"""Merging a parallel round: cross-shard dedup, trust filters, insertion.
+
+Workers return raw derived head rows (already deduplicated within each
+shard).  The :class:`Merger` owns the parent-side half of the round:
+
+* **combine** — union each task's shard results (rows that hash-partition
+  to different workers can still derive the same head row through
+  different Δ-tuples; set union collapses them);
+* **apply** — run the engine's head filters (trust conditions — Python
+  closures that never leave the parent) and feed the survivors to
+  :meth:`Instance.insert_new <repro.storage.instance.Instance.insert_new>`
+  task by task, in rule order, under whatever deferred-index scope the
+  stratum already opened.  ``insert_new`` is the same dedup-against-the-
+  database entry the sequential engine uses, so the inserted state — and
+  with it every provenance-table row — is identical to a sequential
+  round's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..datalog.plan import Row
+from ..storage.database import Database
+
+
+class Merger:
+    """Parent-side merge of one parallel stratum round."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def combine(
+        task_count: int,
+        task_indices: Sequence[Sequence[int]],
+        worker_results: Sequence[Sequence[Sequence[Row]]],
+    ) -> list[set[Row]]:
+        """Union shard results per task.
+
+        ``task_indices[w][i]`` names the task that produced worker ``w``'s
+        ``i``-th result batch (assignments skip empty shards, so the
+        mapping is explicit rather than positional).
+        """
+        merged: list[set[Row]] = [set() for _ in range(task_count)]
+        for indices, results in zip(task_indices, worker_results):
+            for task_index, rows in zip(indices, results):
+                merged[task_index].update(rows)
+        return merged
+
+    @staticmethod
+    def apply(
+        db: Database,
+        contributions: Sequence[
+            tuple[str, Sequence[Row], Callable[[Row], bool] | None]
+        ],
+    ) -> dict[str, set[Row]]:
+        """Filter and insert one round's merged derivations.
+
+        ``contributions`` is ordered like the round's tasks: one
+        ``(head predicate, merged rows, head filter)`` triple per task.
+        Returns the per-predicate *effective* insertions — the next
+        round's Δ-seeds, exactly as the sequential loop computes them.
+        """
+        next_deltas: dict[str, set[Row]] = {}
+        for predicate, rows, head_filter in contributions:
+            if head_filter is not None:
+                rows = [row for row in rows if head_filter(row)]
+            if not rows:
+                continue
+            added = db[predicate].insert_new(rows)
+            if added:
+                next_deltas.setdefault(predicate, set()).update(added)
+        return next_deltas

@@ -1,0 +1,423 @@
+"""Persistent worker pools: process lifecycle, sessions, plan shipping.
+
+A :class:`WorkerPool` owns N long-lived OS processes (spawned once, on
+first use) and the parent-side bookkeeping of the replication protocol:
+
+* **sessions** — one per source :class:`~repro.storage.database.Database`
+  the pool has evaluated against.  Opening a session attaches a
+  :class:`~repro.storage.replication.ChangeFeed` to the database and
+  broadcasts a full snapshot; :meth:`sync` drains the feed and ships only
+  the delta, so replicas are *kept* current rather than re-replicated
+  between rounds.  Sessions end automatically when their database is
+  garbage-collected (a weakref callback) or when the pool closes.
+* **plan registry** — rule plans are registered by identity and assigned
+  integer ids; each plan is pickled to the workers exactly once
+  (:meth:`flush_plans`), after which rounds reference plans by id.  The
+  registry pins the plan objects, which also keeps the engine plan
+  cache's id-keyed entries stable.
+
+Start methods: the default (``None``) uses the platform's
+:mod:`multiprocessing` default (``fork`` on Linux); passing ``"spawn"``
+works because the whole protocol ships only picklable data and the worker
+entry point is an importable module function.
+
+Pools close idempotently: explicitly via :meth:`close`, when the owner
+drops its last reference (``__del__``), and at interpreter exit (atexit
+backstop); worker processes are daemonic besides, so they can never
+outlive the parent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import weakref
+from typing import TYPE_CHECKING, Sequence
+
+from ..storage.replication import OP_CREATE, OP_DROP
+from .worker import (
+    MSG_APPLY,
+    MSG_END_SESSION,
+    MSG_EVAL,
+    MSG_PING,
+    MSG_PLANS,
+    MSG_SESSION,
+    MSG_STOP,
+    REPLY_OK,
+    dump_message,
+    recv_message,
+    send_message,
+    worker_main,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.plan import RulePlan, Row
+    from ..storage.database import Database
+
+
+class WorkerPoolError(Exception):
+    """A worker pool operation failed (the pool is then unusable)."""
+
+
+_PLAN_REGISTRY_LIMIT = 4096
+"""Plans the registry may pin before a wholesale reset.
+
+Prepared planners re-plan only on invalidation, so real programs sit far
+below this; the cap exists for statistics-driven planners whose cache
+token moves with the data (a fresh plan object per rule per round) —
+without it the parent registry, the shard-position cache, and every
+worker's plan dict would grow without bound."""
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count setting.
+
+    ``None`` reads the ``REPRO_WORKERS`` environment variable (absent or
+    empty means 1 — the sequential path); explicit values pass through.
+    The result is always an ``int >= 1``.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise WorkerPoolError(
+                f"REPRO_WORKERS must be an integer, got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise WorkerPoolError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_all_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+class _Session:
+    __slots__ = ("sid", "feed", "dbref", "relevant", "stale")
+
+    def __init__(self, sid: int, feed, dbref) -> None:
+        self.sid = sid
+        self.feed = feed
+        self.dbref = dbref
+        # Delta-shipping filter: replicas only need relations that rule
+        # *bodies* read — head-only relations (and their usually-wide
+        # derived rows) never cross the wire.  ``relevant`` accumulates
+        # the body predicates of every program evaluated through this
+        # session; ``stale`` records predicates whose ops were dropped,
+        # so a later program that starts reading one forces a fresh
+        # snapshot instead of probing a stale replica.
+        self.relevant: set[str] | None = None
+        self.stale: set[str] = set()
+
+
+class WorkerPool:
+    """N persistent evaluation workers holding replicated databases."""
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise WorkerPoolError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method
+        self.broken = False
+        self._started = False
+        self._conns: list = []
+        self._procs: list = []
+        self._sessions: dict[int, _Session] = {}
+        self._session_ids = itertools.count(1)
+        # id(plan) -> pid; pid -> plan (pins the plan so its id is stable).
+        self._plan_ids: dict[int, int] = {}
+        self._plans: dict[int, "RulePlan"] = {}
+        self._unshipped: list[tuple[int, "RulePlan"]] = []
+        _LIVE_POOLS.add(self)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        if self.broken:
+            raise WorkerPoolError("worker pool is closed or broken")
+        if self._started:
+            return
+        context = multiprocessing.get_context(self.start_method)
+        try:
+            for index in range(self.workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_conn,),
+                    daemon=True,
+                    name=f"repro-eval-worker-{index}",
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(process)
+        except Exception as error:
+            self.broken = True
+            self.close()
+            raise WorkerPoolError(f"could not spawn workers: {error}") from error
+        self._started = True
+
+    def close(self) -> None:
+        """Tear the pool down (idempotent, safe from __del__/atexit)."""
+        for session in list(self._sessions.values()):
+            try:
+                session.feed.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._sessions.clear()
+        conns, self._conns = self._conns, []
+        procs, self._procs = self._procs, []
+        for conn in conns:
+            try:
+                send_message(conn, (MSG_STOP,))
+            except Exception:
+                pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for process in procs:
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._plan_ids.clear()
+        self._plans.clear()
+        self._unshipped.clear()
+        self._started = False
+        # Closed means closed: a pool never restarts, even if it had not
+        # spawned yet (start() raises, callers fall back to sequential).
+        self.broken = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- messaging ---------------------------------------------------------
+
+    def _broadcast(self, message: tuple) -> None:
+        try:
+            # Pickle once, fan the same frame out to every worker.
+            frame = dump_message(message)
+            for conn in self._conns:
+                conn.send_bytes(frame)
+        except Exception as error:
+            self.broken = True
+            raise WorkerPoolError(f"worker pipe failed: {error}") from error
+
+    # -- sessions ----------------------------------------------------------
+
+    def session_for(self, db: "Database") -> _Session:
+        """The replication session for ``db``, opened on first use.
+
+        Opening a session attaches a change feed and ships one full
+        snapshot to every worker; subsequent calls are dictionary hits.
+        """
+        self.start()
+        key = id(db)
+        session = self._sessions.get(key)
+        if session is not None:
+            if session.dbref() is db:
+                return session
+            # id() reuse after the old database died mid-callback: drop.
+            self._drop_session(key)
+        feed = db.changefeed()
+        sid = next(self._session_ids)
+        try:
+            self._broadcast((MSG_SESSION, sid, db.export_snapshot()))
+        except Exception:
+            feed.close()
+            raise
+        poolref = weakref.ref(self)
+
+        def _on_db_death(_ref, poolref=poolref, key=key):
+            pool = poolref()
+            if pool is not None:
+                pool._drop_session(key)
+
+        session = _Session(sid, feed, weakref.ref(db, _on_db_death))
+        self._sessions[key] = session
+        return session
+
+    def _drop_session(self, key: int) -> None:
+        session = self._sessions.pop(key, None)
+        if session is None:
+            return
+        session.feed.close()
+        if self._started and not self.broken:
+            try:
+                self._broadcast((MSG_END_SESSION, session.sid))
+            except WorkerPoolError:  # pragma: no cover - already broken
+                pass
+
+    def end_session(self, db: "Database") -> None:
+        """Tear down the replication session for ``db`` (if any)."""
+        self._drop_session(id(db))
+
+    def sync(
+        self, session: _Session, relevant: "frozenset[str] | None" = None
+    ) -> bool:
+        """Ship the session's pending change-feed ops to every replica.
+
+        ``relevant`` names the relations the upcoming evaluation's rule
+        bodies read; ops for other relations are dropped (the replica's
+        copy goes stale, recorded as such).  Returns ``False`` — without
+        consuming the feed — when a newly relevant relation is already
+        stale: the caller must end the session and open a fresh one (a
+        new snapshot), because no delta can repair a dropped history.
+        """
+        if relevant is not None:
+            if session.relevant is None:
+                session.relevant = set(relevant)
+            else:
+                fresh = relevant - session.relevant
+                if fresh:
+                    if fresh & session.stale:
+                        return False
+                    session.relevant |= fresh
+        ops = session.feed.drain()
+        if ops and session.relevant is not None:
+            shipped = []
+            for op in ops:
+                name, kind, _payload = op
+                if (
+                    kind in (OP_CREATE, OP_DROP)
+                    or name in session.relevant
+                ):
+                    shipped.append(op)
+                else:
+                    session.stale.add(name)
+            ops = shipped
+        if ops:
+            self._broadcast((MSG_APPLY, session.sid, ops))
+        return True
+
+    # -- plans -------------------------------------------------------------
+
+    @property
+    def plan_count(self) -> int:
+        """Plans currently pinned in the registry."""
+        return len(self._plans)
+
+    def reset_plans_if_full(self) -> bool:
+        """Drop the whole plan registry once it exceeds the cap.
+
+        Safe only *between* rounds (pids handed out earlier become
+        invalid), which is why the executor calls this before registering
+        a round's plans.  Workers drop their dicts too; the round's plans
+        then ship fresh.  Returns True if a reset happened.
+        """
+        if len(self._plans) < _PLAN_REGISTRY_LIMIT:
+            return False
+        self._plan_ids.clear()
+        self._plans.clear()
+        self._unshipped.clear()
+        if self._started:
+            self._broadcast((MSG_PLANS, None))  # None = clear
+        return True
+
+    def register_plan(self, plan: "RulePlan") -> int:
+        """The pool-wide id for ``plan`` (new plans queue for shipping)."""
+        pid = self._plan_ids.get(id(plan))
+        if pid is None:
+            pid = len(self._plans) + 1
+            self._plan_ids[id(plan)] = pid
+            self._plans[pid] = plan
+            self._unshipped.append((pid, plan))
+        return pid
+
+    def flush_plans(self) -> None:
+        """Broadcast queued plans (each plan crosses the wire once)."""
+        if self._unshipped:
+            shipped, self._unshipped = self._unshipped, []
+            self._broadcast((MSG_PLANS, shipped))
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self,
+        session: _Session,
+        assignments: Sequence[Sequence[tuple[int, int | None, list]]],
+    ) -> "list[list[list[Row]]]":
+        """Dispatch one round's shard assignments and collect results.
+
+        ``assignments[w]`` is worker ``w``'s task list of ``(plan id,
+        delta body index, Δ-shard rows)``; workers with an empty list are
+        skipped.  All engaged workers evaluate concurrently; the reply for
+        worker ``w`` is a derived-row list per task, aligned with its
+        assignment.
+        """
+        if len(assignments) != len(self._conns):
+            raise WorkerPoolError(
+                f"{len(assignments)} assignments for {len(self._conns)} workers"
+            )
+        try:
+            for conn, tasks in zip(self._conns, assignments):
+                if tasks:
+                    send_message(conn, (MSG_EVAL, session.sid, list(tasks)))
+            results: "list[list[list[Row]]]" = []
+            for conn, tasks in zip(self._conns, assignments):
+                if not tasks:
+                    results.append([])
+                    continue
+                reply = recv_message(conn)
+                if reply[0] != REPLY_OK:
+                    raise WorkerPoolError(
+                        f"worker evaluation failed:\n{reply[1]}"
+                    )
+                results.append(reply[1])
+            return results
+        except WorkerPoolError:
+            self.broken = True
+            raise
+        except Exception as error:
+            self.broken = True
+            raise WorkerPoolError(f"worker pipe failed: {error}") from error
+
+    # -- diagnostics -------------------------------------------------------
+
+    def ping(self) -> list[int]:
+        """Round-trip every worker; returns each worker's session count."""
+        self.start()
+        self._broadcast((MSG_PING,))
+        replies = []
+        try:
+            for conn in self._conns:
+                reply = recv_message(conn)
+                if reply[0] != REPLY_OK:
+                    raise WorkerPoolError(f"worker ping failed:\n{reply[1]}")
+                replies.append(reply[1])
+        except WorkerPoolError:
+            self.broken = True
+            raise
+        except Exception as error:
+            self.broken = True
+            raise WorkerPoolError(f"worker pipe failed: {error}") from error
+        return replies
+
+    def __repr__(self) -> str:
+        state = (
+            "broken"
+            if self.broken
+            else ("started" if self._started else "cold")
+        )
+        return (
+            f"<WorkerPool {self.workers} workers ({state}), "
+            f"{len(self._sessions)} sessions, {len(self._plans)} plans>"
+        )

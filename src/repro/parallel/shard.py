@@ -1,0 +1,107 @@
+"""Δ-shard planning: hash partitioning on a rule's first join key.
+
+Semi-naive evaluation pins one body-atom occurrence of each rule to a
+Δ-relation, and both planners schedule that occurrence first — so the
+Δ-tuples *are* the outer loop of the bind-join pipeline, and any
+partition of them across workers yields exactly the union of the
+sequential derivations (every worker holds a full replica of the other
+relations).  Partitioning is therefore purely a balance/locality choice,
+and :class:`ShardPlanner` uses the classic recipe (cf. Greenplum's
+hash-distributed motion): hash each Δ-tuple on the **first join key** —
+the first Δ-bound column the rest of the plan probes — so tuples sharing
+a join key land on the same worker and their duplicate derivations
+collapse in-worker before crossing the wire back.  Plans whose next probe
+is bound only by constants or parameters (or not bound by the Δ-atom at
+all) fall back to round-robin, which balances perfectly and is just as
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datalog.ast import Variable
+from ..datalog.plan import RulePlan, Row, probe_columns
+
+
+def first_join_key(plan: RulePlan, delta_index: int | None) -> int | None:
+    """The Δ-atom column position to hash-partition on, or ``None``.
+
+    Walks the plan order from the Δ-atom outward and returns the Δ-atom
+    position of the first probe column that is bound by a Δ-atom
+    variable.  ``None`` (→ round-robin) when the Δ-atom is not scheduled
+    first (defensive; both planners schedule it first), when it binds no
+    variables (fully constant-bound), or when no later probe joins on a
+    Δ-bound variable.
+    """
+    order = plan.order
+    if delta_index is None or not order or order[0] != delta_index:
+        return None
+    rule = plan.rule
+    delta_atom = rule.body[delta_index]
+    positions: dict[Variable, int] = {}
+    for position, term in enumerate(delta_atom.terms):
+        if isinstance(term, Variable) and term not in positions:
+            positions[term] = position
+    if not positions:
+        return None
+    bound: set[Variable] = set(plan.params) | delta_atom.variable_set()
+    for index in order[1:]:
+        atom = rule.body[index]
+        for column in probe_columns(atom, bound):
+            term = atom.terms[column]
+            if isinstance(term, Variable):
+                position = positions.get(term)
+                if position is not None:
+                    return position
+        if not atom.negated:
+            bound |= atom.variable_set()
+    return None
+
+
+class ShardPlanner:
+    """Partitions each task's Δ-tuples across ``workers`` shards."""
+
+    __slots__ = ("workers", "_positions")
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        # (id(plan), delta_index) -> join-key position.  Keyed by identity
+        # because the owning pool's plan registry pins every plan object.
+        self._positions: dict[tuple[int, int | None], int | None] = {}
+
+    def clear(self) -> None:
+        """Drop the position cache (after a pool plan-registry reset —
+        released plan objects could otherwise alias recycled ids)."""
+        self._positions.clear()
+
+    def shard_position(
+        self, plan: RulePlan, delta_index: int | None
+    ) -> int | None:
+        key = (id(plan), delta_index)
+        try:
+            return self._positions[key]
+        except KeyError:
+            position = first_join_key(plan, delta_index)
+            self._positions[key] = position
+            return position
+
+    def shard(
+        self,
+        plan: RulePlan,
+        delta_index: int | None,
+        rows: Iterable[Row],
+    ) -> list[list[Row]]:
+        """Partition ``rows`` into one (possibly empty) list per worker."""
+        workers = self.workers
+        if workers == 1:
+            return [list(rows)]
+        buckets: list[list[Row]] = [[] for _ in range(workers)]
+        position = self.shard_position(plan, delta_index)
+        if position is None:
+            for index, row in enumerate(rows):
+                buckets[index % workers].append(row)
+        else:
+            for row in rows:
+                buckets[hash(row[position]) % workers].append(row)
+        return buckets

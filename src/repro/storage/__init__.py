@@ -18,12 +18,14 @@ from .indexes import (
 from .instance import ArityError, Instance, Row, StorageError
 from .kvstore import KeyValueStore, RelationStore
 from .persistence import checkpoint, checkpoint_equal, restore
+from .replication import ChangeFeed, apply_ops, build_replica, export_snapshot
 from .stats import StatisticsCache, TableStats, compute_stats
 
 __all__ = [
     "ArityError",
     "BPlusTree",
     "BTreeError",
+    "ChangeFeed",
     "Database",
     "DeferredIndexSet",
     "EagerIndexSet",
@@ -39,9 +41,12 @@ __all__ = [
     "StorageError",
     "TableStats",
     "UnknownRelationError",
+    "apply_ops",
+    "build_replica",
     "checkpoint",
     "checkpoint_equal",
     "compute_stats",
+    "export_snapshot",
     "make_index_set",
     "restore",
 ]

@@ -40,6 +40,9 @@ class Database:
         self._relations: dict[str, Instance] = {}
         self._stats = StatisticsCache()
         self._version = 0
+        # Row-level change feeds for replica synchronization (see
+        # repro.storage.replication); almost always empty.
+        self._feeds: tuple = ()
         # Instances enrolled in each currently open deferral scope,
         # innermost last — create/attach append to every open scope so a
         # relation born mid-scope still flushes at the scope's barrier.
@@ -63,11 +66,16 @@ class Database:
         """Create relation ``name``; error if it already exists."""
         if name in self._relations:
             raise StorageError(f"relation {name!r} already exists")
-        instance = Instance(name, arity, rows, index_policy=self.index_policy)
+        instance = Instance(name, arity, index_policy=self.index_policy)
         self._relations[name] = instance
         instance.add_watcher(self._mark_dirty)
         self._enroll(instance)
+        for feed in self._feeds:
+            feed._record(name, "create", arity)
+            instance.add_feed(feed)
         self._version += 1
+        if rows:
+            instance.insert_many(rows)
         return instance
 
     def ensure(self, name: str, arity: int) -> Instance:
@@ -94,6 +102,11 @@ class Database:
         self._relations[instance.name] = instance
         instance.add_watcher(self._mark_dirty)
         self._enroll(instance)
+        for feed in self._feeds:
+            feed._record(instance.name, "create", instance.arity)
+            if len(instance):
+                feed._record(instance.name, "+", tuple(instance))
+            instance.add_feed(feed)
         self._version += 1
         return instance
 
@@ -109,6 +122,9 @@ class Database:
         if dropped is None:
             return False
         dropped.remove_watcher(self._mark_dirty)
+        for feed in self._feeds:
+            dropped.remove_feed(feed)
+            feed._record(name, "drop", ())
         self._version += 1
         return True
 
@@ -172,6 +188,39 @@ class Database:
             instance.pending_index_ops()
             for instance in self._relations.values()
         )
+
+    # -- replication ---------------------------------------------------------
+
+    def changefeed(self):
+        """Attach a row-level change journal to every relation.
+
+        Returns a :class:`~repro.storage.replication.ChangeFeed` whose
+        :meth:`~repro.storage.replication.ChangeFeed.drain` yields the ops
+        needed to bring a replica built from :meth:`export_snapshot` up to
+        the current state — the delta-shipping half of the parallel
+        subsystem's replication protocol.  Call ``close()`` on the feed
+        when the replica dies.
+        """
+        from .replication import ChangeFeed
+
+        return ChangeFeed(self)
+
+    def _attach_feed(self, feed) -> None:
+        self._feeds += (feed,)
+        for instance in self._relations.values():
+            instance.add_feed(feed)
+
+    def _detach_feed(self, feed) -> None:
+        self._feeds = tuple(f for f in self._feeds if f is not feed)
+        for instance in self._relations.values():
+            instance.remove_feed(feed)
+
+    def export_snapshot(self) -> dict[str, object]:
+        """A picklable full-contents snapshot (see
+        :func:`repro.storage.replication.export_snapshot`)."""
+        from .replication import export_snapshot
+
+        return export_snapshot(self)
 
     # -- statistics ----------------------------------------------------------
 

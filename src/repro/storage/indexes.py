@@ -113,6 +113,14 @@ class IndexSet:
     def sync(self, cols: tuple[int, ...] | None = None) -> None:
         """Bring one index (or, with ``None``, all of them) up to date."""
 
+    def probe_count(self, cols: tuple[int, ...]) -> int:
+        """Hotness counter for one index (0 under eager maintenance)."""
+        return 0
+
+    def stats(self) -> dict[str, object]:
+        """Maintenance statistics (benchmarks/tests; policy-dependent)."""
+        return {"policy": self.policy, "indexes": len(self._by_cols)}
+
     def bucket(self, cols: tuple[int, ...], key: Row) -> frozenset[Row] | set[Row]:
         """The (synchronized) index bucket for ``key``; empty if absent."""
         self.ensure(cols)
@@ -263,24 +271,44 @@ class DeferredIndexSet(IndexSet):
 
     policy = POLICY_DEFERRED
 
+    #: Spill threshold: coalesce the log in place once it holds more than
+    #: ``max(SPILL_MIN_ROWS, SPILL_FACTOR * live rows)`` logged rows, so
+    #: arbitrarily long deferral epochs keep the log O(live rows).
+    SPILL_MIN_ROWS = 4096
+    SPILL_FACTOR = 4
+
+    #: An index is *hot* if it was probed since the last barrier decay;
+    #: barriers settle hot rebuild-scale debt in place instead of retiring
+    #: the index to its next probe.
+    HOT_PROBES = 1
+
     __slots__ = (
         "_log",
+        "_log_rows",
         "_cursor",
         "_depth",
+        "_probes",
         "applied_runs",
         "rebuilds",
         "retired",
+        "hot_settled",
+        "spills",
     )
 
     def __init__(self, rows: set[Row]) -> None:
         super().__init__(rows)
         self._log: list[tuple[int, tuple[Row, ...]]] = []
+        self._log_rows = 0
         self._cursor: dict[tuple[int, ...], int] = {}
         self._depth = 0
+        # Probe-hotness counters, decayed at each barrier (see flush).
+        self._probes: dict[tuple[int, ...], int] = {}
         #: Maintenance counters (cumulative; for benchmarks and tests).
         self.applied_runs = 0
         self.rebuilds = 0
         self.retired = 0
+        self.hot_settled = 0
+        self.spills = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -331,7 +359,12 @@ class DeferredIndexSet(IndexSet):
 
     def sync(self, cols: tuple[int, ...] | None = None) -> None:
         if cols is not None:
+            # The targeted-sync entry (one call per probe loop, via
+            # Instance.prepare_probe) doubles as the hotness signal: it
+            # fires once per pipeline step / pushdown probe, not once per
+            # row, so counting here costs nothing on the lookup hot path.
             self.ensure(cols)
+            self._probes[cols] = self._probes.get(cols, 0) + 1
             if self._cursor[cols] < len(self._log):
                 self._sync_one(cols)
             return
@@ -340,30 +373,53 @@ class DeferredIndexSet(IndexSet):
                 self._sync_one(indexed)
         self._truncate_log()
 
+    def probe_count(self, cols: tuple[int, ...]) -> int:
+        return self._probes.get(cols, 0)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "indexes": len(self._by_cols),
+            "pending_ops": self.pending_ops,
+            "applied_runs": self.applied_runs,
+            "rebuilds": self.rebuilds,
+            "retired": self.retired,
+            "hot_settled": self.hot_settled,
+            "spills": self.spills,
+            "probe_counts": dict(self._probes),
+        }
+
     # -- mutation notifications --------------------------------------------
 
     def insert_rows(self, added: Sequence[Row]) -> None:
         if self._depth and self._by_cols:
             self._log.append((_LOG_INSERT, tuple(added)))
+            self._log_rows += len(added)
+            self._maybe_spill()
         else:
             self._patch_insert(added)
 
     def delete_rows(self, removed: Sequence[Row]) -> None:
         if self._depth and self._by_cols:
             self._log.append((_LOG_DELETE, tuple(removed)))
+            self._log_rows += len(removed)
+            self._maybe_spill()
         else:
             self._patch_delete(removed)
 
     def drop_all(self) -> None:
         self._by_cols.clear()
         self._log.clear()
+        self._log_rows = 0
         self._cursor.clear()
+        self._probes.clear()
 
     def turnover(self) -> None:
         if self._depth and self._by_cols:
             # A rebuild marker supersedes anything an index has not yet
             # seen — synchronization from here rebuilds from the live rows.
             self._log.append((_LOG_REBUILD, ()))
+            self._log_rows += 1
         else:
             self._clear_buckets()
 
@@ -397,19 +453,64 @@ class DeferredIndexSet(IndexSet):
         policy's scan-what-you-read guarantee: maintenance effort is
         proportional to the indexes actually probed, not to the indexes
         that exist.
+
+        **Hotness.**  Retirement defers the rebuild to the next probe —
+        the right call for indexes nobody reads, and a first-read stall
+        for the ones serving steady traffic.  Each targeted sync bumps a
+        per-index probe counter; an index probed at least
+        :attr:`HOT_PROBES` times since the previous barrier is *hot* and
+        has rebuild-scale debt settled here, at the barrier, instead
+        (``hot_settled`` counts these).  Counters halve at every barrier,
+        so an index only stays hot while traffic keeps arriving —
+        one-shot probes (a cold attribute lookup) decay back to cold by
+        the next barrier.
         """
+        self._settle_all()
+        # Decay: hotness must be earned again between barriers.
+        self._probes = {
+            cols: count >> 1
+            for cols, count in self._probes.items()
+            if count > 1 and cols in self._by_cols
+        }
+
+    def _settle_all(self) -> None:
+        """Settle or retire every index with pending debt; truncate."""
         if self._log:
             end = len(self._log)
             for cols in [
                 c for c, pos in self._cursor.items() if pos < end
             ]:
                 if self._debt_is_rebuild_scale(cols, end):
-                    del self._by_cols[cols]
-                    del self._cursor[cols]
-                    self.retired += 1
+                    if self._probes.get(cols, 0) >= self.HOT_PROBES:
+                        self._sync_one(cols)
+                        self.hot_settled += 1
+                    else:
+                        del self._by_cols[cols]
+                        del self._cursor[cols]
+                        self._probes.pop(cols, None)
+                        self.retired += 1
                 else:
                     self._sync_one(cols)
         self._truncate_log()
+
+    def _maybe_spill(self) -> None:
+        """Coalesce the log in place once it outgrows the live table.
+
+        A very long deferral epoch (a huge publish, a migration script
+        holding one scope open) would otherwise retain every mutated row
+        until the barrier.  Once the logged row count exceeds
+        ``max(SPILL_MIN_ROWS, SPILL_FACTOR * live rows)`` the pending
+        debt is settled exactly as a barrier would settle it (hot indexes
+        patched or rebuilt, cold ones retired — churn nets out through
+        the same coalescing paths) and the log is truncated, bounding its
+        size by the live row count regardless of epoch length.
+        """
+        if self._log_rows <= max(
+            self.SPILL_MIN_ROWS, self.SPILL_FACTOR * len(self._rows)
+        ):
+            return
+        self.spills += 1
+        self._settle_all()
 
     def _debt_is_rebuild_scale(self, cols: tuple[int, ...], end: int) -> bool:
         start = self._cursor[cols]
@@ -483,6 +584,7 @@ class DeferredIndexSet(IndexSet):
         probes does not retain every mutated row until the barrier."""
         if self._log and min(self._cursor.values()) >= len(self._log):
             self._log.clear()
+            self._log_rows = 0
             for cols in self._cursor:
                 self._cursor[cols] = 0
 
@@ -528,5 +630,6 @@ class DeferredIndexSet(IndexSet):
             if floor < len(self._log):
                 return
         self._log.clear()
+        self._log_rows = 0
         for cols in self._cursor:
             self._cursor[cols] = 0

@@ -121,3 +121,103 @@ class TestQueryPrograms:
         )
         assert (1, 5) not in answers  # chain broken at the rejected edge
         assert (3, 5) in answers
+
+
+class TestPreparedPrograms:
+    """Programs folded into the prepared subsystem: plan caching across
+    executes, parameters, and the deprecated bypass shim."""
+
+    REACH = """
+        Reach(x, y) :- U(x, y)
+        Reach(x, z) :- Reach(x, y), U(y, z)
+        ans(x, y) :- Reach(x, y)
+    """
+
+    def test_repeated_execution_replans_nothing(self):
+        cdss = synonym_cdss()
+        prepared = cdss.prepare_program(self.REACH)
+        first = prepared.execute().certain()
+        assert (1, 5) in first
+        hits_before = prepared.stats.plan_cache_hits
+        misses_before = prepared.stats.plan_cache_misses
+        for _ in range(3):
+            assert prepared.execute().certain() == first
+        assert prepared.stats.plan_cache_misses == misses_before
+        assert prepared.stats.plan_cache_hits > hits_before
+
+    def test_query_program_caches_prepared_programs(self):
+        cdss = synonym_cdss()
+        first = cdss.query_program(self.REACH)
+        prepared = cdss._program_cache[(self.REACH, "ans")]
+        misses_before = prepared.stats.plan_cache_misses
+        assert cdss.query_program(self.REACH) == first
+        assert prepared.stats.plan_cache_misses == misses_before
+
+    def test_parameterized_program(self):
+        cdss = synonym_cdss()
+        prepared = cdss.prepare_program(
+            """
+            Reach(x, y) :- U(x, y)
+            Reach(x, z) :- Reach(x, y), U(y, z)
+            ans(y) :- Reach(s, y)
+            """,
+            params=("s",),
+        )
+        assert prepared.param_names == ("s",)
+        assert prepared.execute(s=1).certain() == {(2,), (3,), (4,), (5,)}
+        assert prepared.execute(s=10).certain() == {(11,)}
+        # Re-binding an already seen value replans nothing further.
+        misses = prepared.stats.plan_cache_misses
+        assert prepared.execute(s=1).certain() == {(2,), (3,), (4,), (5,)}
+        assert prepared.stats.plan_cache_misses == misses
+
+    def test_parameter_validation(self):
+        cdss = synonym_cdss()
+        with pytest.raises(QueryError):
+            cdss.prepare_program(self.REACH, params=("nope",))
+        prepared = cdss.prepare_program(
+            "ans(y) :- U(s, y)", params=("s",)
+        )
+        with pytest.raises(QueryError):
+            prepared.execute()  # missing binding
+        with pytest.raises(QueryError):
+            prepared.execute(s=1, t=2)  # unexpected binding
+
+    def test_prepared_program_sees_live_state(self):
+        cdss = synonym_cdss()
+        prepared = cdss.prepare_program(self.REACH)
+        assert (1, 5) in prepared.execute().certain()
+        cdss.peer("PuBio").delete("U", (2, 3))
+        cdss.update_exchange()
+        answers = prepared.execute().certain()
+        assert (1, 5) not in answers
+        assert (3, 5) in answers
+
+    def test_prepared_program_rebinds_after_reconfiguration(self):
+        cdss = synonym_cdss()
+        prepared = cdss.prepare_program(self.REACH)
+        prepared.execute()
+        cdss.add_peer("P3", {"W": ("a", "b")})  # invalidates the system
+        cdss.add_mapping("m2", "W(a, b) -> U(a, b)")
+        cdss.peer("P3").insert("W", (5, 6))
+        cdss.update_exchange()
+        assert (1, 6) in prepared.execute().certain()
+
+    def test_answer_program_shim_is_deprecated_and_agrees(self):
+        from repro.core.query import answer_program
+
+        cdss = synonym_cdss()
+        system = cdss.system()
+        with pytest.warns(DeprecationWarning, match="answer_program"):
+            legacy = answer_program(self.REACH, system.db, system.internal)
+        assert legacy == cdss.query_program(self.REACH)
+
+    def test_unsafe_parameterized_program_rejected_at_prepare(self):
+        from repro.datalog.ast import SafetyError
+
+        cdss = synonym_cdss()
+        with pytest.raises(SafetyError):
+            # y is unbound even with s bound: unsafe under parameters.
+            cdss.prepare_program(
+                "ans(y) :- not U(s, y)", params=("s",)
+            )

@@ -143,12 +143,12 @@ class TestPersistentDeltas:
         prog = parse_program(TC_PROGRAM)
         engine = SemiNaiveEngine()
         engine.run(prog, db)
-        deltas_after_run = dict(engine._delta_instances)
+        deltas_after_run = dict(engine._delta_pool._instances)
         assert deltas_after_run  # the recursion exercised delta relations
         db["E"].insert((3, 4))
         engine.run_insertions(prog, db, {"E": {(3, 4)}})
         for key, instance in deltas_after_run.items():
-            assert engine._delta_instances[key] is instance
+            assert engine._delta_pool._instances[key] is instance
 
     def test_replace_contents_keeps_indexes_consistent(self):
         inst = Instance("D", 2, [(1, "a"), (2, "b")])

@@ -401,3 +401,133 @@ class TestSpecPolicyRoundTrip:
         rebuilt = CDSS.from_spec(spec)
         assert rebuilt.index_policy == POLICY_EAGER
         assert rebuilt.system().db.index_policy == POLICY_EAGER
+
+
+class TestHotnessTracking:
+    """Probe-hotness: hot indexes are settled at barriers, cold ones are
+    still retired to their next probe."""
+
+    def _instance_with_indexes(self):
+        inst = Instance("R", 2, index_policy=POLICY_DEFERRED)
+        inst.insert_many([(i, i % 5) for i in range(50)])
+        inst.ensure_index((0,))
+        inst.ensure_index((1,))
+        return inst
+
+    def test_hot_index_settled_cold_index_retired_at_barrier(self):
+        inst = self._instance_with_indexes()
+        # Heat up column 0 (the prepare_probe path plans/pipelines use);
+        # column 1 stays cold.
+        for _ in range(3):
+            inst.prepare_probe((0,))
+        with inst.defer_maintenance():
+            # Rebuild-scale churn: the whole table turns over.
+            inst.delete_many([(i, i % 5) for i in range(50)])
+            inst.insert_many([(i, i % 5) for i in range(50, 150)])
+        stats = inst.index_stats()
+        assert stats["hot_settled"] == 1
+        assert stats["retired"] == 1
+        # The hot index survived the barrier fully settled...
+        assert (0,) in inst.indexed_columns()
+        assert inst.pending_index_ops() == 0
+        # ...and the cold one was dropped (rebuilt on its next probe).
+        assert (1,) not in inst.indexed_columns()
+        assert_index_exact(inst, (0,))
+        assert_index_exact(inst, (1,))
+
+    def test_hotness_decays_across_barriers(self):
+        inst = self._instance_with_indexes()
+        inst.prepare_probe((0,))  # count 1: hot for exactly one barrier
+        with inst.defer_maintenance():
+            inst.delete_many([(i, i % 5) for i in range(50)])
+            inst.insert_many([(i, 0) for i in range(50, 150)])
+        assert inst.index_stats()["hot_settled"] == 1
+        # No probes since; the next rebuild-scale barrier retires it.
+        with inst.defer_maintenance():
+            inst.delete_many([(i, 0) for i in range(50, 150)])
+            inst.insert_many([(i, 1) for i in range(150, 350)])
+        assert (0,) not in inst.indexed_columns()
+        assert_index_exact(inst, (0,))
+
+    def test_small_debt_never_retires_regardless_of_hotness(self):
+        inst = self._instance_with_indexes()
+        with inst.defer_maintenance():
+            inst.insert_many([(100, 1), (101, 2)])  # tiny suffix
+        assert (0,) in inst.indexed_columns()
+        assert (1,) in inst.indexed_columns()
+        assert inst.index_stats()["retired"] == 0
+
+    def test_probe_counts_exposed_in_stats(self):
+        inst = self._instance_with_indexes()
+        inst.prepare_probe((0,))
+        inst.prepare_probe((0,))
+        counts = inst.index_stats()["probe_counts"]
+        assert counts[(0,)] == 2
+        assert counts.get((1,), 0) == 0
+        # Eager instances expose the policy-agnostic baseline shape.
+        eager = Instance("E", 1, [(1,)], index_policy=POLICY_EAGER)
+        assert eager.index_stats()["policy"] == POLICY_EAGER
+
+
+class TestMaintenanceLogSpill:
+    """The size cap: very long deferral epochs keep the log O(live rows)."""
+
+    def test_log_spills_once_cap_exceeded(self, monkeypatch):
+        from repro.storage.indexes import DeferredIndexSet
+
+        monkeypatch.setattr(DeferredIndexSet, "SPILL_MIN_ROWS", 64)
+        inst = Instance("R", 2, index_policy=POLICY_DEFERRED)
+        inst.insert_many([(i, i) for i in range(10)])
+        inst.ensure_index((0,))
+        max_pending = 0
+        with inst.defer_maintenance():
+            # Churn far past the cap: rows come and go repeatedly.
+            for wave in range(40):
+                rows = [(1000 + wave * 10 + j, wave) for j in range(10)]
+                inst.insert_many(rows)
+                inst.delete_many(rows)
+                max_pending = max(max_pending, inst.pending_index_ops())
+            stats = inst.index_stats()
+            assert stats["spills"] > 0
+            # The log was repeatedly coalesced: pending work stayed
+            # bounded by the cap instead of growing with the epoch.
+            assert max_pending <= 64 + 20
+        assert inst.pending_index_ops() == 0
+        assert len(inst) == 10
+        assert_index_exact(inst, (0,))
+
+    def test_spill_preserves_probe_results(self, monkeypatch):
+        from repro.storage.indexes import DeferredIndexSet
+
+        monkeypatch.setattr(DeferredIndexSet, "SPILL_MIN_ROWS", 32)
+        inst = Instance("R", 1, index_policy=POLICY_DEFERRED)
+        inst.insert_many([(i,) for i in range(20)])
+        inst.ensure_index((0,))
+        with inst.defer_maintenance():
+            for i in range(200):
+                inst.insert((1000 + i,))
+                if i % 7 == 0:
+                    # Interleaved probes stay exact across spills.
+                    assert set(inst.lookup((0,), (1000 + i,))) == {(1000 + i,)}
+        assert len(inst) == 220
+        assert_index_exact(inst, (0,))
+
+    def test_long_epoch_without_probes_stays_bounded(self, monkeypatch):
+        from repro.storage.indexes import DeferredIndexSet
+
+        monkeypatch.setattr(DeferredIndexSet, "SPILL_MIN_ROWS", 16)
+        inst = Instance("R", 1, index_policy=POLICY_DEFERRED)
+        inst.insert_many([(i,) for i in range(8)])
+        inst.ensure_index((0,))
+        with inst.defer_maintenance():
+            for wave in range(50):
+                rows = [(100 + wave * 4 + j,) for j in range(4)]
+                inst.insert_many(rows)
+                inst.delete_many(rows)
+                cap = max(
+                    DeferredIndexSet.SPILL_MIN_ROWS,
+                    DeferredIndexSet.SPILL_FACTOR * len(inst),
+                )
+                assert inst._indexes._log_rows <= cap + 8
+        assert inst.rows() == frozenset((i,) for i in range(8))
+        assert_index_exact(inst, (0,))
