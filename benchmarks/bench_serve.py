@@ -1,0 +1,632 @@
+"""Closed-loop serving benchmark: the HTAP front door under load.
+
+Boots a :class:`repro.serve.ReproServer` over a synthetic CDSS workload
+and drives it with hundreds of concurrent client sessions (one thread +
+one keep-alive connection each), writing ``BENCH_serve.json``
+(``repro/bench-serve@1``).  Three phases:
+
+* **steady** — every session loops prepared-statement executions
+  (parameterized key lookups, ordered/limited scans, a recursive
+  program) against the pinned snapshot; reports p50/p95/p99 latency,
+  throughput, and rows/sec/CPU-sec;
+* **mid_exchange** — the same closed loop, but a writer session stages
+  peer edits and runs a publish *while the readers are in flight*.  The
+  JSON records the publish window, how many reads completed during it
+  (the no-starvation evidence), mid-exchange latency percentiles, and
+  the admission counters (peak in-flight);
+* **admission_pressure** — a second server with deliberately tiny
+  admission limits under a synchronized burst; records how many requests
+  were rejected with 503 (graceful degradation, not queue collapse).
+
+The server and the clients share one Python process (and its GIL) — an
+honest closed loop on the 1-CPU CI container, and exactly why the
+efficiency metrics (CPU seconds, rows/sec/CPU-sec, peak RSS) are
+reported next to the latency numbers.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --subprocess
+
+``--subprocess`` adds a smoke phase that boots the real CLI
+(``python -m repro serve spec.json --port 0``) in a child process, runs
+a concurrent burst plus one publish against it, and asserts a clean
+shutdown — the CI smoke job's entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import (  # noqa: E402
+    efficiency_snapshot,
+    rows_per_cpu_second,
+)
+from repro.serve import ReproServer, ServeClient, ServeHTTPError  # noqa: E402
+from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
+
+RESULT_FORMAT = "repro/bench-serve@1"
+
+
+# ---------------------------------------------------------------------------
+# Workload and statements
+# ---------------------------------------------------------------------------
+
+
+def build_workload(peers: int, base_per_peer: int, seed: int):
+    """A multi-peer integer-dataset CDSS, exchanged to a fixpoint."""
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    cdss = generator.build_cdss()
+    base = generator.insertions(base_per_peer)
+    generator.record_insertions(cdss, base)
+    cdss.update_exchange()
+    keys = [update.key for update in base]
+    return generator, cdss, keys
+
+
+def statement_texts(generator) -> dict[str, dict]:
+    """The serving mix, as (kind, text, params) wire requests."""
+    layout = generator.layouts[0]
+    relation = layout.relation_name(0)
+    width = len(layout.partitions[0])
+    columns = ", ".join(f"x{i}" for i in range(width))
+    mix = {
+        "lookup": {
+            "kind": "query",
+            "text": f"ans({columns}) :- {relation}(k, {columns})",
+            "params": ["k"],
+        },
+        "scan": {
+            "kind": "query",
+            "text": f"ans(k, x0) :- {relation}(k, {columns})",
+            "params": [],
+        },
+        "program": {
+            "kind": "program",
+            "text": f"ans(k) :- {relation}(k, {columns})",
+            "params": [],
+        },
+    }
+    for other in generator.layouts:
+        if len(other.partitions) >= 2:
+            left = other.relation_name(0)
+            right = other.relation_name(1)
+            lw = len(other.partitions[0])
+            rw = len(other.partitions[1])
+            lvars = ", ".join(f"a{i}" for i in range(lw))
+            rvars = ", ".join(f"b{i}" for i in range(rw))
+            mix["join"] = {
+                "kind": "query",
+                "text": (
+                    f"ans(k, a0, b0) :- {left}(k, {lvars}), "
+                    f"{right}(k, {rvars})"
+                ),
+                "params": [],
+            }
+            break
+    return mix
+
+
+def prepare_statements(client: ServeClient, mix: dict[str, dict]) -> dict[str, str]:
+    ids = {}
+    for name, request in mix.items():
+        prepared = client.prepare(
+            request["text"], params=request["params"], kind=request["kind"]
+        )
+        ids[name] = prepared["statement"]
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# The serving tier, in a background thread
+# ---------------------------------------------------------------------------
+
+
+class ServerThread:
+    """Runs one ReproServer on its own asyncio loop in a daemon thread."""
+
+    def __init__(self, cdss, **server_kwargs) -> None:
+        self._cdss = cdss
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self.server: ReproServer | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.server = ReproServer(self._cdss, port=0, **self._kwargs)
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def __exit__(self, *_exc) -> None:
+        try:
+            with ServeClient(port=self.port, timeout=10) as client:
+                client.shutdown()
+        except Exception:
+            pass
+        self._thread.join(timeout=60)
+
+
+# ---------------------------------------------------------------------------
+# Client sessions
+# ---------------------------------------------------------------------------
+
+
+class SessionResult:
+    __slots__ = ("records", "rows", "errors")
+
+    def __init__(self) -> None:
+        #: (start perf_counter, end perf_counter) per successful request.
+        self.records: list[tuple[float, float]] = []
+        self.rows = 0
+        self.errors: dict[int, int] = {}
+
+
+def run_session(
+    port: int,
+    statements: dict[str, str],
+    keys: list[object],
+    seed: int,
+    requests: int | None,
+    stop: threading.Event | None,
+    out: list[SessionResult],
+    start_barrier: threading.Barrier | None = None,
+) -> None:
+    rng = random.Random(seed)
+    result = SessionResult()
+    names = list(statements)
+    weights = {"lookup": 6, "scan": 2, "join": 1, "program": 1}
+    population = [n for n in names for _ in range(weights.get(n, 1))]
+    client = ServeClient(port=port, timeout=120)
+    if start_barrier is not None:
+        start_barrier.wait()
+    sent = 0
+    try:
+        while (requests is None or sent < requests) and not (
+            stop is not None and stop.is_set()
+        ):
+            name = rng.choice(population)
+            kwargs: dict = {}
+            if name == "lookup":
+                kwargs["bindings"] = {"k": rng.choice(keys)}
+            elif name == "scan":
+                kwargs["order"] = ["-x0"]
+                kwargs["limit"] = 25
+            begin = time.perf_counter()
+            try:
+                payload = client.execute(statements[name], **kwargs)
+                result.records.append((begin, time.perf_counter()))
+                result.rows += payload["count"]
+            except ServeHTTPError as error:
+                result.errors[error.status] = (
+                    result.errors.get(error.status, 0) + 1
+                )
+            sent += 1
+    finally:
+        client.close()
+        out.append(result)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def summarize(
+    results: list[SessionResult],
+    wall: float,
+    cpu: float,
+    window: tuple[float, float] | None = None,
+) -> dict:
+    """Latency/throughput/efficiency summary over session results.
+
+    ``window`` restricts the percentile summary to requests *completing*
+    inside it (the mid-publish view).
+    """
+    latencies = []
+    completed_in_window = 0
+    for result in results:
+        for begin, end in result.records:
+            if window is not None and not (window[0] <= end <= window[1]):
+                continue
+            completed_in_window += 1
+            latencies.append((end - begin) * 1000.0)
+    latencies.sort()
+    total_requests = sum(len(r.records) for r in results)
+    total_rows = sum(r.rows for r in results)
+    errors: dict[str, int] = {}
+    for result in results:
+        for status, count in result.errors.items():
+            errors[str(status)] = errors.get(str(status), 0) + count
+    summary = {
+        "sessions": len(results),
+        "requests": total_requests,
+        "rows": total_rows,
+        "errors": errors,
+        "wall_seconds": wall,
+        "cpu_seconds": cpu,
+        "throughput_rps": total_requests / wall if wall > 0 else 0.0,
+        "rows_per_cpu_second": rows_per_cpu_second(total_rows, cpu),
+        "latency_ms": {
+            "count": len(latencies),
+            "p50": _percentile(latencies, 50),
+            "p95": _percentile(latencies, 95),
+            "p99": _percentile(latencies, 99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+    if window is not None:
+        summary["completed_in_window"] = completed_in_window
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+
+def run_steady(port, statements, keys, sessions, requests) -> dict:
+    out: list[SessionResult] = []
+    barrier = threading.Barrier(sessions + 1)
+    threads = [
+        threading.Thread(
+            target=run_session,
+            args=(port, statements, keys, 1000 + i, requests, None, out, barrier),
+        )
+        for i in range(sessions)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    begin, cpu0 = time.perf_counter(), time.process_time()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - begin
+    cpu = time.process_time() - cpu0
+    return summarize(out, wall, cpu)
+
+
+def run_mid_exchange(
+    port, statements, keys, generator, sessions, insert_per_peer
+) -> dict:
+    """Readers in flight while a writer edits + publishes."""
+    stop = threading.Event()
+    out: list[SessionResult] = []
+    barrier = threading.Barrier(sessions + 1)
+    threads = [
+        threading.Thread(
+            target=run_session,
+            args=(port, statements, keys, 2000 + i, None, stop, out, barrier),
+        )
+        for i in range(sessions)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    begin, cpu0 = time.perf_counter(), time.process_time()
+    writer = ServeClient(port=port, timeout=300)
+    try:
+        time.sleep(0.3)  # let the closed loop reach steady state
+        edits = []
+        for update in generator.insertions(insert_per_peer):
+            for relation, row in update.rows.items():
+                edits.append(
+                    {"op": "insert", "relation": relation, "row": list(row)}
+                )
+        writer.edit(edits)
+        health_before = writer.health()
+        publish_begin = time.perf_counter()
+        report = writer.publish()
+        publish_end = time.perf_counter()
+        time.sleep(0.3)  # post-publish tail against the fresh snapshot
+        stats = writer.stats()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+        writer.close()
+    wall = time.perf_counter() - begin
+    cpu = time.process_time() - cpu0
+    summary = summarize(out, wall, cpu)
+    summary["during_publish"] = summarize(
+        out, publish_end - publish_begin, 0.0, (publish_begin, publish_end)
+    )
+    del summary["during_publish"]["cpu_seconds"]
+    del summary["during_publish"]["rows_per_cpu_second"]
+    summary["publish"] = {
+        "seconds": publish_end - publish_begin,
+        "inserted": report["inserted"],
+        "snapshot_version_before": health_before["snapshot_version"],
+        "snapshot_version_after": report["snapshot_version"],
+        "staged_edits": len(edits),
+    }
+    summary["admission"] = stats["admission"]
+    summary["snapshot"] = stats["snapshot"]
+    return summary
+
+
+def run_admission_pressure(cdss, generator, keys, burst, requests) -> dict:
+    """A synchronized burst against deliberately tiny admission limits."""
+    mix = statement_texts(generator)
+    with ServerThread(
+        cdss, max_inflight=2, max_queue=2, timeout=30.0, readers=2
+    ) as running:
+        with ServeClient(port=running.port) as setup:
+            statements = prepare_statements(setup, mix)
+        out: list[SessionResult] = []
+        barrier = threading.Barrier(burst + 1)
+        threads = [
+            threading.Thread(
+                target=run_session,
+                args=(
+                    running.port,
+                    statements,
+                    keys,
+                    3000 + i,
+                    requests,
+                    None,
+                    out,
+                    barrier,
+                ),
+            )
+            for i in range(burst)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        begin, cpu0 = time.perf_counter(), time.process_time()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - begin
+        cpu = time.process_time() - cpu0
+        with ServeClient(port=running.port) as reader:
+            stats = reader.stats()
+    summary = summarize(out, wall, cpu)
+    summary["admission"] = stats["admission"]
+    summary["rejected_503"] = summary["errors"].get("503", 0)
+    summary["timeout_504"] = summary["errors"].get("504", 0)
+    return summary
+
+
+def run_subprocess_smoke(cdss, generator, keys, sessions, requests) -> dict:
+    """Boot the real CLI in a child process; burst + publish + shutdown."""
+    mix = statement_texts(generator)
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "serve_spec.json"
+        cdss.to_spec().save(spec_path)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(spec_path),
+                "--port",
+                "0",
+                "--max-inflight",
+                "64",
+                "--max-queue",
+                "256",
+            ],
+            cwd=REPO_ROOT,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            if "repro-serve listening on " not in line:
+                raise RuntimeError(f"unexpected server banner: {line!r}")
+            url = line.strip().rsplit(" ", 1)[-1]
+            port = int(url.rsplit(":", 1)[-1])
+            with ServeClient(port=port, timeout=120) as setup:
+                statements = prepare_statements(setup, mix)
+            out: list[SessionResult] = []
+            threads = [
+                threading.Thread(
+                    target=run_session,
+                    args=(port, statements, keys, 4000 + i, requests, None, out),
+                )
+                for i in range(sessions)
+            ]
+            begin = time.perf_counter()
+            for t in threads:
+                t.start()
+            with ServeClient(port=port, timeout=300) as writer:
+                update = generator.insertions(1)[0]
+                writer.edit(
+                    [
+                        {"op": "insert", "relation": rel, "row": list(row)}
+                        for rel, row in update.rows.items()
+                    ]
+                )
+                publish = writer.publish()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - begin
+            with ServeClient(port=port, timeout=60) as closer:
+                stats = closer.stats()
+                closer.shutdown()
+            returncode = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        summary = summarize(out, wall, 0.0)
+        del summary["cpu_seconds"]
+        del summary["rows_per_cpu_second"]
+        summary["publish"] = {
+            "inserted": publish["inserted"],
+            "snapshot_version": publish["snapshot_version"],
+        }
+        summary["admission"] = stats["admission"]
+        summary["clean_exit"] = returncode == 0
+        summary["returncode"] = returncode
+        if returncode != 0:
+            raise RuntimeError(
+                f"serve subprocess exited with {returncode}"
+            )
+        return summary
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--subprocess",
+        action="store_true",
+        help="also smoke-test the real CLI server in a child process",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "result path (default: BENCH_serve.json at the repo root; "
+            "--quick writes BENCH_serve_quick.json unless --out is given)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        peers, base = 3, 60
+        steady_sessions, steady_requests = 8, 15
+        mid_sessions, insert_per_peer = 24, 4
+        burst, burst_requests = 12, 4
+        sub_sessions, sub_requests = 4, 6
+    else:
+        peers, base = 4, 150
+        steady_sessions, steady_requests = 32, 30
+        mid_sessions, insert_per_peer = 200, 6
+        burst, burst_requests = 48, 4
+        sub_sessions, sub_requests = 8, 10
+    if args.out is None:
+        suffix = "_quick" if args.quick else ""
+        args.out = REPO_ROOT / f"BENCH_serve{suffix}.json"
+
+    print(
+        f"serving benchmark: peers={peers} base={base}/peer "
+        f"steady={steady_sessions}x{steady_requests} "
+        f"mid-exchange sessions={mid_sessions}"
+    )
+    generator, cdss, keys = build_workload(peers, base, args.seed)
+    mix = statement_texts(generator)
+    phases: dict[str, dict] = {}
+
+    with ServerThread(
+        cdss, max_inflight=256, max_queue=1024, timeout=60.0, readers=4
+    ) as running:
+        with ServeClient(port=running.port) as setup:
+            statements = prepare_statements(setup, mix)
+        phases["steady"] = run_steady(
+            running.port, statements, keys, steady_sessions, steady_requests
+        )
+        steady = phases["steady"]
+        print(
+            f"  steady: {steady['requests']} requests "
+            f"{steady['throughput_rps']:.0f} rps "
+            f"p50={steady['latency_ms']['p50']:.2f}ms "
+            f"p95={steady['latency_ms']['p95']:.2f}ms "
+            f"rows/cpu-s={steady['rows_per_cpu_second']:.0f}"
+        )
+        phases["mid_exchange"] = run_mid_exchange(
+            running.port,
+            statements,
+            keys,
+            generator,
+            mid_sessions,
+            insert_per_peer,
+        )
+        mid = phases["mid_exchange"]
+        print(
+            f"  mid-exchange: {mid['sessions']} sessions, publish "
+            f"{mid['publish']['seconds']*1000:.0f}ms, "
+            f"{mid['during_publish']['completed_in_window']} reads completed "
+            f"during publish, p95={mid['latency_ms']['p95']:.2f}ms, "
+            f"peak in-flight={mid['admission']['peak_in_flight']}"
+        )
+
+    phases["admission_pressure"] = run_admission_pressure(
+        cdss, generator, keys, burst, burst_requests
+    )
+    pressure = phases["admission_pressure"]
+    print(
+        f"  admission pressure: {pressure['requests'] } ok, "
+        f"{pressure['rejected_503']} rejected (503), "
+        f"{pressure['timeout_504']} timeouts (504)"
+    )
+
+    if args.subprocess:
+        phases["subprocess_smoke"] = run_subprocess_smoke(
+            cdss, generator, keys, sub_sessions, sub_requests
+        )
+        smoke = phases["subprocess_smoke"]
+        print(
+            f"  subprocess smoke: {smoke['requests']} requests, publish ok, "
+            f"clean exit={smoke['clean_exit']}"
+        )
+
+    result = {
+        "format": RESULT_FORMAT,
+        "workload": {
+            "peers": peers,
+            "base_per_peer": base,
+            "dataset": "integer",
+            "seed": args.seed,
+            "statements": {
+                name: request["text"] for name, request in mix.items()
+            },
+        },
+        "phases": phases,
+        "efficiency": efficiency_snapshot(),
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.harness import efficiency_snapshot  # noqa: E402
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
 RESULT_FORMAT = "repro/bench-update-exchange@3"
@@ -94,6 +95,25 @@ def _timed(fn) -> float:
         seconds = time.perf_counter() - start
         gc.enable()
     return seconds
+
+
+def _timed_cpu(fn) -> tuple[float, float]:
+    """(wall seconds, process CPU seconds) for ``fn()``, GC quiesced.
+
+    The CPU figure feeds the per-phase ``cpu_seconds`` efficiency metric
+    (work-per-resource, per the greenness papers in PAPERS.md).
+    """
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        fn()
+    finally:
+        cpu_seconds = time.process_time() - cpu_start
+        seconds = time.perf_counter() - start
+        gc.enable()
+    return seconds, cpu_seconds
 
 
 def _engine_stats(cdss) -> dict[str, float] | None:
@@ -227,13 +247,13 @@ def run_cell(
     serve_keys = [update.key for update in base_updates[:10]]
     generator.record_insertions(cdss, base_updates)
     before = _engine_stats(cdss)
-    publish_seconds = _timed(cdss.update_exchange)
+    publish_seconds, publish_cpu = _timed_cpu(cdss.update_exchange)
     publish_stats = _stats_delta(_engine_stats(cdss), before)
     serving_seconds += _serve(hot_queries, serve_keys)
 
     generator.record_insertions(cdss, generator.insertions(insert_per_peer))
     before = _engine_stats(cdss)
-    incremental_seconds = _timed(cdss.update_exchange)
+    incremental_seconds, incremental_cpu = _timed_cpu(cdss.update_exchange)
     incremental_stats = _stats_delta(_engine_stats(cdss), before)
     serving_seconds += _serve(hot_queries, serve_keys)
 
@@ -243,7 +263,7 @@ def run_cell(
     # PropagateDelete (per-row provenance/output churn).
     generator.record_deletions(cdss, generator.deletions(insert_per_peer))
     before = _engine_stats(cdss)
-    deletion_seconds = _timed(cdss.update_exchange)
+    deletion_seconds, deletion_cpu = _timed_cpu(cdss.update_exchange)
     deletion_stats = _stats_delta(_engine_stats(cdss), before)
     serving_seconds += _serve(hot_queries, serve_keys)
 
@@ -264,12 +284,21 @@ def run_cell(
             "cold": len(cold_queries),
         },
         "total_tuples": total_tuples,
-        "publish": {"seconds": publish_seconds, **publish_stats},
+        "publish": {
+            "seconds": publish_seconds,
+            "cpu_seconds": publish_cpu,
+            **publish_stats,
+        },
         "incremental_insertion": {
             "seconds": incremental_seconds,
+            "cpu_seconds": incremental_cpu,
             **incremental_stats,
         },
-        "deletion": {"seconds": deletion_seconds, **deletion_stats},
+        "deletion": {
+            "seconds": deletion_seconds,
+            "cpu_seconds": deletion_cpu,
+            **deletion_stats,
+        },
         "serving": {"seconds": serving_seconds},
         "serving_cold": {"seconds": cold_seconds},
     }
@@ -878,6 +907,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(f"  speedup[{phase}]: {rendered}")
 
+        result["efficiency"] = efficiency_snapshot()
         args.out.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.out}")
 
@@ -889,6 +919,7 @@ def main(argv: list[str] | None = None) -> int:
         query_result = run_query_benchmark(
             peer_counts, base, query_repeats, seed=args.seed
         )
+        query_result["efficiency"] = efficiency_snapshot()
         query_out.write_text(json.dumps(query_result, indent=2) + "\n")
         print(f"wrote {query_out}")
     return 0

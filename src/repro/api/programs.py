@@ -31,7 +31,8 @@ program transparently re-binds after the CDSS is reconfigured.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Sequence
+import threading
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from ..core.query import (
     QueryError,
@@ -55,6 +56,7 @@ from ..storage.instance import Row
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.cdss import CDSS
     from ..datalog.planner import Planner
+    from ..storage.snapshot import DatabaseSnapshot
 
 _VARIANT_CACHE_LIMIT = 256
 """Substituted program variants kept per prepared program."""
@@ -148,19 +150,24 @@ class ProgramAnswers:
 
 
 class PreparedProgram:
-    """A recursive query program validated and plan-cached once."""
+    """A recursive query program validated and plan-cached once.
+
+    Thread-safe like :class:`~repro.api.query.PreparedQuery`: the mutable
+    (system, db, internal, rewritten, variants) state lives in one
+    ``_state`` tuple swapped under a lock, and executions of the shared
+    engine are serialized — the serving tier runs prepared programs from
+    reader threads while a writer reconfigures or exchanges.
+    """
 
     __slots__ = (
         "_program",
         "_answer",
         "_param_names",
         "_cdss",
-        "_system",
-        "_db",
-        "_internal",
+        "_state",
         "_engine",
-        "_rewritten",
-        "_variants",
+        "_rebind_lock",
+        "_exec_lock",
     )
 
     def __init__(
@@ -192,15 +199,24 @@ class PreparedProgram:
                 )
         self._param_names = names
         self._cdss = cdss
-        self._system = system
-        self._db = db
-        self._internal = internal
         # Dedicated persistent engine: the rewritten rules are pinned
         # below, so every re-execution hits the engine plan cache and
         # reuses the warm Δ-relation pool.
         self._engine = SemiNaiveEngine(planner)
-        self._variants: dict[tuple[object, ...], Program] = {}
-        self._rewritten = self._rewrite(parsed, internal)
+        self._rebind_lock = threading.Lock()
+        # The engine's Δ-relation pool and plan cache are not re-entrant;
+        # concurrent reader threads take turns.
+        self._exec_lock = threading.Lock()
+        # (system, db, internal, rewritten, variants): swapped as ONE
+        # tuple so a concurrent re-bind can never pair a new rewritten
+        # program with an old schema or a stale variant cache.
+        self._state: tuple[
+            object | None,
+            Database,
+            InternalSchema,
+            Program,
+            dict[tuple[object, ...], Program],
+        ] = (system, db, internal, self._rewrite(parsed, internal), {})
 
     def _rewrite(self, parsed: Program, internal: InternalSchema) -> Program:
         rewritten = rewrite_program_to_internal(
@@ -236,41 +252,63 @@ class PreparedProgram:
 
     # -- execution ---------------------------------------------------------
 
-    def _current(self) -> tuple[Database, InternalSchema]:
+    def _current(
+        self,
+    ) -> tuple[
+        object | None,
+        Database,
+        InternalSchema,
+        Program,
+        dict[tuple[object, ...], Program],
+    ]:
+        state = self._state
         if self._cdss is not None:
-            system = self._cdss.system()
-            if system is not self._system:
+            current = self._cdss.system()
+            if current is not state[0]:
                 # The CDSS was reconfigured: re-validate and re-pin against
                 # the rebuilt system (one-time re-plan, like preparation).
-                self._internal = system.internal
-                self._db = system.db
-                self._system = system
-                self._variants.clear()
-                self._engine.invalidate_plans()
-                self._rewritten = self._rewrite(self._program, self._internal)
-        return self._db, self._internal
+                # Double-checked: racing executes re-bind exactly once.
+                with self._rebind_lock:
+                    state = self._state
+                    if current is not state[0]:
+                        rewritten = self._rewrite(
+                            self._program, current.internal
+                        )
+                        with self._exec_lock:
+                            self._engine.invalidate_plans()
+                        state = (
+                            current,
+                            current.db,
+                            current.internal,
+                            rewritten,
+                            {},
+                        )
+                        self._state = state
+        return state
 
-    def _variant(self, values: tuple[object, ...]) -> Program:
+    def _variant(
+        self,
+        rewritten: Program,
+        variants: dict[tuple[object, ...], Program],
+        values: tuple[object, ...],
+    ) -> Program:
         if not self._param_names:
-            return self._rewritten
-        variant = self._variants.get(values)
+            return rewritten
+        variant = variants.get(values)
         if variant is None:
             mapping = {
                 Variable(name): Constant(value)
                 for name, value in zip(self._param_names, values)
             }
-            variant = _substitute_program(self._rewritten, mapping)
-            if len(self._variants) >= _VARIANT_CACHE_LIMIT:
-                self._variants.clear()
-            self._variants[values] = variant
+            variant = _substitute_program(rewritten, mapping)
+            if len(variants) >= _VARIANT_CACHE_LIMIT:
+                variants.clear()
+            variants[values] = variant
         return variant
 
-    def execute(self, **bindings: object) -> ProgramAnswers:
-        """Bind parameters, evaluate to fixpoint, return the answers.
-
-        Evaluation runs in a throwaway scratch database sharing the live
-        ``R__o`` instances; the exchanged state is never modified.
-        """
+    def _bind_values(
+        self, bindings: Mapping[str, object]
+    ) -> tuple[object, ...]:
         names = self._param_names
         missing = [n for n in names if n not in bindings]
         extra = [n for n in bindings if n not in names]
@@ -280,18 +318,27 @@ class PreparedProgram:
                 if missing
                 else f"unexpected parameters {extra!r}"
             )
-        values = tuple(bindings[n] for n in names)
-        db, internal = self._current()
-        program = self._variant(values)
+        return tuple(bindings[n] for n in names)
+
+    def _run(
+        self,
+        source: Database,
+        internal: InternalSchema,
+        rewritten: Program,
+        variants: dict[tuple[object, ...], Program],
+        values: tuple[object, ...],
+    ) -> ProgramAnswers:
+        program = self._variant(rewritten, variants, values)
         scratch = Database()
         attached: list[str] = []
         for relation in internal.relation_names():
-            instance = db.get(output_name(relation))
+            instance = source.get(output_name(relation))
             if instance is not None:
                 scratch.attach(instance)
                 attached.append(instance.name)
         try:
-            self._engine.run(program, scratch)
+            with self._exec_lock:
+                self._engine.run(program, scratch)
             answers = scratch[self._answer].rows()
         finally:
             # Detach the shared instances: attach registered the scratch
@@ -301,10 +348,38 @@ class PreparedProgram:
                 scratch.drop(name)
         return ProgramAnswers(frozenset(answers))
 
+    def execute(self, **bindings: object) -> ProgramAnswers:
+        """Bind parameters, evaluate to fixpoint, return the answers.
+
+        Evaluation runs in a throwaway scratch database sharing the live
+        ``R__o`` instances; the exchanged state is never modified.
+        """
+        values = self._bind_values(bindings)
+        _system, db, internal, rewritten, variants = self._current()
+        return self._run(db, internal, rewritten, variants, values)
+
+    def execute_at(
+        self, snapshot: "DatabaseSnapshot", **bindings: object
+    ) -> ProgramAnswers:
+        """Evaluate against a pinned snapshot instead of the live system.
+
+        The scratch database attaches the snapshot's private ``R__o``
+        copies, so a concurrently running exchange never tears the
+        fixpoint this program reads — the serving tier's snapshot-isolated
+        program path.  Runs under the snapshot's lock (it serializes lazy
+        index builds across reader threads).
+        """
+        values = self._bind_values(bindings)
+        _system, _db, internal, rewritten, variants = self._current()
+        with snapshot.lock:
+            return self._run(
+                snapshot.db, internal, rewritten, variants, values
+            )
+
     def __repr__(self) -> str:
         suffix = f" params={list(self._param_names)}" if self._param_names else ""
         return (
-            f"<PreparedProgram {len(self._rewritten)} rules -> "
+            f"<PreparedProgram {len(self._state[3])} rules -> "
             f"{self._answer!r}{suffix}>"
         )
 

@@ -32,6 +32,7 @@ compilation helper for that single-relation case
 from __future__ import annotations
 
 import operator
+import threading
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.query import QueryError, _rewrite_to_internal
@@ -52,6 +53,7 @@ from ..storage.instance import Instance, Row
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.cdss import CDSS
     from ..datalog.engine import SemiNaiveEngine
+    from ..storage.snapshot import DatabaseSnapshot
 
 _OPS: dict[str, Callable[[object, object], bool]] = {
     "==": operator.eq,
@@ -254,6 +256,135 @@ def _bare_attribute(column: ColumnRef, schema: RelationSchema) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Ordering and pagination (ORDER BY / LIMIT / OFFSET)
+# ---------------------------------------------------------------------------
+
+
+class _OrderKey:
+    """A totally ordered wrapper for heterogeneous column values.
+
+    Same-type values compare natively; across types (or when a native
+    comparison is unsupported, e.g. labeled nulls) the fallback orders by
+    ``(type name, repr)`` — arbitrary but *stable and total*, which is
+    what pagination needs.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        try:
+            return bool(a < b)  # type: ignore[operator]
+        except TypeError:
+            return (type(a).__name__, repr(a)) < (type(b).__name__, repr(b))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+OrderSpec = tuple[tuple[int, bool], ...]
+"""Resolved ordering: ``((column position, descending), ...)``."""
+
+
+def _parse_order_column(column: object) -> tuple[object, bool]:
+    """Normalize one ``order_by`` argument to ``(name_or_position, desc)``.
+
+    Strings may carry a leading ``-`` for descending (``"-city"``);
+    integers are 0-based output column positions; :func:`col` references
+    are accepted too.
+    """
+    if isinstance(column, ColumnRef):
+        return (column.name, False)
+    if isinstance(column, int) and not isinstance(column, bool):
+        return (column, False)
+    if isinstance(column, str):
+        if column.startswith("-"):
+            return (column[1:], True)
+        return (column, False)
+    raise QueryError(
+        f"order_by expects column names, positions, or col(...), "
+        f"got {column!r}"
+    )
+
+
+def resolve_order_spec(
+    columns: Sequence[tuple[object, bool]], names: Sequence[str]
+) -> OrderSpec:
+    """Resolve ``(name_or_position, desc)`` pairs against output columns.
+
+    Bare names match an output column exactly, or — for qualified
+    ``Alias.attr`` outputs — match the attribute part when unambiguous.
+    """
+    resolved: list[tuple[int, bool]] = []
+    for key, desc in columns:
+        if isinstance(key, int) and not isinstance(key, bool):
+            if not 0 <= key < len(names):
+                raise QueryError(
+                    f"order_by position {key} out of range for "
+                    f"{len(names)} output column(s)"
+                )
+            resolved.append((key, desc))
+            continue
+        matches = [i for i, name in enumerate(names) if name == key]
+        if not matches:
+            matches = [
+                i
+                for i, name in enumerate(names)
+                if "." in name and name.partition(".")[2] == key
+            ]
+        if not matches:
+            raise QueryError(
+                f"order_by column {key!r} is not an output column of "
+                f"{tuple(names)!r}"
+            )
+        if len(matches) > 1:
+            raise QueryError(
+                f"order_by column {key!r} is ambiguous; qualify it as "
+                "'Alias.attr'"
+            )
+        resolved.append((matches[0], desc))
+    return tuple(resolved)
+
+
+def apply_row_order(
+    rows: Sequence[Row],
+    order: OrderSpec,
+    limit: int | None,
+    offset: int,
+) -> tuple[Row, ...]:
+    """Stable sort + slice, applied *below* the dedup step.
+
+    Rows arrive deduplicated (set semantics) in first-derivation order;
+    sorting is a stable multi-key sort (later keys applied first), then
+    ``offset``/``limit`` slice the sorted sequence — so a limit counts
+    distinct answers, exactly what pagination wants.
+    """
+    ordered: Sequence[Row] = rows
+    for position, desc in reversed(order):
+        ordered = sorted(
+            ordered,
+            key=lambda row, _p=position: _OrderKey(row[_p]),
+            reverse=desc,
+        )
+    if offset:
+        ordered = ordered[offset:]
+    if limit is not None:
+        ordered = ordered[:limit]
+    return tuple(ordered)
+
+
+def _check_page_arg(value: object, what: str, minimum: int = 0) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise QueryError(
+            f"{what} must be an integer >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
 # Query: an immutable description (datalog text or fluent builder)
 # ---------------------------------------------------------------------------
 
@@ -289,7 +420,17 @@ def _scan_of(source: object, alias: str | None) -> _Scan:
 class _Resolved:
     """A builder/text query lowered to a user-level rule + metadata."""
 
-    __slots__ = ("rule", "params", "param_names", "residuals", "unsat")
+    __slots__ = (
+        "rule",
+        "params",
+        "param_names",
+        "residuals",
+        "unsat",
+        "columns",
+        "order",
+        "limit",
+        "offset",
+    )
 
     def __init__(
         self,
@@ -298,12 +439,20 @@ class _Resolved:
         param_names: tuple[str, ...],
         residuals: tuple[tuple[str, object, object], ...],
         unsat: bool = False,
+        columns: tuple[str, ...] = (),
+        order: OrderSpec = (),
+        limit: int | None = None,
+        offset: int = 0,
     ) -> None:
         self.rule = rule
         self.params = params
         self.param_names = param_names
         self.residuals = residuals
         self.unsat = unsat
+        self.columns = columns
+        self.order = order
+        self.limit = limit
+        self.offset = offset
 
 
 class Query:
@@ -326,7 +475,16 @@ class Query:
     compiles them once, and returns a :class:`PreparedQuery`.
     """
 
-    __slots__ = ("_rule", "_text_params", "_scans", "_conditions", "_projection")
+    __slots__ = (
+        "_rule",
+        "_text_params",
+        "_scans",
+        "_conditions",
+        "_projection",
+        "_order",
+        "_limit",
+        "_offset",
+    )
 
     def __init__(self) -> None:
         self._rule: Rule | None = None
@@ -338,6 +496,11 @@ class Query:
         # joined relation introduces the same attribute again.
         self._conditions: tuple[tuple[Comparison, int | None], ...] = ()
         self._projection: tuple[str, ...] | None = None
+        # Pagination: (name_or_position, desc) pairs resolved to output
+        # column positions at prepare time; applies to text queries too.
+        self._order: tuple[tuple[object, bool], ...] = ()
+        self._limit: int | None = None
+        self._offset: int = 0
 
     # -- construction ------------------------------------------------------
 
@@ -380,6 +543,9 @@ class Query:
         query._scans = self._scans
         query._conditions = self._conditions
         query._projection = self._projection
+        query._order = self._order
+        query._limit = self._limit
+        query._offset = self._offset
         return query
 
     def _require_builder(self, method: str) -> None:
@@ -474,13 +640,56 @@ class Query:
         query._projection = names
         return query
 
+    # -- pagination (applies to text *and* builder queries) ----------------
+
+    def order_by(self, *columns: object) -> "Query":
+        """Order answers by output columns (stable sort, below dedup).
+
+        Columns are output column names (head variables for text queries,
+        projection entries for builder queries — a leading ``-`` sorts
+        descending, as in ``order_by("city", "-id")``) or 0-based output
+        positions.  Replaces any previous ordering.
+        """
+        if not columns:
+            raise QueryError("order_by requires at least one column")
+        query = self._copy()
+        query._order = tuple(_parse_order_column(c) for c in columns)
+        return query
+
+    def limit(self, count: int | None) -> "Query":
+        """Keep at most ``count`` answers (after dedup, sort, offset)."""
+        query = self._copy()
+        query._limit = (
+            None if count is None else _check_page_arg(count, "limit")
+        )
+        return query
+
+    def offset(self, count: int) -> "Query":
+        """Skip the first ``count`` answers (after dedup and sort)."""
+        query = self._copy()
+        query._offset = _check_page_arg(count, "offset")
+        return query
+
     # -- lowering ----------------------------------------------------------
 
     def _resolve(self, catalog: Mapping[str, RelationSchema]) -> _Resolved:
         """Lower to a user-level rule + params + residual comparisons."""
         if self._rule is not None:
             params = tuple(Variable(name) for name in self._text_params)
-            return _Resolved(self._rule, params, self._text_params, ())
+            columns = tuple(
+                term.name if isinstance(term, Variable) else f"${position}"
+                for position, term in enumerate(self._rule.head.terms)
+            )
+            return _Resolved(
+                self._rule,
+                params,
+                self._text_params,
+                (),
+                columns=columns,
+                order=resolve_order_spec(self._order, columns),
+                limit=self._limit,
+                offset=self._offset,
+            )
         return self._resolve_builder(catalog)
 
     def _resolve_builder(
@@ -620,7 +829,17 @@ class Query:
         )
         names = tuple(param_vars)
         params = tuple(param_vars[name] for name in names)
-        return _Resolved(rule, params, names, final_residuals, unsat)
+        return _Resolved(
+            rule,
+            params,
+            names,
+            final_residuals,
+            unsat,
+            columns=projection,
+            order=resolve_order_spec(self._order, projection),
+            limit=self._limit,
+            offset=self._offset,
+        )
 
     def __repr__(self) -> str:
         if self._rule is not None:
@@ -677,9 +896,7 @@ class _Binding:
         "params",
         "residual_specs",
         "use_engine_cache",
-        "plan",
-        "compiled",
-        "residual",
+        "_exec",
     )
 
     def __init__(
@@ -697,9 +914,24 @@ class _Binding:
         self.params = resolved.params
         self.residual_specs = resolved.residuals
         self.use_engine_cache = use_engine_cache
-        self.plan: RulePlan = self._plan()
-        self._compile()
+        self._set_plan(self._plan())
         self._check_safety(resolved)
+
+    # The (plan, compiled, residual) triple is always swapped as ONE tuple
+    # (``_exec``): the residual closure indexes the compiled plan's
+    # environment slots, so a concurrent reader must never observe a new
+    # plan paired with an old residual (or vice versa).
+    @property
+    def plan(self) -> RulePlan:
+        return self._exec[0]
+
+    @property
+    def compiled(self) -> CompiledPlan:
+        return self._exec[1]
+
+    @property
+    def residual(self) -> Callable[[tuple], bool] | None:
+        return self._exec[2]
 
     def _plan(self) -> RulePlan:
         """Plan through the engine cache, or straight through the planner.
@@ -719,17 +951,19 @@ class _Binding:
             )
         return self.engine.planner.plan(self.internal_rule, self.db, None)
 
-    def _compile(self) -> None:
-        """(Re)compile the plan and everything derived from its slots.
+    def _set_plan(self, plan: RulePlan) -> None:
+        """Compile ``plan`` and swap the execution triple atomically.
 
         The residual closure indexes the compiled plan's environment
         slots, so it must be rebuilt whenever the plan changes (e.g. a
-        cost-based planner re-planning after a data change).
+        cost-based planner re-planning after a data change) — and the
+        three pieces land in one attribute assignment.
         """
-        self.compiled: CompiledPlan = compile_plan(self.plan)
-        self.residual = _residual_closure(
-            self.residual_specs, self.compiled.slot_of
-        )
+        compiled = compile_plan(plan)
+        residual = _residual_closure(self.residual_specs, compiled.slot_of)
+        self._exec: tuple[
+            RulePlan, CompiledPlan, Callable[[tuple], bool] | None
+        ] = (plan, compiled, residual)
 
     def _check_safety(self, resolved: _Resolved) -> None:
         # Builder rules bypass Rule.check_safety (parameters count as
@@ -744,16 +978,25 @@ class _Binding:
     def refresh_plan(self) -> None:
         """Re-probe the plan cache (a hit unless invalidated/re-planned)."""
         plan = self._plan()
-        if plan is not self.plan:
-            self.plan = plan
-            self._compile()
+        if plan is not self._exec[0]:
+            self._set_plan(plan)
 
-    def resolver(self) -> Callable[[int, Atom], object]:
-        db = self.db
+    def resolver(
+        self, db: Database | None = None
+    ) -> Callable[[int, Atom], object]:
+        """An atom resolver over ``db`` (default: the bound live database).
+
+        Passing a pinned snapshot's database executes the compiled plan
+        against the snapshot instead — relations absent from the snapshot
+        (e.g. provenance tables a query never reads) resolve empty.
+        """
+        if db is None:
+            db = self.db
 
         def resolve(_index: int, atom: Atom) -> object:
-            if atom.predicate in db:
-                return db[atom.predicate]
+            instance = db.get(atom.predicate)
+            if instance is not None:
+                return instance
             return Instance(atom.predicate, atom.arity)
 
         return resolve
@@ -764,21 +1007,29 @@ _RESULT_CACHE_LIMIT = 1024
 
 
 def _binding_derivations(
-    binding: "_Binding", values: tuple[object, ...]
+    binding: "_Binding",
+    values: tuple[object, ...],
+    db: Database | None = None,
 ) -> Iterator[tuple[Row, Mapping[Variable, object]]]:
     """(row, substitution) pairs from one binding's compiled pipeline,
     with its residual comparisons applied as the head filter — the single
-    execution path shared by the result cache and the annotated-answers
-    stream."""
-    residual = binding.residual
+    execution path shared by the result cache, the annotated-answers
+    stream, and snapshot-pinned executions (``db`` overrides the source).
+
+    The execution triple is read **once**: a concurrent
+    :meth:`_Binding.refresh_plan` can swap ``_exec`` mid-call, but this
+    iterator keeps using the consistent (plan, compiled, residual) it
+    started with.
+    """
+    plan, _compiled, residual = binding._exec
     head_filter = (
         None
         if residual is None
         else (lambda _row, subst: residual(subst._env))
     )
     return execute_plan(
-        binding.plan,
-        binding.resolver(),
+        plan,
+        binding.resolver(db),
         head_filter=head_filter,
         params=values,
     )
@@ -800,14 +1051,19 @@ class PreparedQuery:
     no relation changes, re-executing with identical bindings serves the
     previous rows without touching the pipeline at all.  Any mutation moves
     the version and the entry silently misses — invalidation is free.
+
+    Prepared queries are safe to execute from multiple threads: the
+    (system, binding) pair lives in one ``_bound`` tuple swapped under a
+    lock (a single check-and-swap), so a concurrent re-bind after CDSS
+    reconfiguration can never pair an old binding with a new system.
     """
 
     __slots__ = (
         "_query",
         "_resolved",
         "_cdss",
-        "_system",
-        "_binding",
+        "_bound",
+        "_rebind_lock",
         "_result_cache",
         "result_cache_hits",
         "result_cache_misses",
@@ -824,8 +1080,10 @@ class PreparedQuery:
         self._query = query
         self._resolved = resolved
         self._cdss = cdss
-        self._system = system
-        self._binding = binding
+        # The (system, binding) pair is one atomically-swapped tuple; the
+        # lock makes the reconfiguration re-bind a single check-and-swap.
+        self._bound: tuple[object | None, _Binding] = (system, binding)
+        self._rebind_lock = threading.Lock()
         # (values, mode) -> (database, version, rows); the database is
         # compared by identity so a re-bind after CDSS reconfiguration can
         # never collide with a stale entry from the previous system.
@@ -845,37 +1103,73 @@ class PreparedQuery:
         return self._resolved.param_names
 
     @property
+    def columns(self) -> tuple[str, ...]:
+        """Output column names (head variables / projection entries)."""
+        return self._resolved.columns
+
+    @property
     def plan(self) -> RulePlan:
-        return self._binding.plan
+        return self._bound[1].plan
 
     def explain(self) -> str:
         """Render the bind-join pipeline this query runs (EXPLAIN)."""
         from ..datalog.explain import explain_plan
 
-        return explain_plan(self._binding.plan, self._binding.db)
+        _system, binding = self._bound
+        return explain_plan(binding.plan, binding.db)
 
     # -- execution ---------------------------------------------------------
 
     def _current_binding(self) -> _Binding:
+        system, binding = self._bound
         if self._cdss is not None:
-            system = self._cdss.system()
-            if system is not self._system:
+            current = self._cdss.system()
+            if current is not system:
                 # The CDSS was reconfigured and rebuilt: re-prepare against
                 # the new system (a one-time plan-cache miss, like prepare).
-                self._binding = _Binding(
-                    self._resolved,
-                    system.db,
-                    system.internal,
-                    system.engine,
-                    self._binding.use_engine_cache,
-                )
-                self._system = system
-                # Entries pinned the superseded system's database (by
-                # identity); they can never hit again — drop them so they
-                # do not keep the old database generation alive.
-                self._result_cache.clear()
-        self._binding.refresh_plan()
-        return self._binding
+                # Double-checked: racing executes re-bind exactly once.
+                with self._rebind_lock:
+                    system, binding = self._bound
+                    if current is not system:
+                        binding = _Binding(
+                            self._resolved,
+                            current.db,
+                            current.internal,
+                            current.engine,
+                            binding.use_engine_cache,
+                        )
+                        # A *fresh* dict, not clear(): old entries pinned
+                        # the superseded database (by identity) and can
+                        # never hit again; readers mid-flight may still
+                        # write to the old dict harmlessly.
+                        self._result_cache = {}
+                        self._bound = (current, binding)
+        binding.refresh_plan()
+        return binding
+
+    def _materialize(
+        self,
+        binding: _Binding,
+        values: tuple[object, ...],
+        mode: str,
+        db: Database | None = None,
+    ) -> tuple[Row, ...]:
+        """Run the compiled pipeline to deduplicated, mode-filtered rows.
+
+        Rows keep their first-derivation order; ``db`` overrides the atom
+        source (a pinned snapshot's database).
+        """
+        drop_nulls = mode == AnswerSet.MODE_CERTAIN
+        seen: set[Row] = set()
+        answers: list[Row] = []
+        for row, _subst in _binding_derivations(binding, values, db):
+            if row in seen:
+                continue
+            seen.add(row)
+            if drop_nulls and tuple_has_labeled_null(row):
+                continue
+            answers.append(row)
+        return tuple(answers)
 
     def _cached_answers(
         self, values: tuple[object, ...], mode: str
@@ -883,16 +1177,18 @@ class PreparedQuery:
         """The materialized answer rows for one (bindings, mode) pair.
 
         Served from the result cache while ``Database.version`` is
-        unchanged; recomputed (and re-cached) otherwise.  Rows keep their
-        first-derivation order, deduplicated, with the mode's null filter
-        applied.
+        unchanged; recomputed (and re-cached) otherwise.
         """
         binding = self._current_binding()
         db = binding.db
         version = db.version
+        # Read the cache reference once: a concurrent re-bind swaps in a
+        # fresh dict, and writing a stale entry into the *old* dict must
+        # stay harmless.
+        cache = self._result_cache
         key: tuple[tuple[object, ...], str] | None = (values, mode)
         try:
-            entry = self._result_cache.get(key)  # type: ignore[arg-type]
+            entry = cache.get(key)  # type: ignore[arg-type]
         except TypeError:
             # Unhashable binding values: execute uncached.
             key = None
@@ -905,22 +1201,39 @@ class PreparedQuery:
             self.result_cache_hits += 1
             return entry[2]
         self.result_cache_misses += 1
-        drop_nulls = mode == AnswerSet.MODE_CERTAIN
-        seen: set[Row] = set()
-        answers: list[Row] = []
-        for row, _subst in _binding_derivations(binding, values):
-            if row in seen:
-                continue
-            seen.add(row)
-            if drop_nulls and tuple_has_labeled_null(row):
-                continue
-            answers.append(row)
-        rows = tuple(answers)
+        rows = self._materialize(binding, values, mode)
         if key is not None:
-            if len(self._result_cache) >= _RESULT_CACHE_LIMIT:
-                self._result_cache.clear()
-            self._result_cache[key] = (db, version, rows)
+            if len(cache) >= _RESULT_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = (db, version, rows)
         return rows
+
+    def _pinned_answers(
+        self, snapshot: "DatabaseSnapshot", values: tuple[object, ...], mode: str
+    ) -> tuple[Row, ...]:
+        """Answers computed against (and cached on) a pinned snapshot.
+
+        The snapshot's contents never change, so its result cache needs no
+        version token; the compute runs under the snapshot's lock, which
+        also serializes lazy index builds across reader threads.
+        """
+        binding = self._current_binding()
+        return snapshot.cached(  # type: ignore[return-value]
+            (self, values, mode),
+            lambda: self._materialize(binding, values, mode, db=snapshot.db),
+        )
+
+    def _bind_values(self, bindings: Mapping[str, object]) -> tuple[object, ...]:
+        names = self._resolved.param_names
+        missing = [n for n in names if n not in bindings]
+        extra = [n for n in bindings if n not in names]
+        if missing or extra:
+            raise QueryError(
+                f"parameter mismatch: missing {missing!r}, unexpected {extra!r}"
+                if missing
+                else f"unexpected parameters {extra!r}"
+            )
+        return tuple(bindings[n] for n in names)
 
     def execute(self, **bindings: object) -> "AnswerSet":
         """Bind parameters and return an :class:`AnswerSet`.
@@ -932,20 +1245,27 @@ class PreparedQuery:
         rows into the result cache — repeated consumptions with the same
         bindings and mode are O(1) serves until any relation changes.
         """
-        names = self._resolved.param_names
-        missing = [n for n in names if n not in bindings]
-        extra = [n for n in bindings if n not in names]
-        if missing or extra:
-            raise QueryError(
-                f"parameter mismatch: missing {missing!r}, unexpected {extra!r}"
-                if missing
-                else f"unexpected parameters {extra!r}"
-            )
-        values = tuple(bindings[n] for n in names)
+        values = self._bind_values(bindings)
         return AnswerSet(self, values, empty=self._resolved.unsat)
 
+    def execute_at(
+        self, snapshot: "DatabaseSnapshot", **bindings: object
+    ) -> "AnswerSet":
+        """Execute against a pinned snapshot instead of the live system.
+
+        The answer set resolves every relation from the snapshot's private
+        copies: a concurrently running exchange can mutate the live
+        database freely without this execution observing it — the serving
+        tier's snapshot-isolated read path.  Annotated answers are not
+        available (provenance tables live only in the live system).
+        """
+        values = self._bind_values(bindings)
+        return AnswerSet(
+            self, values, empty=self._resolved.unsat, pinned=snapshot
+        )
+
     def __repr__(self) -> str:
-        return f"<PreparedQuery {self._binding.internal_rule!r}>"
+        return f"<PreparedQuery {self._bound[1].internal_rule!r}>"
 
 
 class AnswerSet:
@@ -964,12 +1284,27 @@ class AnswerSet:
     * :meth:`with_nulls` — the superset including labeled nulls;
     * :meth:`annotated` — materialized ``{row: provenance}`` computed
       through :mod:`repro.provenance.annotated`.
+
+    An answer set created by :meth:`PreparedQuery.execute_at` is *pinned*
+    to a :class:`~repro.storage.snapshot.DatabaseSnapshot` instead: it
+    always serves the pinned fixpoint, regardless of live mutations.
+    :meth:`order_by` / :meth:`limit` / :meth:`offset` refine (or override)
+    the ordering declared on the :class:`Query`.
     """
 
     MODE_CERTAIN = "certain"
     MODE_WITH_NULLS = "with_nulls"
 
-    __slots__ = ("_prepared", "_values", "_mode", "_empty")
+    __slots__ = (
+        "_prepared",
+        "_values",
+        "_mode",
+        "_empty",
+        "_pinned",
+        "_order",
+        "_limit",
+        "_offset",
+    )
 
     def __init__(
         self,
@@ -977,25 +1312,59 @@ class AnswerSet:
         values: tuple[object, ...],
         mode: str = MODE_CERTAIN,
         empty: bool = False,
+        pinned: "DatabaseSnapshot | None" = None,
     ) -> None:
         self._prepared = prepared
         self._values = values
         self._mode = mode
         self._empty = empty
+        self._pinned = pinned
+        # Ordering/pagination start from what the Query declared.
+        resolved = prepared._resolved
+        self._order: OrderSpec = resolved.order
+        self._limit: int | None = resolved.limit
+        self._offset: int = resolved.offset
+
+    def _clone(self, **overrides: object) -> "AnswerSet":
+        clone = AnswerSet.__new__(AnswerSet)
+        for slot in AnswerSet.__slots__:
+            setattr(clone, slot, overrides.get(slot, getattr(self, slot)))
+        return clone
 
     # -- modes -------------------------------------------------------------
 
     def certain(self) -> "AnswerSet":
         """Answers with labeled-null rows dropped (the default)."""
-        return AnswerSet(
-            self._prepared, self._values, self.MODE_CERTAIN, self._empty
-        )
+        return self._clone(_mode=self.MODE_CERTAIN)
 
     def with_nulls(self) -> "AnswerSet":
         """The answer superset including labeled-null rows."""
-        return AnswerSet(
-            self._prepared, self._values, self.MODE_WITH_NULLS, self._empty
+        return self._clone(_mode=self.MODE_WITH_NULLS)
+
+    # -- ordering and pagination -------------------------------------------
+
+    def order_by(self, *columns: object) -> "AnswerSet":
+        """Order answers by output columns (stable sort, below dedup).
+
+        Accepts the same column forms as :meth:`Query.order_by` (names,
+        ``-name`` for descending, 0-based positions, :func:`col` refs);
+        replaces any ordering declared on the query.
+        """
+        if not columns:
+            raise QueryError("order_by requires at least one column")
+        parsed = tuple(_parse_order_column(c) for c in columns)
+        spec = resolve_order_spec(parsed, self._prepared.columns)
+        return self._clone(_order=spec)
+
+    def limit(self, count: int | None) -> "AnswerSet":
+        """Keep at most ``count`` answers (after dedup, sort, offset)."""
+        return self._clone(
+            _limit=None if count is None else _check_page_arg(count, "limit")
         )
+
+    def offset(self, count: int) -> "AnswerSet":
+        """Skip the first ``count`` answers (after dedup and sort)."""
+        return self._clone(_offset=_check_page_arg(count, "offset"))
 
     # -- streaming ---------------------------------------------------------
 
@@ -1013,9 +1382,17 @@ class AnswerSet:
     def __iter__(self) -> Iterator[Row]:
         if self._empty:
             return iter(())
-        return iter(
-            self._prepared._cached_answers(self._values, self._mode)
-        )
+        if self._pinned is not None:
+            rows = self._prepared._pinned_answers(
+                self._pinned, self._values, self._mode
+            )
+        else:
+            rows = self._prepared._cached_answers(self._values, self._mode)
+        if self._order or self._limit is not None or self._offset:
+            rows = apply_row_order(
+                rows, self._order, self._limit, self._offset
+            )
+        return iter(rows)
 
     def __len__(self) -> int:
         return sum(1 for _ in self)
@@ -1051,6 +1428,12 @@ class AnswerSet:
             raise QueryError(
                 "annotated answers need a CDSS-bound prepared query "
                 "(use cdss.prepare)"
+            )
+        if self._pinned is not None:
+            raise QueryError(
+                "annotated answers read the live provenance tables and "
+                "cannot be served from a pinned snapshot; execute() "
+                "against the live system instead"
             )
         if self._empty:
             return {}
@@ -1097,7 +1480,13 @@ class AnswerSet:
                 )
             accumulator.annotate(ANSWER_PREDICATE, row, contribution)
         # AnnotatedDatabase preserves first-seen row order (dict-backed).
-        return accumulator.rows(ANSWER_PREDICATE)
+        result = accumulator.rows(ANSWER_PREDICATE)
+        if self._order or self._limit is not None or self._offset:
+            kept = apply_row_order(
+                tuple(result), self._order, self._limit, self._offset
+            )
+            result = {row: result[row] for row in kept}
+        return result
 
     def __repr__(self) -> str:
         return f"<AnswerSet [{self._mode}] of {self._prepared!r}>"

@@ -7,11 +7,49 @@ series the paper's figure reports.
 
 from __future__ import annotations
 
+import gc
 import json
+import os
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
+
+
+def efficiency_snapshot() -> dict[str, object]:
+    """Work-per-resource accounting for ``BENCH_*.json`` files.
+
+    The greenness literature (PAPERS.md, "Beyond Performance") argues
+    latency alone hides resource cost; every benchmark series therefore
+    records process CPU seconds (:func:`time.process_time`), peak RSS
+    (``resource.getrusage``; kilobytes on Linux), and cumulative GC
+    collections alongside its wall-clock metrics.  Call once at the end
+    of a run — the values are process-cumulative, so deltas between two
+    snapshots bound one phase.
+    """
+    peak_rss_kb: int | None = None
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        peak = usage.ru_maxrss
+        # ru_maxrss is bytes on macOS, kilobytes on Linux.
+        peak_rss_kb = peak // 1024 if sys.platform == "darwin" else peak
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        pass
+    return {
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "process_cpu_seconds": time.process_time(),
+        "peak_rss_kb": peak_rss_kb,
+        "gc_collections": sum(s["collections"] for s in gc.get_stats()),
+    }
+
+
+def rows_per_cpu_second(rows: float, cpu_seconds: float) -> float:
+    """Rows of useful output per CPU second (0 when unmeasurably fast)."""
+    return rows / cpu_seconds if cpu_seconds > 0 else 0.0
 
 
 @dataclass(frozen=True)
@@ -102,11 +140,13 @@ class ExperimentResult:
 
     def to_json_dict(self) -> dict[str, object]:
         """A JSON-serializable view (for ``BENCH_*.json`` perf-trajectory
-        files)."""
+        files).  Every series carries an ``efficiency`` block (CPU
+        seconds, peak RSS, GC work) next to its wall-clock metrics."""
         return {
             "format": "repro/experiment-result@1",
             "name": self.name,
             "description": self.description,
+            "efficiency": efficiency_snapshot(),
             "measurements": [
                 {"params": dict(m.params), "metrics": dict(m.metrics)}
                 for m in self.measurements

@@ -5,6 +5,7 @@ Usage::
     python -m repro quickstart            # the paper's running example
     python -m repro run bio.json          # execute a declarative SystemSpec
     python -m repro query bio.json 'ans(x, y) :- U(x, z), U(y, z)'
+    python -m repro serve bio.json --port 8080   # HTTP+JSON serving tier
     python -m repro fig4 --scale 0.5      # reproduce one figure
     python -m repro all --scale 0.25      # every figure + ablations
     python -m repro list                  # what is available
@@ -231,6 +232,39 @@ def _run_query(
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Boot the serving tier (`python -m repro serve spec.json --port N`)."""
+    from . import CDSS, SpecError
+    from .datalog.ast import DatalogError
+    from .schema import SchemaError
+    from .serve import run as serve_run
+
+    try:
+        cdss = CDSS.from_spec(
+            _load_spec(args.spec, args.index_policy, args.workers)
+        )
+        if not args.no_exchange:
+            # Start from a consistent fixpoint: the first pinned snapshot
+            # must already reflect the spec's seed data.
+            cdss.update_exchange(strategy=args.strategy)
+        serve_run(
+            cdss,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            timeout=args.timeout,
+            readers=args.readers,
+            duration=args.duration,
+        )
+    except (OSError, SpecError, DatalogError, SchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +339,77 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="override the spec's evaluation worker count (1 = sequential)",
     )
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve a SystemSpec over HTTP+JSON (snapshot-isolated reads)",
+    )
+    serve_cmd.add_argument("spec", help="path to a spec JSON file")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks a free port; the actual URL is printed)",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission: concurrent executions before queueing (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        metavar="N",
+        help="admission: queued requests before 503 rejection (default 128)",
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request execution timeout (default 30s)",
+    )
+    serve_cmd.add_argument(
+        "--readers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="reader thread-pool size (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="auto-shutdown after this many seconds (default: run forever)",
+    )
+    serve_cmd.add_argument(
+        "--no-exchange",
+        action="store_true",
+        help="skip the initial update exchange before serving",
+    )
+    serve_cmd.add_argument(
+        "--strategy",
+        choices=("incremental", "dred", "recompute"),
+        default=None,
+        help="maintenance strategy for the initial exchange",
+    )
+    serve_cmd.add_argument(
+        "--index-policy",
+        choices=("eager", "deferred"),
+        default=None,
+        help="override the spec's storage index-maintenance policy",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's evaluation worker count (1 = sequential)",
+    )
     sub.add_parser("list", help="list available experiments")
     for name, (description, _) in EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
@@ -338,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
             args.index_policy,
             args.workers,
         )
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:<20} {description}")

@@ -1,0 +1,51 @@
+"""The concurrent serving tier: snapshot-isolated reads, asyncio front door.
+
+This package is the "HTAP front door" of ROADMAP item 4 — the layer that
+lets a CDSS node *serve* queries while updates are being exchanged:
+
+* :mod:`repro.serve.protocol` — the HTTP+JSON wire protocol: value
+  encoding, the prepared-statement registry (prepare once, re-execute by
+  id with zero replanning);
+* :mod:`repro.serve.snapshots` — copy-on-publish snapshot management over
+  :meth:`Database.pin <repro.storage.database.Database.pin>`: readers
+  always see the last consistent fixpoint, never a torn mid-exchange
+  state;
+* :mod:`repro.serve.admission` — bounded in-flight semaphore, queue-depth
+  rejection, and the counters behind ``GET /stats``;
+* :mod:`repro.serve.server` — the asyncio server
+  (``python -m repro serve spec.json --port N``): reads run in a thread
+  pool against pinned snapshots, writes serialize behind an exchange lock
+  that readers never take;
+* :mod:`repro.serve.client` — a small synchronous client
+  (:class:`ServeClient`) used by the examples, the tests, and the
+  closed-loop serving benchmark.
+"""
+
+from .admission import AdmissionController, QueueFullError
+from .client import ServeClient, ServeHTTPError
+from .protocol import (
+    ServeError,
+    Statement,
+    StatementRegistry,
+    decode_value,
+    encode_row,
+    encode_value,
+)
+from .server import ReproServer, run
+from .snapshots import SnapshotManager
+
+__all__ = [
+    "AdmissionController",
+    "QueueFullError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeHTTPError",
+    "SnapshotManager",
+    "Statement",
+    "StatementRegistry",
+    "decode_value",
+    "encode_row",
+    "encode_value",
+    "run",
+]

@@ -1,0 +1,469 @@
+"""The asyncio front door: HTTP+JSON serving over a live CDSS node.
+
+``python -m repro serve spec.json --port N`` boots one of these.  The
+concurrency architecture (the whole point of the tier) in four rules:
+
+1. **Reads never block on writes.**  Query/program executions run in a
+   reader thread pool against the :class:`~repro.serve.snapshots.
+   SnapshotManager`'s current pinned snapshot — the last consistent
+   fixpoint.  They take the admission semaphore, never the exchange lock.
+2. **Writes serialize behind the exchange lock.**  Edits, publishes, and
+   statement preparation run on a single writer thread under an
+   :class:`asyncio.Lock`; a publish pins a fresh snapshot *before*
+   releasing the lock (copy-on-publish), so the next read — even one
+   admitted mid-publish — sees either the old fixpoint or the new one,
+   never anything in between.
+3. **Degradation is graceful.**  Beyond ``max_inflight`` executions +
+   ``max_queue`` waiters a request is rejected immediately with 503;
+   per-request timeouts return 504.  Counters for all of it live under
+   ``GET /stats``.
+4. **Annotated answers are writes.**  Provenance expressions read the
+   live provenance tables, so ``mode=annotated`` executes on the write
+   path (exchange lock held) rather than against a snapshot.
+
+Wire protocol (all bodies JSON):
+
+========  =============  ====================================================
+method    path           body / effect
+========  =============  ====================================================
+GET       /health        liveness + pinned snapshot version
+GET       /stats         admission, snapshot, registry, request counters
+GET       /statements    registered prepared statements
+POST      /prepare       {kind, text, params?, answer?} → {statement, ...}
+POST      /execute       {statement, bindings?, mode?, order?, limit?,
+                         offset?} → {rows, count, pinned_version, ...}
+POST      /query         /prepare + /execute in one round trip
+POST      /edit          {edits: [{op, relation, row}, ...]} → {staged}
+POST      /publish       {peers?, strategy?} → exchange report summary
+POST      /shutdown      graceful shutdown (drains in-flight work)
+========  =============  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from .admission import AdmissionController
+from .protocol import (
+    KIND_QUERY,
+    MODE_ANNOTATED,
+    ServeError,
+    StatementRegistry,
+    decode_value,
+    parse_execute_args,
+)
+from .snapshots import SnapshotManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cdss import CDSS
+
+_MAX_BODY = 8 * 1024 * 1024
+_STREAM_LIMIT = 1 * 1024 * 1024
+
+
+class ReproServer:
+    """One serving node over one :class:`~repro.core.cdss.CDSS`."""
+
+    def __init__(
+        self,
+        cdss: "CDSS",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        max_queue: int = 128,
+        timeout: float = 30.0,
+        readers: int = 4,
+    ) -> None:
+        self.cdss = cdss
+        self.host = host
+        self.port = port
+        self.registry = StatementRegistry(cdss)
+        self.admission = AdmissionController(max_inflight, max_queue, timeout)
+        self.snapshots = SnapshotManager(cdss)
+        self._readers = ThreadPoolExecutor(
+            max_workers=readers, thread_name_prefix="repro-serve-read"
+        )
+        self._writer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-write"
+        )
+        #: Serializes every mutation of the live system.  Readers never
+        #: acquire it — that is the no-starvation guarantee.
+        self._exchange_lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+        self._server: asyncio.Server | None = None
+        self.requests = 0
+        self.errors = 0
+        self.publishes = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_STREAM_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain in-flight executions before tearing the node down.
+        self._readers.shutdown(wait=True)
+        self._writer.shutdown(wait=True)
+
+    async def serve_until_shutdown(self, duration: float | None = None) -> None:
+        """Serve until ``POST /shutdown`` (or ``duration`` seconds pass)."""
+        try:
+            if duration is None:
+                await self._shutdown.wait()
+            else:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._shutdown.wait(), duration)
+        finally:
+            await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                try:
+                    method, path, headers = self._parse_head(raw)
+                    length = int(headers.get("content-length", "0") or "0")
+                    if length > _MAX_BODY:
+                        raise ServeError(
+                            "request body too large", status=413, code="too_large"
+                        )
+                    body_bytes = (
+                        await reader.readexactly(length) if length else b""
+                    )
+                except ServeError as exc:
+                    await self._respond(
+                        writer, exc.status, exc.payload(), close=True
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                status, payload = await self._handle_request(
+                    method, path, body_bytes
+                )
+                try:
+                    await self._respond(
+                        writer, status, payload, close=not keep_alive
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    def _parse_head(raw: bytes) -> tuple[str, str, dict[str, str]]:
+        lines = raw.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise ServeError("malformed request line", code="bad_request")
+        method, target = parts[0].upper(), parts[1]
+        path = target.partition("?")[0]
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, path, headers
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        close: bool,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Status"
+        )
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _handle_request(
+        self, method: str, path: str, body_bytes: bytes
+    ) -> tuple[int, object]:
+        self.requests += 1
+        try:
+            if body_bytes:
+                try:
+                    body = json.loads(body_bytes)
+                except ValueError:
+                    raise ServeError(
+                        "request body is not valid JSON", code="bad_json"
+                    ) from None
+                if not isinstance(body, Mapping):
+                    raise ServeError(
+                        "request body must be a JSON object", code="bad_json"
+                    )
+            else:
+                body = {}
+            return 200, await self._dispatch(method, path, body)
+        except ServeError as exc:
+            self.errors += 1
+            return exc.status, exc.payload()
+        except Exception as exc:  # noqa: BLE001 - the front door must not die
+            self.errors += 1
+            return 500, {
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: Mapping[str, object]
+    ) -> object:
+        if method == "GET":
+            if path == "/health":
+                return {
+                    "ok": True,
+                    "snapshot_version": self.snapshots.current.version,
+                    "statements": len(self.registry),
+                }
+            if path == "/stats":
+                return self._stats()
+            if path == "/statements":
+                return {"statements": self.registry.describe()}
+            raise ServeError(f"unknown path {path!r}", 404, "not_found")
+        if method != "POST":
+            raise ServeError(
+                f"unsupported method {method}", 405, "bad_method"
+            )
+        if path == "/prepare":
+            return await self._do_prepare(body)
+        if path == "/execute":
+            return await self._do_execute(body, self.registry.get(body.get("statement")))
+        if path == "/query":
+            prepared = await self._do_prepare(body)
+            statement = self.registry.get(prepared["statement"])
+            return await self._do_execute(body, statement)
+        if path == "/edit":
+            return await self._do_edit(body)
+        if path == "/publish":
+            return await self._do_publish(body)
+        if path == "/shutdown":
+            self._shutdown.set()
+            return {"ok": True, "shutting_down": True}
+        raise ServeError(f"unknown path {path!r}", 404, "not_found")
+
+    def _stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "publishes": self.publishes,
+            "pending_edits": self.cdss.pending_edits(),
+            "statements": len(self.registry),
+            "admission": self.admission.stats(),
+            "snapshot": self.snapshots.stats(),
+        }
+
+    # -- write path (exchange lock + single writer thread) -----------------
+
+    async def _write(self, fn: Callable[[], object]) -> object:
+        loop = asyncio.get_running_loop()
+        async with self._exchange_lock:
+            return await loop.run_in_executor(self._writer, fn)
+
+    async def _do_prepare(self, body: Mapping[str, object]) -> dict:
+        kind = body.get("kind", KIND_QUERY)
+        text = body.get("text")
+        params = body.get("params", ())
+        answer = body.get("answer", "ans")
+        if not isinstance(params, (list, tuple)):
+            raise ServeError("params must be a list of names")
+        if not isinstance(answer, str):
+            raise ServeError("answer must be a string")
+        # Planning reads live statistics: a write-path operation.
+        return await self._write(
+            lambda: self.registry.prepare(kind, text, params, answer).describe()
+        )
+
+    async def _do_execute(self, body, statement) -> dict:
+        args = parse_execute_args(body)
+        run = partial(
+            statement.run,
+            args["bindings"],
+            mode=args["mode"],
+            order=args["order"],
+            limit=args["limit"],
+            offset=args["offset"],
+        )
+        if args["mode"] == MODE_ANNOTATED:
+            if statement.kind != KIND_QUERY:
+                raise ServeError(
+                    "annotated answers are not available for programs",
+                    code="bad_mode",
+                )
+            # Live provenance tables: serialize with writes.
+            async with self.admission.slot():
+                return await self._write(partial(run, snapshot=None))
+        loop = asyncio.get_running_loop()
+        async with self.admission.slot():
+            # The snapshot reference is loaded AFTER admission: a request
+            # admitted mid-publish reads the freshest pinned fixpoint.
+            snapshot = self.snapshots.current
+            future = loop.run_in_executor(
+                self._readers, partial(run, snapshot=snapshot)
+            )
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(future), self.admission.timeout
+                )
+            except asyncio.TimeoutError:
+                self.admission.timed_out()
+                # The worker thread cannot be killed; detach the future so
+                # its eventual result (or error) is silently discarded.
+                future.add_done_callback(lambda f: f.exception())
+                raise ServeError(
+                    f"execution exceeded {self.admission.timeout}s",
+                    status=504,
+                    code="timeout",
+                ) from None
+
+    async def _do_edit(self, body: Mapping[str, object]) -> dict:
+        edits = body.get("edits")
+        if not isinstance(edits, list) or not edits:
+            raise ServeError("edit requires a non-empty 'edits' list")
+        normalized: list[tuple[str, str, tuple]] = []
+        for edit in edits:
+            if not isinstance(edit, Mapping):
+                raise ServeError("each edit must be an object")
+            op = edit.get("op")
+            relation = edit.get("relation")
+            row = edit.get("row")
+            if op not in ("insert", "delete"):
+                raise ServeError(f"unknown edit op {op!r}")
+            if not isinstance(relation, str):
+                raise ServeError("edit relation must be a string")
+            if not isinstance(row, list):
+                raise ServeError("edit row must be a list of values")
+            normalized.append(
+                (op, relation, tuple(decode_value(v) for v in row))
+            )
+
+        def apply() -> dict:
+            batch = self.cdss.batch()
+            for op, relation, row in normalized:
+                if op == "insert":
+                    batch.insert(relation, row)
+                else:
+                    batch.delete(relation, row)
+            return {"staged": batch.commit()}
+
+        try:
+            return await self._write(apply)  # type: ignore[return-value]
+        except ServeError:
+            raise
+        except Exception as exc:
+            raise ServeError(
+                f"{type(exc).__name__}: {exc}", code="edit_error"
+            ) from exc
+
+    async def _do_publish(self, body: Mapping[str, object]) -> dict:
+        peers = body.get("peers")
+        strategy = body.get("strategy")
+        if peers is not None and not isinstance(peers, list):
+            raise ServeError("peers must be a list of peer names")
+        if strategy is not None and not isinstance(strategy, str):
+            raise ServeError("strategy must be a string")
+
+        def publish() -> dict:
+            report = self.cdss.update_exchange(
+                peers=peers, strategy=strategy
+            )
+            # Copy-on-publish: pin the new fixpoint while the exchange
+            # lock is still held, so no later write can tear the copy.
+            snapshot = self.snapshots.refresh()
+            return {
+                "ok": True,
+                "strategy": report.strategy,
+                "seconds": report.seconds,
+                "inserted": report.inserted,
+                "deleted": report.deleted,
+                "snapshot_version": snapshot.version,
+            }
+
+        try:
+            result = await self._write(publish)
+        except Exception as exc:
+            raise ServeError(
+                f"{type(exc).__name__}: {exc}", status=500, code="publish_error"
+            ) from exc
+        self.publishes += 1
+        return result  # type: ignore[return-value]
+
+
+def run(
+    cdss: "CDSS",
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_inflight: int = 64,
+    max_queue: int = 128,
+    timeout: float = 30.0,
+    readers: int = 4,
+    duration: float | None = None,
+) -> None:
+    """Boot a server and block until shutdown — the CLI entry point.
+
+    Prints ``repro-serve listening on http://host:port`` once the socket
+    is bound (with the *actual* port, so ``--port 0`` is scriptable).
+    """
+
+    async def main() -> None:
+        server = ReproServer(
+            cdss,
+            host=host,
+            port=port,
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            timeout=timeout,
+            readers=readers,
+        )
+        await server.start()
+        print(
+            f"repro-serve listening on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        await server.serve_until_shutdown(duration)
+
+    asyncio.run(main())

@@ -1,0 +1,66 @@
+"""Copy-on-publish snapshot management: the serving tier's read view.
+
+The snapshot-isolation rule, in one paragraph: **readers never touch the
+live database**.  Every read executes against the :class:`~repro.storage.
+snapshot.DatabaseSnapshot` that was pinned at the end of the last
+publish/exchange — a consistent fixpoint by construction.  When a write
+completes, the writer (still holding the exchange lock, still in the
+writer thread) pins a *new* snapshot and swaps the ``current`` reference;
+in-flight readers keep the old snapshot alive until they finish, new
+readers pick up the new one.  Nothing ever blocks a reader, and no reader
+can ever observe a torn mid-fixpoint state.
+
+Only the ``R__o`` output tables are pinned — they are the complete read
+set of rewritten queries and programs (provenance-annotated answers need
+the live provenance tables and are served on the write path instead).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..schema.internal import output_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cdss import CDSS
+    from ..storage.snapshot import DatabaseSnapshot
+
+
+class SnapshotManager:
+    """Holds the serving tier's current pinned snapshot.
+
+    ``current`` is swapped by one atomic attribute assignment, so readers
+    on the event loop (or in reader threads) may load it without any
+    lock; :meth:`refresh` is called from the writer thread after every
+    completed publish/exchange (copy-on-publish) while the exchange lock
+    is still held.
+    """
+
+    def __init__(self, cdss: "CDSS") -> None:
+        self._cdss = cdss
+        self.refreshes = 0
+        self.current: "DatabaseSnapshot" = self._pin()
+
+    def _pin(self) -> "DatabaseSnapshot":
+        system = self._cdss.system()
+        names = tuple(
+            output_name(relation)
+            for relation in system.internal.relation_names()
+        )
+        return system.db.pin(names)
+
+    def refresh(self) -> "DatabaseSnapshot":
+        """Pin the current fixpoint and publish it to readers."""
+        snapshot = self._pin()
+        self.current = snapshot
+        self.refreshes += 1
+        return snapshot
+
+    def stats(self) -> dict:
+        snapshot = self.current
+        return {
+            "version": snapshot.version,
+            "refreshes": self.refreshes,
+            "relations": len(snapshot.names),
+            "rows": snapshot.total_rows(),
+        }

@@ -19,6 +19,7 @@ from .instance import ArityError, Instance, Row, StorageError
 from .kvstore import KeyValueStore, RelationStore
 from .persistence import checkpoint, checkpoint_equal, restore
 from .replication import ChangeFeed, apply_ops, build_replica, export_snapshot
+from .snapshot import DatabaseSnapshot, pin_database
 from .stats import StatisticsCache, TableStats, compute_stats
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "BTreeError",
     "ChangeFeed",
     "Database",
+    "DatabaseSnapshot",
     "DeferredIndexSet",
     "EagerIndexSet",
     "INDEX_POLICIES",
@@ -48,5 +50,6 @@ __all__ = [
     "compute_stats",
     "export_snapshot",
     "make_index_set",
+    "pin_database",
     "restore",
 ]

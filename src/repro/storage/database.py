@@ -222,6 +222,20 @@ class Database:
 
         return export_snapshot(self)
 
+    def pin(self, names: Iterable[str] | None = None):
+        """Capture a version-pinned, immutable snapshot of ``names``.
+
+        Returns a :class:`~repro.storage.snapshot.DatabaseSnapshot` whose
+        instances are private copies with warm indexes; subsequent
+        mutations of this database are invisible to it.  ``names``
+        defaults to every relation — the serving tier pins only the
+        ``R__o`` output tables its queries read.  Capture from a
+        quiescent state (between exchanges) to pin a consistent fixpoint.
+        """
+        from .snapshot import DatabaseSnapshot
+
+        return DatabaseSnapshot(self, names)
+
     # -- statistics ----------------------------------------------------------
 
     def stats_for(self, name: str) -> TableStats:

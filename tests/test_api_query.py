@@ -1,6 +1,7 @@
 """Tests for the first-class query subsystem (prepared / parameterized /
 plan-cached queries, structured-predicate pushdown, answer modes)."""
 
+import threading
 import warnings
 
 import pytest
@@ -715,3 +716,176 @@ class TestResultCache:
         assert sorted(answers) == sorted(answers.to_rows())
         assert prepared.result_cache_misses == 1
         assert prepared.result_cache_hits >= 3
+
+
+class TestOrderLimitOffset:
+    """ORDER BY / LIMIT / OFFSET: stable sort on projected columns,
+    applied below dedup, on both Query and AnswerSet."""
+
+    def test_order_by_names(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i, n) :- B(i, n)")
+        assert list(prepared.execute().order_by("i", "n")) == [
+            (1, 3),
+            (3, 2),
+            (3, 3),
+            (3, 5),
+        ]
+
+    def test_descending_and_positions(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i, n) :- B(i, n)")
+        assert list(prepared.execute().order_by("-i", "-n")) == [
+            (3, 5),
+            (3, 3),
+            (3, 2),
+            (1, 3),
+        ]
+        # 0-based output positions: sort by the second, then first column.
+        assert list(prepared.execute().order_by(1, 0)) == [
+            (3, 2),
+            (1, 3),
+            (3, 3),
+            (3, 5),
+        ]
+
+    def test_limit_offset_paging(self):
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i, n) :- B(i, n)")
+        ordered = prepared.execute().order_by("i", "n")
+        assert list(ordered.limit(2)) == [(1, 3), (3, 2)]
+        assert list(ordered.offset(1)) == [(3, 2), (3, 3), (3, 5)]
+        assert list(ordered.offset(1).limit(1)) == [(3, 2)]
+        assert list(ordered.offset(9)) == []
+        assert list(ordered.limit(0)) == []
+
+    def test_order_applies_below_dedup(self):
+        cdss = paper_cdss()
+        # B has rows with duplicate i=3: projection dedups first, so
+        # LIMIT counts distinct answers, not derivations.
+        prepared = cdss.prepare("ans(i) :- B(i, n)")
+        assert list(prepared.execute().order_by("i")) == [(1,), (3,)]
+        assert list(prepared.execute().order_by("-i").limit(1)) == [(3,)]
+
+    def test_query_level_matches_answer_level(self):
+        cdss = paper_cdss()
+        query = Query.parse("ans(i, n) :- B(i, n)").order_by("-i", "-n")
+        via_query = list(cdss.prepare(query.limit(2).offset(1)).execute())
+        via_answers = list(
+            cdss.prepare("ans(i, n) :- B(i, n)")
+            .execute()
+            .order_by("-i", "-n")
+            .limit(2)
+            .offset(1)
+        )
+        assert via_query == via_answers == [(3, 3), (3, 2)]
+
+    def test_builder_order_uses_projection_names(self):
+        cdss = paper_cdss()
+        query = Query.scan("B").order_by("-id", "-nam").limit(1)
+        assert list(cdss.prepare(query).execute()) == [(3, 5)]
+
+    def test_col_reference_accepted(self):
+        cdss = paper_cdss()
+        query = Query.scan("B").order_by(col("nam"), col("id"))
+        assert list(cdss.prepare(query).execute()) == [
+            (3, 2),
+            (1, 3),
+            (3, 3),
+            (3, 5),
+        ]
+
+    def test_mixed_type_columns_sort_deterministically(self):
+        cdss = paper_cdss()
+        # with_nulls answers put labeled nulls (SkolemValue) next to ints
+        # in the same column; ordering falls back to a total type-aware
+        # key instead of raising TypeError.
+        prepared = cdss.prepare("ans(n, c) :- U(n, c)")
+        first = list(prepared.execute().with_nulls().order_by("c", "n"))
+        second = list(prepared.execute().with_nulls().order_by("c", "n"))
+        assert first == second
+        assert len(first) == len(prepared.execute().with_nulls().to_rows())
+
+    def test_annotated_respects_order_and_limit(self):
+        cdss = paper_cdss()
+        annotated = (
+            cdss.prepare("ans(i, n) :- B(i, n)")
+            .execute()
+            .order_by("-i", "-n")
+            .limit(2)
+            .annotated()
+        )
+        assert list(annotated) == [(3, 5), (3, 3)]
+        assert all(expr != ZERO for expr in annotated.values())
+
+    def test_bad_arguments_rejected(self):
+        cdss = paper_cdss()
+        answers = cdss.prepare("ans(i, n) :- B(i, n)").execute()
+        with pytest.raises(QueryError):
+            answers.order_by("zz")
+        with pytest.raises(QueryError):
+            answers.order_by(7)
+        with pytest.raises(QueryError):
+            answers.order_by(1.5)
+        with pytest.raises(QueryError):
+            answers.order_by()
+        with pytest.raises(QueryError):
+            answers.limit(-1)
+        with pytest.raises(QueryError):
+            answers.offset(-2)
+        with pytest.raises(QueryError):
+            Query.parse("ans(i) :- B(i, n)").order_by()
+
+
+class TestRebindRace:
+    def test_concurrent_executes_rebind_exactly_once(self, monkeypatch):
+        """After a reconfiguration, racing executes re-bind exactly once
+        (single check-and-swap under the rebind lock) and all threads
+        observe the same fresh binding."""
+        import repro.api.query as query_module
+
+        cdss = paper_cdss()
+        prepared = cdss.prepare("ans(i, n) :- B(i, n)")
+        prepared.execute().to_rows()
+
+        real_binding = query_module._Binding
+        constructions = []
+        construction_lock = threading.Lock()
+
+        class CountingBinding(real_binding):
+            def __init__(self, *args, **kwargs):
+                with construction_lock:
+                    constructions.append(threading.get_ident())
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(query_module, "_Binding", CountingBinding)
+
+        # Reconfigure: the next execute sees a rebuilt system.
+        cdss.add_mapping("m5", "U(n, c) -> B(c, n)")
+        cdss.update_exchange()
+
+        workers = 8
+        barrier = threading.Barrier(workers)
+        bindings = []
+        errors = []
+
+        def racer():
+            try:
+                barrier.wait()
+                bindings.append(prepared._current_binding())
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=racer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(constructions) == 1
+        assert all(binding is bindings[0] for binding in bindings)
+        # The rebound query answers against the *new* configuration.
+        assert prepared.execute().to_rows() == cdss.query(
+            "ans(i, n) :- B(i, n)"
+        )
