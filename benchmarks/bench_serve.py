@@ -347,10 +347,12 @@ def run_mid_exchange(
                 )
         writer.edit(edits)
         health_before = writer.health()
+        change_cursor = writer.changes()["version"]
         publish_begin = time.perf_counter()
         report = writer.publish()
         publish_end = time.perf_counter()
         time.sleep(0.3)  # post-publish tail against the fresh snapshot
+        stream = writer.changes(since=change_cursor)
         stats = writer.stats()
     finally:
         stop.set()
@@ -371,6 +373,15 @@ def run_mid_exchange(
         "snapshot_version_before": health_before["snapshot_version"],
         "snapshot_version_after": report["snapshot_version"],
         "staged_edits": len(edits),
+    }
+    summary["changes"] = {
+        "version": stream["version"],
+        "batches": len(stream["changes"]),
+        "inserted_rows": sum(
+            len(entry["inserted"])
+            for batch in stream["changes"]
+            for entry in batch["relations"].values()
+        ),
     }
     summary["admission"] = stats["admission"]
     summary["snapshot"] = stats["snapshot"]
@@ -476,7 +487,9 @@ def run_subprocess_smoke(cdss, generator, keys, sessions, requests) -> dict:
                         for rel, row in update.rows.items()
                     ]
                 )
+                change_cursor = writer.changes()["version"]
                 publish = writer.publish()
+                stream = writer.changes(since=change_cursor)
             for t in threads:
                 t.join()
             wall = time.perf_counter() - begin
@@ -495,6 +508,12 @@ def run_subprocess_smoke(cdss, generator, keys, sessions, requests) -> dict:
             "inserted": publish["inserted"],
             "snapshot_version": publish["snapshot_version"],
         }
+        summary["changes"] = {
+            "version": stream["version"],
+            "batches": len(stream["changes"]),
+        }
+        if not stream["changes"]:
+            raise RuntimeError("publish produced no change-stream batch")
         summary["admission"] = stats["admission"]
         summary["clean_exit"] = returncode == 0
         summary["returncode"] = returncode

@@ -43,6 +43,16 @@ applications, and the engine's plan-cache hit rate.  Run directly::
     PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py --quick
     PYTHONPATH=src python benchmarks/bench_update_exchange_scale.py --only query
 
+A **mixed-churn series** (``"mixed_churn"`` in the exchange JSON)
+interleaves insertion, deletion, and trust-revocation batches — plus a
+``combined`` batch staging all three in one publish — against a live
+system, recording per-phase medians across batches.  Revocations delete
+*derived* (non-locally-published) output rows, which ``publish`` turns
+into rejection insertions: the trust-revocation path of the update
+exchange.  This is the deletion-shaped workload the weighted delta core
+targets; ``speedup_vs_pr6`` compares it against an embedded pre-refactor
+baseline.
+
 ``--baseline FILE`` embeds a previously saved run (e.g. from the commit
 before an optimization) under ``"baseline"`` and prints the speedups
 (exchange series only).
@@ -65,7 +75,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.bench.harness import efficiency_snapshot  # noqa: E402
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
-RESULT_FORMAT = "repro/bench-update-exchange@3"
+RESULT_FORMAT = "repro/bench-update-exchange@4"
 QUERY_RESULT_FORMAT = "repro/bench-query@1"
 
 INDEX_POLICIES = ("eager", "deferred")
@@ -77,6 +87,8 @@ PHASES = (
     "serving",
     "serving_cold",
 )
+# The interleaved-churn phases: one update-exchange timing per batch kind.
+MIXED_PHASES = ("insertion", "deletion", "revocation", "combined")
 
 
 def _timed(fn) -> float:
@@ -424,6 +436,8 @@ def run_benchmark(
     string_base_per_peer: int | None = None,
     workers: int | None = None,
     workers_counts: tuple[int, ...] | None = None,
+    churn_per_peer: int | None = None,
+    churn_batches: int = 3,
 ) -> dict[str, object]:
     series = run_policy_series(
         peer_counts,
@@ -453,6 +467,20 @@ def run_benchmark(
         else next(iter(series["policies"]))
     )
     result["cells"] = series["policies"][primary]["cells"]
+    if churn_per_peer:
+        print(
+            f"mixed-churn series: churn={churn_per_peer}/peer "
+            f"batches={churn_batches}"
+        )
+        result["mixed_churn"] = run_mixed_churn_series(
+            peer_counts,
+            base_per_peer,
+            churn_per_peer,
+            churn_batches,
+            seed=seed,
+            repeat=repeat,
+            workers=workers,
+        )
     if string_base_per_peer:
         print(
             f"string-dataset series: base={string_base_per_peer}/peer "
@@ -584,6 +612,224 @@ def _workers_speedup(
                     str(cell["peers"])
                 ] = base[phase]["seconds"] / seconds
     return out
+
+
+# ---------------------------------------------------------------------------
+# Mixed-churn series (interleaved insert / delete / trust-revocation batches)
+# ---------------------------------------------------------------------------
+
+
+def _revocation_picks(
+    cdss, generator, local_rows: dict[str, set], per_peer: int
+) -> list[tuple[str, tuple]]:
+    """Up to ``per_peer`` derived output rows per peer, for revocation.
+
+    A batch ``delete`` of a row the peer never published locally is
+    classified by ``publish`` as a *rejection insertion* — the paper's
+    trust-revocation edit.  Derived rows are exactly the output rows not
+    in the peer's tracked local contributions; the repr sort keeps the
+    batch composition deterministic across processes (SkolemValue /
+    labeled-null hashes are not)."""
+    picks: list[tuple[str, tuple]] = []
+    for layout in generator.layouts:
+        needed = per_peer
+        for part in range(len(layout.partitions)):
+            if needed <= 0:
+                break
+            name = layout.relation_name(part)
+            owned = local_rows.get(name, set())
+            derived = sorted(
+                (
+                    row
+                    for row in cdss.relation(name).to_rows()
+                    if row not in owned
+                ),
+                key=repr,
+            )
+            take = derived[:needed]
+            picks.extend((name, row) for row in take)
+            needed -= len(take)
+    return picks
+
+
+def run_mixed_churn_cell(
+    peers: int,
+    base_per_peer: int,
+    churn_per_peer: int,
+    batches: int,
+    seed: int,
+    index_policy: str = PRIMARY_POLICY,
+    workers: int | None = None,
+) -> tuple[dict[str, object], dict[str, list[dict[str, object]]]]:
+    """One mixed-churn cell: base publish, then ``batches`` rounds of
+    interleaved insertion / deletion / revocation / combined batches,
+    each followed by one timed ``update_exchange``.
+
+    Returns ``(metadata, samples)`` where ``samples`` maps each of
+    ``MIXED_PHASES`` to one timing dict per batch round.
+    """
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    workers = 1 if workers is None else workers
+    cdss = _build_cdss(generator, index_policy, workers)
+
+    # Locally published rows per relation, mirrored from the staged
+    # updates: the complement (within an output view) is derived rows,
+    # the revocation targets.
+    local_rows: dict[str, set] = {}
+
+    def _track(updates, inserted: bool) -> None:
+        for update in updates:
+            for relation, row in update.rows.items():
+                rows = local_rows.setdefault(relation, set())
+                (rows.add if inserted else rows.discard)(row)
+
+    base_updates = generator.insertions(base_per_peer)
+    generator.record_insertions(cdss, base_updates)
+    _track(base_updates, True)
+    base_seconds = _timed(cdss.update_exchange)
+
+    samples: dict[str, list[dict[str, object]]] = {
+        phase: [] for phase in MIXED_PHASES
+    }
+
+    def _run_phase(phase: str, stage) -> None:
+        batch_rows = stage()
+        before = _engine_stats(cdss)
+        seconds, cpu_seconds = _timed_cpu(cdss.update_exchange)
+        stats = _stats_delta(_engine_stats(cdss), before)
+        samples[phase].append(
+            {
+                "seconds": seconds,
+                "cpu_seconds": cpu_seconds,
+                "batch_rows": batch_rows,
+                **stats,
+            }
+        )
+
+    def _stage_insert() -> int:
+        updates = generator.insertions(churn_per_peer)
+        staged = generator.record_insertions(cdss, updates)
+        _track(updates, True)
+        return staged
+
+    def _stage_delete() -> int:
+        updates = generator.deletions(churn_per_peer)
+        staged = generator.record_deletions(cdss, updates)
+        _track(updates, False)
+        return staged
+
+    def _stage_revoke() -> int:
+        picks = _revocation_picks(cdss, generator, local_rows, churn_per_peer)
+        with cdss.batch() as tx:
+            for relation, row in picks:
+                tx.delete(relation, row)
+        return len(picks)
+
+    def _stage_combined() -> int:
+        inserted = generator.insertions(churn_per_peer)
+        deleted = generator.deletions(churn_per_peer)
+        revoked = _revocation_picks(
+            cdss, generator, local_rows, churn_per_peer
+        )
+        with cdss.batch() as tx:
+            for update in inserted:
+                for relation, row in update.rows.items():
+                    tx.insert(relation, row)
+            for update in deleted:
+                for relation, row in update.rows.items():
+                    tx.delete(relation, row)
+            for relation, row in revoked:
+                tx.delete(relation, row)
+            staged = len(tx)
+        _track(inserted, True)
+        _track(deleted, False)
+        return staged
+
+    for _ in range(max(1, batches)):
+        _run_phase("insertion", _stage_insert)
+        _run_phase("deletion", _stage_delete)
+        _run_phase("revocation", _stage_revoke)
+        _run_phase("combined", _stage_combined)
+
+    metadata: dict[str, object] = {
+        "peers": peers,
+        "base_per_peer": base_per_peer,
+        "churn_per_peer": churn_per_peer,
+        "batches": max(1, batches),
+        "index_policy": index_policy,
+        "workers": workers,
+        "base_publish": {"seconds": base_seconds},
+        "total_tuples": cdss.system().total_tuples(),
+    }
+    return metadata, samples
+
+
+def _median_phase(samples: list[dict[str, object]]) -> dict[str, object]:
+    """The median-wall-time sample (real counters), plus ``seconds_all``."""
+    ordered = sorted(samples, key=lambda sample: sample["seconds"])
+    median = dict(ordered[len(ordered) // 2])
+    median["seconds_all"] = sorted(s["seconds"] for s in samples)
+    return median
+
+
+def run_mixed_churn_series(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    churn_per_peer: int,
+    batches: int,
+    seed: int = 0,
+    repeat: int = 1,
+    index_policy: str = PRIMARY_POLICY,
+    workers: int | None = None,
+) -> dict[str, object]:
+    """The mixed-churn series: per peer count, ``repeat`` fresh cells of
+    ``batches`` interleaved batch rounds, pooled into per-phase medians."""
+    cells: list[dict[str, object]] = []
+    for peers in peer_counts:
+        pooled: dict[str, list[dict[str, object]]] = {
+            phase: [] for phase in MIXED_PHASES
+        }
+        metadata: dict[str, object] = {}
+        for _ in range(max(1, repeat)):
+            metadata, samples = run_mixed_churn_cell(
+                peers,
+                base_per_peer,
+                churn_per_peer,
+                batches,
+                seed,
+                index_policy=index_policy,
+                workers=workers,
+            )
+            for phase in MIXED_PHASES:
+                pooled[phase].extend(samples[phase])
+        cell = dict(metadata)
+        cell["samples"] = max(1, repeat) * max(1, batches)
+        for phase in MIXED_PHASES:
+            cell[phase] = _median_phase(pooled[phase])
+        cells.append(cell)
+        print(
+            f"  [mixed-churn] peers={peers:3d}"
+            f"  insertion={cell['insertion']['seconds']:.3f}s"
+            f"  deletion={cell['deletion']['seconds']:.3f}s"
+            f"  revocation={cell['revocation']['seconds']:.3f}s"
+            f"  combined={cell['combined']['seconds']:.3f}s"
+        )
+    return {
+        "workload": {
+            "dataset": "integer",
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "churn_per_peer": churn_per_peer,
+            "batches": max(1, batches),
+            "seed": seed,
+            "repeat": repeat,
+            "index_policy": index_policy,
+            "workers": workers if workers is not None else 1,
+        },
+        "cells": cells,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -737,7 +983,9 @@ def run_query_benchmark(
 
 
 def _speedups(
-    baseline: dict[str, object], current: dict[str, object]
+    baseline: dict[str, object],
+    current: dict[str, object],
+    phases: tuple[str, ...] = PHASES,
 ) -> dict[str, dict[str, float]]:
     """Per-peer-count baseline/current wall-time ratios, keyed by phase."""
     by_peers = {
@@ -748,7 +996,7 @@ def _speedups(
         base = by_peers.get(cell["peers"])
         if base is None:
             continue
-        for phase in PHASES:
+        for phase in phases:
             if phase not in cell or phase not in base:
                 continue  # older baselines predate the deletion series
             current_seconds = cell[phase]["seconds"]
@@ -817,6 +1065,20 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 1 2 4, or 1 2 with --quick; pass no values to skip)",
     )
     parser.add_argument(
+        "--churn",
+        type=int,
+        default=None,
+        help="entries/peer per mixed-churn batch (default: --insert; "
+        "0 disables the mixed-churn series)",
+    )
+    parser.add_argument(
+        "--churn-batches",
+        type=int,
+        default=None,
+        help="interleaved batch rounds per mixed-churn cell "
+        "(default: 3, or 2 with --quick)",
+    )
+    parser.add_argument(
         "--string-base",
         type=int,
         default=None,
@@ -877,6 +1139,12 @@ def main(argv: list[str] | None = None) -> int:
         workers_counts = (1, 2) if args.quick else (1, 2, 4)
     else:
         workers_counts = tuple(args.workers_counts)
+    churn = args.churn if args.churn is not None else insert
+    churn_batches = (
+        args.churn_batches
+        if args.churn_batches is not None
+        else (2 if args.quick else 3)
+    )
 
     if args.only in ("all", "exchange"):
         print(
@@ -894,12 +1162,34 @@ def main(argv: list[str] | None = None) -> int:
             string_base_per_peer=string_base,
             workers=args.workers,
             workers_counts=workers_counts,
+            churn_per_peer=churn,
+            churn_batches=churn_batches,
         )
 
         if args.baseline is not None and args.baseline.exists():
             baseline = json.loads(args.baseline.read_text())
             result["baseline"] = baseline
             result["speedup_vs_baseline"] = _speedups(baseline, result)
+            # speedup_vs_pr6: the same ratios under the name the perf
+            # trajectory tracks across the weighted-core refactor, plus
+            # the mixed-churn phases when the baseline recorded them.
+            pr6 = dict(result["speedup_vs_baseline"])
+            mixed_baseline = baseline.get("mixed_churn")
+            if mixed_baseline and "mixed_churn" in result:
+                mixed_speedup = _speedups(
+                    mixed_baseline,
+                    result["mixed_churn"],
+                    phases=MIXED_PHASES,
+                )
+                result["mixed_churn"]["speedup_vs_pr6"] = mixed_speedup
+                pr6["mixed_churn"] = mixed_speedup
+                for phase, ratios in mixed_speedup.items():
+                    rendered = ", ".join(
+                        f"{peers} peers: {ratio:.2f}x"
+                        for peers, ratio in ratios.items()
+                    )
+                    print(f"  speedup_vs_pr6[mixed/{phase}]: {rendered}")
+            result["speedup_vs_pr6"] = pr6
             for phase, ratios in result["speedup_vs_baseline"].items():
                 rendered = ", ".join(
                     f"{peers} peers: {ratio:.2f}x"

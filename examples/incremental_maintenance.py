@@ -8,8 +8,9 @@ joined by shared-key mappings), then runs a day-in-the-life of a CDSS:
 * initial bulk load ("time to join the system", Figure 5) — staged through
   the transactional batch API's bulk commit path;
 * small incremental insertion batches (Figures 7/8's common case);
-* curation deletions propagated with the paper's PropagateDelete algorithm,
-  cross-checked against DRed and full recomputation (Figure 4's rivals);
+* curation deletions propagated as negative Z-set deltas through the
+  unified weighted maintenance core, cross-checked against full
+  recomputation (Figure 4's rival);
 * a peek at the deletion machinery's instrumentation (provenance rows
   touched, goal-directed derivability checks).
 
@@ -18,7 +19,7 @@ Run:  python examples/incremental_maintenance.py
 
 import time
 
-from repro.core import STRATEGY_DRED, STRATEGY_INCREMENTAL, STRATEGY_RECOMPUTE
+from repro.core import STRATEGY_RECOMPUTE, STRATEGY_UNIFIED
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig
 
 
@@ -48,10 +49,10 @@ def lifecycle(strategy: str) -> dict[str, float]:
 
     timings["_tuples"] = cdss.system().total_tuples()
     timings["_consistent"] = float(cdss.system().is_consistent())
-    if strategy == STRATEGY_INCREMENTAL:
+    if strategy == STRATEGY_UNIFIED:
         deletion = report.details["deletion"]
         print(
-            f"  [instrumentation] PropagateDelete: "
+            f"  [instrumentation] weighted deletion pass: "
             f"{deletion.iterations} iterations, "
             f"{deletion.provenance_rows_deleted} provenance rows deleted, "
             f"{deletion.derivability_checks} derivability checks"
@@ -63,8 +64,7 @@ def main() -> None:
     print("strategy comparison on an identical 5-peer workload\n")
     results = {}
     for strategy in (
-        STRATEGY_INCREMENTAL,
-        STRATEGY_DRED,
+        STRATEGY_UNIFIED,
         STRATEGY_RECOMPUTE,
     ):
         print(f"--- {strategy} ---")
@@ -83,7 +83,7 @@ def main() -> None:
     assert len(sizes) == 1, f"strategies diverged: {sizes}"
     print(f"all strategies converged to the same state ({sizes.pop()} tuples)")
 
-    inc = results[STRATEGY_INCREMENTAL]["deletion (10%)"]
+    inc = results[STRATEGY_UNIFIED]["deletion (10%)"]
     rec = results[STRATEGY_RECOMPUTE]["deletion (10%)"]
     print(
         f"incremental deletion was {rec / inc:.1f}x faster than "

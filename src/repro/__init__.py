@@ -52,8 +52,10 @@ from .core import (
     STRATEGY_DRED,
     STRATEGY_INCREMENTAL,
     STRATEGY_RECOMPUTE,
+    STRATEGY_UNIFIED,
     ExchangeSystem,
 )
+from .storage import ZSet
 from .provenance import (
     BooleanSemiring,
     CountingSemiring,
@@ -90,7 +92,9 @@ __all__ = [
     "STRATEGY_DRED",
     "STRATEGY_INCREMENTAL",
     "STRATEGY_RECOMPUTE",
+    "STRATEGY_UNIFIED",
     "SchemaMapping",
+    "ZSet",
     "SpecError",
     "SystemSpec",
     "TropicalSemiring",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
-from ..core.exchange import STRATEGIES, STRATEGY_INCREMENTAL
+from ..core.exchange import STRATEGIES, STRATEGY_UNIFIED
 from ..provenance.relations import ENCODING_STYLES, ENCODING_COMPOSITE
 from ..storage.indexes import INDEX_POLICIES, POLICY_DEFERRED
 from ..schema.relation import PeerSchema, RelationSchema, SchemaError
@@ -186,7 +186,7 @@ class SystemSpec:
     peers: tuple[PeerSpec, ...] = ()
     mappings: tuple[MappingSpec, ...] = ()
     edits: tuple[EditSpec, ...] = ()
-    strategy: str = STRATEGY_INCREMENTAL
+    strategy: str = STRATEGY_UNIFIED
     encoding_style: str = ENCODING_COMPOSITE
     perspective: str | None = None
     index_policy: str = POLICY_DEFERRED
@@ -278,7 +278,7 @@ class SystemSpec:
             edits=tuple(
                 EditSpec.from_dict(e) for e in document.get("edits", ())  # type: ignore[union-attr]
             ),
-            strategy=str(document.get("strategy", STRATEGY_INCREMENTAL)),
+            strategy=str(document.get("strategy", STRATEGY_UNIFIED)),
             encoding_style=str(
                 document.get("encoding_style", ENCODING_COMPOSITE)
             ),

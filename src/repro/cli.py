@@ -282,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("spec", help="path to a spec JSON file")
     run_cmd.add_argument(
         "--strategy",
-        choices=("incremental", "dred", "recompute"),
+        choices=("unified", "incremental", "dred", "recompute"),
         default=None,
         help="override the spec's maintenance strategy",
     )
@@ -322,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_cmd.add_argument(
         "--strategy",
-        choices=("incremental", "dred", "recompute"),
+        choices=("unified", "incremental", "dred", "recompute"),
         default=None,
         help="override the spec's maintenance strategy",
     )
@@ -393,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--strategy",
-        choices=("incremental", "dred", "recompute"),
+        choices=("unified", "incremental", "dred", "recompute"),
         default=None,
         help="maintenance strategy for the initial exchange",
     )

@@ -9,13 +9,18 @@ from .derivation import DerivabilityVerdict, DerivationTest
 from .dred import DRedMaintainer, DRedReport
 from .editlog import EditLog, PublishDelta, Update, publish
 from .exchange import (
+    LEGACY_STRATEGIES,
     STRATEGIES,
     STRATEGY_DRED,
     STRATEGY_INCREMENTAL,
     STRATEGY_RECOMPUTE,
+    STRATEGY_UNIFIED,
+    ChangeBatch,
     ExchangeError,
     ExchangeReport,
     ExchangeSystem,
+    Subscription,
+    resolve_strategy,
 )
 from .incremental import (
     DeletionReport,
@@ -23,9 +28,11 @@ from .incremental import (
     InsertionReport,
 )
 from .query import QueryError, answer_program, answer_query, certain_rows
+from .weighted import WeightedMaintainer
 
 __all__ = [
     "CDSS",
+    "ChangeBatch",
     "DRedMaintainer",
     "DRedReport",
     "DeletionReport",
@@ -37,6 +44,7 @@ __all__ = [
     "ExchangeSystem",
     "IncrementalMaintainer",
     "InsertionReport",
+    "LEGACY_STRATEGIES",
     "Peer",
     "PublishDelta",
     "QueryError",
@@ -44,7 +52,10 @@ __all__ = [
     "STRATEGY_DRED",
     "STRATEGY_INCREMENTAL",
     "STRATEGY_RECOMPUTE",
+    "STRATEGY_UNIFIED",
+    "Subscription",
     "Update",
+    "WeightedMaintainer",
     "answer_program",
     "answer_query",
     "certain_rows",

@@ -39,6 +39,7 @@ migration table.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,9 +58,11 @@ from ..storage.indexes import POLICY_DEFERRED
 from ..storage.instance import Row
 from .editlog import EditLog, PublishDelta, publish
 from .exchange import (
-    STRATEGY_INCREMENTAL,
+    LEGACY_STRATEGIES,
+    STRATEGY_UNIFIED,
     ExchangeReport,
     ExchangeSystem,
+    resolve_strategy,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -119,12 +122,20 @@ class CDSS:
         planner: Planner | None = None,
         encoding_style: str = ENCODING_COMPOSITE,
         perspective: str | None = None,
-        strategy: str = STRATEGY_INCREMENTAL,
+        strategy: str | None = None,
         index_policy: str | None = None,
         workers: int | None = None,
         start_method: str | None = None,
     ) -> None:
         self.name = name
+        # None -> the REPRO_STRATEGY environment default, else "unified".
+        # Legacy names ("incremental"/"dred") warn here, once, and are
+        # stored verbatim so spec round-trips echo what was configured;
+        # the exchange system maps them onto the unified maintainer.
+        if strategy is None:
+            strategy = os.environ.get("REPRO_STRATEGY") or STRATEGY_UNIFIED
+        elif strategy in LEGACY_STRATEGIES:
+            resolve_strategy(strategy)
         self.strategy = strategy
         self._planner = planner
         self._encoding_style = encoding_style

@@ -1,41 +1,40 @@
-"""The DRed (Delete-and-Rederive) baseline [18], adapted to update exchange.
+"""Compatibility shim: the DRed strategy, mapped onto the weighted core.
 
-Section 4.2: "Upon the deletion of a set of tuples, DRed will pessimistically
-remove all tuples that can be transitively derived from the initially deleted
-tuples.  Then it will attempt to re-derive the tuples it had deleted."  The
-paper hypothesizes (and Figure 4 confirms) that PropagateDelete beats DRed
-because the goal-directed provenance trace is cheaper than DRed's
-re-derivation, which is an insertion-sized computation over full tuples.
+This module used to implement the DRed (Delete-and-Rederive) baseline
+[18]: pessimistically over-delete everything transitively derivable from
+the deleted tuples against a pre-deletion snapshot, then re-derive the
+survivors with a full evaluation pass.  The paper's Figure 4 (and this
+repository's deletion bench series) showed the goal-directed provenance
+trace beating that loop, and the unified weighted Z-set core
+(:mod:`repro.core.weighted`) has since replaced both machines: deletions
+now run as negative deltas through the same compiled probe templates as
+insertions, with no over-delete/re-derive phase anywhere.
 
-The adaptation to the internal update-exchange program:
-
-1. **Phase 0** — fold curation changes into the edbs: local deletions leave
-   ``R__l`` and seed the over-deletion; new rejections enter ``R__r`` and
-   pessimistically evict their tuples from ``R__o`` (the deletion delta of
-   rule (tR)'s negated atom).
-2. **Over-delete** — transitively delete everything derivable from the seed
-   through the positive rules, evaluating delta rules against a
-   pre-deletion snapshot (the classic over-approximation: alternative
-   derivations are ignored).
-3. **Re-derive** — one full evaluation pass over the reduced database
-   re-inserts over-deleted tuples that are still derivable; a semi-naive
-   insertion pass (with trust filters in force) restores all their
-   consequences.
+``strategy="dred"`` remains accepted across the API as a deprecation
+shim and resolves to the unified maintainer (see
+``repro.core.exchange``); :class:`DRedMaintainer` is therefore the
+weighted maintainer under its historical name, and produces the same
+:class:`~repro.core.weighted.DeletionReport` as every other path.
+:class:`DRedReport` is kept only so historical imports keep resolving.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..schema.internal import local_name, output_name, rejection_name
-from ..storage.database import Database
-from ..storage.instance import Instance, Row
-from .incremental import IncrementalMaintainer, Rows
+from ..storage.instance import Row
+from .weighted import WeightedMaintainer
+
+__all__ = ["DRedMaintainer", "DRedReport"]
 
 
 @dataclass
 class DRedReport:
-    """Metrics from one DRed run (compared against PropagateDelete's)."""
+    """Metrics shape of the retired over-delete/re-derive implementation.
+
+    No maintenance path produces this anymore; it remains importable for
+    code written against the pre-unification API.
+    """
 
     overdeleted: int = 0
     rederived: int = 0
@@ -43,165 +42,5 @@ class DRedReport:
     output_deletions: dict[str, set[Row]] = field(default_factory=dict)
 
 
-class DRedMaintainer(IncrementalMaintainer):
-    """Deletion via DRed; insertions inherit the shared delta rules."""
-
-    def propagate_deletions(
-        self,
-        local_deletes: Rows | None = None,
-        rejection_inserts: Rows | None = None,
-    ) -> DRedReport:
-        if self.has_negated_mappings:
-            raise NotImplementedError(
-                "DRed deletion is unsupported for mappings with negated "
-                "LHS atoms; use the full-recomputation strategy"
-            )
-        # DRed's over-delete/re-derive churn is the worst case for eager
-        # per-row index maintenance: whole derivation chains are deleted
-        # row by row and then largely re-inserted.  One deferral scope
-        # around both phases lets that churn coalesce to its net effect
-        # before any index is patched (probes stay snapshot-consistent).
-        with self.db.defer_maintenance():
-            return self._propagate_deletions_deferred(
-                local_deletes, rejection_inserts
-            )
-
-    def _propagate_deletions_deferred(
-        self,
-        local_deletes: Rows | None,
-        rejection_inserts: Rows | None,
-    ) -> DRedReport:
-        report = DRedReport()
-        db = self.db
-        # The over-deletion delta rules must join against the PRE-deletion
-        # state: a rule body may join several tuples that are deleted in the
-        # same batch, and each delta occurrence needs to see the others.
-        # (Instance.copy carries index definitions, so the snapshot's probe
-        # indexes start warm instead of being rebuilt on first probe.)
-        snapshot = db.copy()
-
-        # Phase 0: apply edb changes; seed the over-deletion frontier.
-        deleted: dict[str, set[Row]] = {}
-        frontier: dict[str, set[Row]] = {}
-
-        def seed(relation: str, row: Row) -> None:
-            if db[relation].delete(row):
-                report.overdeleted += 1
-                deleted.setdefault(relation, set()).add(row)
-                frontier.setdefault(relation, set()).add(row)
-
-        for relation, rows in (local_deletes or {}).items():
-            local = db[local_name(relation)]
-            for row in map(tuple, rows):
-                if local.delete(row):
-                    # The deletion delta of rule (lR) — pessimistic: R__o
-                    # loses the row even if rule (tR) still supports it.
-                    seed(output_name(relation), row)
-        for relation, rows in (rejection_inserts or {}).items():
-            rejection = db[rejection_name(relation)]
-            for row in map(tuple, rows):
-                if rejection.insert(row):
-                    # The deletion delta of (tR)'s negated R__r atom.
-                    seed(output_name(relation), row)
-
-        # Phase 1: transitive over-deletion against the snapshot.  Each
-        # rule's doomed heads are deleted in one bulk run (the evaluation
-        # reads the snapshot, so batching cannot change what is derived).
-        while any(frontier.values()):
-            report.rounds += 1
-            next_frontier: dict[str, set[Row]] = {}
-            for rule in self.program:
-                for index, atom in enumerate(rule.body):
-                    if atom.negated:
-                        continue
-                    delta_rows = frontier.get(atom.predicate)
-                    if not delta_rows:
-                        continue
-                    head_pred = rule.head.predicate
-                    instance = db.get(head_pred)
-                    if instance is None:
-                        continue
-                    removed = instance.delete_existing(
-                        self._evaluate_with_delta(
-                            rule, index, delta_rows, snapshot
-                        )
-                    )
-                    if removed:
-                        report.overdeleted += len(removed)
-                        deleted.setdefault(head_pred, set()).update(removed)
-                        next_frontier.setdefault(head_pred, set()).update(
-                            removed
-                        )
-            frontier = next_frontier
-
-        # Phase 2: re-derivation.  One full pass over the reduced database
-        # finds over-deleted tuples with surviving derivations ("insertion
-        # is more expensive than querying" — this is DRed's costly step).
-        seeds: dict[str, set[Row]] = {}
-        for rule in self.program:
-            head_pred = rule.head.predicate
-            candidates = deleted.get(head_pred)
-            if not candidates:
-                continue
-            head_filter = (
-                self.engine.head_filters.get(rule.label)
-                if rule.label is not None
-                else None
-            )
-            instance = db[head_pred]
-            for row in self._evaluate_with_delta(rule, None, None, db):
-                if row in candidates and row not in instance:
-                    if head_filter is not None and not head_filter(row):
-                        continue
-                    instance.insert(row)
-                    seeds.setdefault(head_pred, set()).add(row)
-                    report.rederived += 1
-        if seeds:
-            derived = self.engine.run_insertions(self.program, db, seeds)
-            report.rederived += sum(len(rows) for rows in derived.values())
-
-        # Report net output-table deletions (user-level).
-        for relation in self.encoding.internal.relation_names():
-            out_name = output_name(relation)
-            lost = {
-                row
-                for row in deleted.get(out_name, set())
-                if row not in db[out_name]
-            }
-            if lost:
-                report.output_deletions[relation] = lost
-        return report
-
-    def _evaluate_with_delta(
-        self,
-        rule,
-        delta_index: int | None,
-        delta_rows: set[Row] | None,
-        db: Database,
-    ) -> list[Row]:
-        """Evaluate one rule, optionally pinning a body atom to a delta set.
-
-        Plans come from the engine's memoized plan cache and the delta set
-        is swapped into the engine's persistent Δ-relation pool, so repeated
-        DRed rounds reuse warm plans and probe indexes instead of building a
-        fresh planner and instance per call.  The evaluation itself is
-        unchanged — DRed stays the paper's pessimistic baseline.
-        """
-        from ..datalog.plan import run_plan
-
-        delta_source = None
-        if delta_index is not None and delta_rows is not None:
-            arity = rule.body[delta_index].arity
-            delta_source = self.engine.delta_instance(
-                rule.body[delta_index].predicate, arity, delta_rows
-            )
-        plan = self.engine.cached_plan(rule, db, delta_index)
-
-        def resolve(index: int, atom):
-            if index == delta_index and delta_source is not None:
-                return delta_source
-            if atom.predicate in db:
-                return db[atom.predicate]
-            return Instance(atom.predicate, atom.arity)
-
-        return run_plan(plan, resolve)
+class DRedMaintainer(WeightedMaintainer):
+    """Historical name for the unified weighted maintainer."""

@@ -3,27 +3,40 @@ consistent CDSS state (Sections 3 and 4).
 
 :class:`ExchangeSystem` owns the internal database (edb tables ``R__l`` /
 ``R__r``, derived tables ``R__i`` / ``R__t`` / ``R__o``, and provenance
-tables), the compiled internal program, and the trust filters.  It exposes
-three maintenance strategies, compared in the paper's Figure 4:
+tables), the compiled internal program, and the trust filters.  Two
+maintenance strategies remain:
 
-* ``recompute``   — clear all derived state and re-run the fixpoint from the
-  edbs (the "complete recomputation" baseline);
-* ``incremental`` — insertion delta rules + PropagateDelete (the paper's
-  contribution);
-* ``dred``        — insertion delta rules + DRed deletion (the [18]
-  baseline).
+* ``unified``   — the weighted Z-set delta core
+  (:class:`~repro.core.weighted.WeightedMaintainer`): insertions,
+  deletions, and trust revocations all flow as signed deltas through one
+  compiled-plan operator pass;
+* ``recompute`` — clear all derived state and re-run the fixpoint from
+  the edbs (the "complete recomputation" baseline).
+
+The historical strategy names ``incremental`` (insertion delta rules +
+PropagateDelete) and ``dred`` (DRed deletion, the paper's [18] baseline)
+are accepted everywhere they always were — they resolve to ``unified``
+with a :class:`DeprecationWarning`; reports echo the requested name so
+round-trips are stable.
 
 After any strategy the database is in a *consistent state* (Definition 3.1
 as amended by the erratum: the instance computed by the chase/datalog
 program from the current edbs) — a property the test suite checks by
 cross-strategy comparison.
+
+Maintained views are also *subscribable*: :meth:`ExchangeSystem.subscribe`
+turns on change capture, after which every publish appends a versioned
+batch of per-relation ``R__o`` Z-set deltas to the change log —
+:meth:`ExchangeSystem.changes_since` serves any cursor, and the serving
+tier surfaces it as ``GET /changes?since=<version>``.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from ..datalog.ast import Program
 from ..datalog.engine import EvaluationResult, SemiNaiveEngine
@@ -41,19 +54,133 @@ from ..schema.internal import (
 from ..storage.database import Database
 from ..storage.indexes import INDEX_POLICIES, POLICY_DEFERRED
 from ..storage.instance import Row
-from .dred import DRedMaintainer
+from ..storage.zset import ZSet
 from .editlog import PublishDelta
-from .incremental import IncrementalMaintainer
 from .query import certain_rows
+from .weighted import WeightedMaintainer
 
+STRATEGY_UNIFIED = "unified"
 STRATEGY_INCREMENTAL = "incremental"
 STRATEGY_DRED = "dred"
 STRATEGY_RECOMPUTE = "recompute"
-STRATEGIES = (STRATEGY_INCREMENTAL, STRATEGY_DRED, STRATEGY_RECOMPUTE)
+STRATEGIES = (
+    STRATEGY_UNIFIED,
+    STRATEGY_INCREMENTAL,
+    STRATEGY_DRED,
+    STRATEGY_RECOMPUTE,
+)
+#: Deprecated strategy names and what they resolve to.
+LEGACY_STRATEGIES = {
+    STRATEGY_INCREMENTAL: STRATEGY_UNIFIED,
+    STRATEGY_DRED: STRATEGY_UNIFIED,
+}
+
+#: Versioned change batches retained for subscribers; a cursor older than
+#: the window silently yields only the retained tail.
+CHANGELOG_RETENTION = 4096
+
+
+def resolve_strategy(strategy: str, *, stacklevel: int = 3) -> str:
+    """Map a (possibly legacy) strategy name to the one that runs.
+
+    ``incremental`` and ``dred`` are deprecation shims over the unified
+    weighted maintainer; requesting them warns once per call site and
+    returns ``unified``.  Unknown names pass through unchanged — callers
+    validate against :data:`STRATEGIES` where they always did.
+    """
+    target = LEGACY_STRATEGIES.get(strategy)
+    if target is None:
+        return strategy
+    warnings.warn(
+        f"strategy={strategy!r} is deprecated; insert and delete "
+        f"maintenance are unified on the weighted Z-set delta core — "
+        f"use strategy={target!r} (the default)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return target
 
 
 class ExchangeError(Exception):
     """Raised on invalid exchange operations."""
+
+
+@dataclass(frozen=True)
+class ChangeBatch:
+    """One publish's maintained-view delta, at a version cursor.
+
+    ``changes`` maps user relation names to the signed Z-set of their
+    ``R__o`` output-table changes (``+1`` rows that appeared, ``-1``
+    rows that left).  An empty ``changes`` dict is a publish that
+    changed no output — still versioned, so cursors always advance.
+    """
+
+    version: int
+    changes: dict[str, ZSet]
+
+
+class Subscription:
+    """A change-stream cursor over one :class:`ExchangeSystem`.
+
+    Holding at least one open subscription is what turns change capture
+    on (capture costs one change-feed per publish, so unsubscribed
+    systems pay nothing).  :meth:`poll` returns the batches published
+    since the previous poll and advances the cursor.
+    """
+
+    __slots__ = ("_system", "cursor", "_closed")
+
+    def __init__(self, system: "ExchangeSystem") -> None:
+        self._system = system
+        self.cursor = system.version
+        self._closed = False
+
+    def poll(self) -> list[ChangeBatch]:
+        """Batches appended since the last poll (advances the cursor)."""
+        version, batches = self._system.changes_since(self.cursor)
+        self.cursor = version
+        return batches
+
+    def close(self) -> None:
+        """Detach; capture stops when the last subscription closes."""
+        if not self._closed:
+            self._closed = True
+            self._system._subscriptions.discard(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"cursor={self.cursor}"
+        return f"<Subscription {state}>"
+
+
+def _accumulate(
+    target: dict[str, ZSet],
+    updates: Mapping[str, Iterable[Row]],
+    weight: int,
+) -> None:
+    for relation, rows in updates.items():
+        zset = None
+        for row in rows:
+            if zset is None:
+                zset = target.setdefault(relation, ZSet())
+            zset.add(tuple(row), weight)
+
+
+def _publish_zsets(
+    delta: PublishDelta,
+) -> tuple[dict[str, ZSet], dict[str, ZSet]]:
+    """A published delta as signed Z-sets: ``(local, rejections)``.
+
+    ``publish`` emits *net* per-relation row sets, so the four components
+    fold losslessly into two Z-sets — ``+1`` for inserts, ``-1`` for
+    deletes — which is the form the weighted maintainer consumes.
+    """
+    local: dict[str, ZSet] = {}
+    rejections: dict[str, ZSet] = {}
+    _accumulate(local, delta.local_inserts, 1)
+    _accumulate(local, delta.local_deletes, -1)
+    _accumulate(rejections, delta.rejection_inserts, 1)
+    _accumulate(rejections, delta.rejection_deletes, -1)
+    return local, rejections
 
 
 @dataclass
@@ -125,12 +252,18 @@ class ExchangeSystem:
         self.db = db
         self.index_policy = self.db.index_policy
         self.encoding.setup_database(self.db)
-        self._maintainer = IncrementalMaintainer(
+        self._maintainer = WeightedMaintainer(
             self.db, self.encoding, self.program, self.engine
         )
-        self._dred = DRedMaintainer(
-            self.db, self.encoding, self.program, self.engine
-        )
+        # Change-stream state: capture runs only while at least one
+        # subscription is open (see subscribe()).
+        self._subscriptions: set[Subscription] = set()
+        self._changelog: list[ChangeBatch] = []
+        self._version = 0
+        self._output_names = {
+            output_name(relation): relation
+            for relation in internal.relation_names()
+        }
 
     def close(self) -> None:
         """Release the evaluation worker pool, if one was spawned.
@@ -181,11 +314,86 @@ class ExchangeSystem:
     def estimated_bytes(self) -> int:
         return self.db.estimated_bytes()
 
+    # -- change subscriptions --------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current change-stream version (one tick per captured publish)."""
+        return self._version
+
+    def subscribe(self) -> Subscription:
+        """Open a maintained-view change stream over this system.
+
+        Returns a :class:`Subscription` whose cursor starts *now*: only
+        changes applied after the subscribe call are delivered (capture
+        is off while nobody subscribes, so there is no history to
+        replay).  Close it when done; capture stops with the last open
+        subscription.
+        """
+        subscription = Subscription(self)
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def changes_since(self, since: int) -> tuple[int, list[ChangeBatch]]:
+        """``(current version, batches with version > since)``.
+
+        The stateless-cursor read the serving tier's ``/changes`` route
+        wraps: clients remember the returned version and pass it back.
+        Batches older than the retention window are gone; a stale cursor
+        gets the retained tail.
+        """
+        return self._version, [
+            batch for batch in self._changelog if batch.version > since
+        ]
+
+    def _capture_feed(self):
+        """A change feed over the internal db, iff anyone subscribed."""
+        return self.db.changefeed() if self._subscriptions else None
+
+    def _capture_from_feed(self, feed) -> None:
+        """Fold one publish's feed window into a change-log batch."""
+        if feed is None:
+            return
+        try:
+            zsets = feed.drain_zsets()
+        finally:
+            feed.close()
+        self._append_changes(
+            {
+                self._output_names[name]: zset
+                for name, zset in zsets.items()
+                if name in self._output_names
+            }
+        )
+
+    def _append_changes(self, changes: dict[str, ZSet]) -> None:
+        self._version += 1
+        self._changelog.append(ChangeBatch(self._version, changes))
+        if len(self._changelog) > CHANGELOG_RETENTION:
+            del self._changelog[: len(self._changelog) - CHANGELOG_RETENTION]
+
+    def _diff_outputs(
+        self, before: Mapping[str, frozenset[Row]]
+    ) -> dict[str, ZSet]:
+        """Output-table deltas vs. a snapshot (the recompute capture path:
+        a cleared-and-refilled table cannot be folded from feed ops)."""
+        changes: dict[str, ZSet] = {}
+        for relation, old_rows in before.items():
+            new_rows = self.instance(relation)
+            zset = ZSet.from_rows(new_rows - old_rows, 1)
+            zset.merge(ZSet.from_rows(old_rows - new_rows, -1))
+            if zset:
+                changes[relation] = zset
+        return changes
+
     # -- full recomputation --------------------------------------------------------
 
     def recompute(self) -> ExchangeReport:
         """Clear all derived state; re-run the fixpoint from the edbs."""
         start = time.perf_counter()
+        outputs_before = (
+            self.snapshot_outputs() if self._subscriptions else None
+        )
         with self.db.defer_maintenance():
             for relation in self.internal.relation_names():
                 for derived in (
@@ -198,6 +406,8 @@ class ExchangeSystem:
                 self.db[name].clear()
             self.engine.invalidate_plans()
             result = self.engine.run(self.program, self.db)
+        if outputs_before is not None:
+            self._append_changes(self._diff_outputs(outputs_before))
         return ExchangeReport(
             strategy=STRATEGY_RECOMPUTE,
             seconds=time.perf_counter() - start,
@@ -213,40 +423,40 @@ class ExchangeSystem:
     # -- incremental application -----------------------------------------------------
 
     def apply_delta(
-        self, delta: PublishDelta, strategy: str = STRATEGY_INCREMENTAL
+        self, delta: PublishDelta, strategy: str = STRATEGY_UNIFIED
     ) -> ExchangeReport:
-        """Apply a published delta with the chosen maintenance strategy."""
+        """Apply a published delta with the chosen maintenance strategy.
+
+        The report echoes the *requested* strategy name (legacy shims
+        included), so callers that round-trip strategy names keep seeing
+        what they asked for.
+        """
         if strategy not in STRATEGIES:
             raise ExchangeError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        effective = resolve_strategy(strategy)
         start = time.perf_counter()
         stats_before = self.engine.stats.counters()
-        if strategy == STRATEGY_RECOMPUTE:
-            # recompute() fills details["evaluation"] from its own run.
+        if effective == STRATEGY_RECOMPUTE:
+            # recompute() fills details["evaluation"] from its own run
+            # and captures the change batch by output-snapshot diff.
             report = self._apply_by_recompute(delta)
         else:
-            maintainer = (
-                self._dred if strategy == STRATEGY_DRED else self._maintainer
-            )
-            with self.db.defer_maintenance():
-                deletion_report = maintainer.propagate_deletions(
-                    delta.local_deletes, delta.rejection_inserts
-                )
-                unreject_report = maintainer.apply_unrejections(
-                    delta.rejection_deletes
-                )
-                insert_report = maintainer.apply_insertions(delta.local_inserts)
-            deleted = (
-                deletion_report.total_deleted
-                if hasattr(deletion_report, "total_deleted")
-                else deletion_report.overdeleted - deletion_report.rederived
-            )
+            local, rejections = _publish_zsets(delta)
+            feed = self._capture_feed()
+            try:
+                with self.db.defer_maintenance():
+                    deletion_report, unreject_report, insert_report = (
+                        self._maintainer.apply(local, rejections)
+                    )
+            finally:
+                self._capture_from_feed(feed)
             report = ExchangeReport(
                 strategy=strategy,
                 inserted=insert_report.total_derived
                 + unreject_report.total_derived,
-                deleted=deleted,
+                deleted=deletion_report.total_deleted,
                 details={
                     "deletion": deletion_report,
                     "insertion": insert_report,

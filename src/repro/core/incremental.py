@@ -1,359 +1,38 @@
-"""Incremental update exchange: insertion delta rules and PropagateDelete.
+"""Compatibility shim: the old incremental maintainer, now weighted.
 
-Section 4.2 converts each mapping rule (in its provenance-encoded form) into
-delta rules.  **Insertions** are the easy direction: semi-naive propagation
-from the newly published base tuples, with trust conditions applied as each
-tuple is derived.  **Deletions** use the paper's PropagateDelete algorithm
-(Figure 3), which this module implements faithfully:
+This module used to implement the paper's PropagateDelete (Figure 3) as
+a per-row interpretation loop, separate from the insertion delta rules.
+Both directions now run through the unified weighted Z-set core in
+:mod:`repro.core.weighted`: insertions as positive deltas on the
+insertion fast path, deletions as negative deltas through the *same*
+compiled probe templates (synthetic semijoin delta rules against the
+provenance tables), with provenance-count bookkeeping plus the
+goal-directed derivability test deciding which affected rows survive.
 
-1. compute the provenance-table deletions from the current round of output
-   deletions (the deletion delta rules — exact, because provenance rows
-   materialize entire rule-body instantiations);
-2. apply them, then examine every tuple whose provenance was affected:
-   tuples with no remaining direct support are deleted outright; tuples
-   with remaining support go to ``Rchk`` and are tested for derivability
-   from edbs with the goal-directed test of Section 4.1.3 (cyclic,
-   no-longer-grounded support must be garbage collected);
-3. deletions cascade through the internal chain ``R__i -> R__t -> R__o``
-   (a tuple leaves ``R__o`` only if it also has no surviving local
-   contribution), producing the next round of output deletions;
-4. repeat until no more deletions are derived.
-
-The instrumentation fields on :class:`DeletionReport` record why the
-algorithm beats DRed in the paper's Figure 4: it traces derivations
-goal-directedly through (key-only) provenance rows instead of pessimistically
-deleting and re-deriving entire instances.
+The public surface is unchanged — :class:`IncrementalMaintainer`,
+:class:`DeletionReport`, :class:`InsertionReport` — so existing imports
+keep working; they are the weighted implementations under their
+historical names.  See DESIGN.md's "Weighted incremental core" section
+for the migration table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping
-
-from ..datalog.ast import Atom, DatalogError, Program
-from ..datalog.engine import SemiNaiveEngine
-from ..provenance.relations import ProvenanceEncoding, ProvenanceTable
-from ..provenance.semiring import Token
-from ..schema.internal import (
-    input_name,
-    local_name,
-    output_name,
-    rejection_name,
-    trusted_name,
+from .weighted import (
+    DeletionReport,
+    InsertionReport,
+    Rows,
+    WeightedMaintainer,
+    _strip_output,
 )
-from ..storage.database import Database
-from ..storage.instance import Row
-from .derivation import DerivationTest, HeadFilters
 
-Rows = Mapping[str, set[Row]]
-
-
-@dataclass
-class DeletionReport:
-    """What one PropagateDelete run did (Figure 3's outputs + metrics)."""
-
-    iterations: int = 0
-    provenance_rows_deleted: int = 0
-    tuples_deleted: dict[str, int] = field(default_factory=dict)
-    derivability_checks: int = 0
-    output_deletions: dict[str, set[Row]] = field(default_factory=dict)
-
-    @property
-    def total_deleted(self) -> int:
-        return sum(self.tuples_deleted.values())
-
-    def _count(self, relation: str, n: int = 1) -> None:
-        self.tuples_deleted[relation] = (
-            self.tuples_deleted.get(relation, 0) + n
-        )
+__all__ = [
+    "DeletionReport",
+    "IncrementalMaintainer",
+    "InsertionReport",
+    "Rows",
+]
 
 
-@dataclass
-class InsertionReport:
-    """What one incremental insertion pass derived."""
-
-    derived: dict[str, set[Row]] = field(default_factory=dict)
-
-    @property
-    def total_derived(self) -> int:
-        return sum(len(rows) for rows in self.derived.values())
-
-
-class IncrementalMaintainer:
-    """Incremental insertion/deletion over a provenance-encoded database."""
-
-    def __init__(
-        self,
-        db: Database,
-        encoding: ProvenanceEncoding,
-        program: Program,
-        engine: SemiNaiveEngine,
-    ) -> None:
-        self.db = db
-        self.encoding = encoding
-        self.program = program
-        self.engine = engine
-        # user relation -> [(provenance table, body atom index)] occurrences,
-        # for the deletion delta rules.
-        self._body_occurrences: dict[
-            str, list[tuple[ProvenanceTable, int]]
-        ] = {}
-        for table in encoding.tables:
-            for index, atom in table.positive_body_atoms():
-                user_rel = _strip_output(atom.predicate)
-                self._body_occurrences.setdefault(user_rel, []).append(
-                    (table, index)
-                )
-        # Mappings with negated LHS atoms make deletion non-monotone (a
-        # deletion can create tuples); incremental maintenance then requires
-        # full recomputation.
-        self.has_negated_mappings = any(
-            atom.negated for table in encoding.tables for atom in table.body
-        )
-
-    @property
-    def head_filters(self) -> HeadFilters:
-        return self.engine.head_filters
-
-    # -- shared helpers ------------------------------------------------------
-
-    def _local_ok(self, relation: str, row: Row) -> bool:
-        if row not in self.db[local_name(relation)]:
-            return False
-        from ..schema.internal import LOCAL_RULE_PREFIX
-
-        token_filter = self.head_filters.get(LOCAL_RULE_PREFIX + relation)
-        return token_filter is None or token_filter(row)
-
-    def _trusted_ok(self, relation: str, row: Row) -> bool:
-        return row in self.db[trusted_name(relation)]
-
-    def _output_membership(self, relation: str, row: Row) -> bool:
-        """Should ``row`` be in ``R__o`` given the current internal state?"""
-        if self._local_ok(relation, row):
-            return True
-        return (
-            self._trusted_ok(relation, row)
-            and row not in self.db[rejection_name(relation)]
-        )
-
-    def _sync_output(
-        self, relation: str, row: Row, deltas: dict[str, set[Row]]
-    ) -> None:
-        """Reconcile one R__o membership; record a deletion delta if lost."""
-        should = self._output_membership(relation, row)
-        out = self.db[output_name(relation)]
-        if should:
-            out.insert(row)
-        elif out.delete(row):
-            deltas.setdefault(relation, set()).add(row)
-
-    # -- insertions -------------------------------------------------------------
-
-    def apply_insertions(self, local_inserts: Rows) -> InsertionReport:
-        """Insert new local contributions and propagate to fixpoint.
-
-        Trust conditions are enforced during derivation by the engine's head
-        filters (Section 4.2's "starting point ... is already-trusted data,
-        plus new base insertions which can be directly tested for trust").
-        """
-        report = InsertionReport()
-        with self.db.defer_maintenance():
-            seeds: dict[str, set[Row]] = {}
-            for relation, rows in local_inserts.items():
-                target = self.db[local_name(relation)]
-                fresh = {
-                    tuple(row) for row in rows if target.insert(tuple(row))
-                }
-                if fresh:
-                    seeds[local_name(relation)] = fresh
-            if seeds:
-                derived = self.engine.run_insertions(
-                    self.program, self.db, seeds
-                )
-                report.derived = derived
-        return report
-
-    def apply_unrejections(self, rejection_deletes: Rows) -> InsertionReport:
-        """Remove rejections; re-admitted tuples propagate as insertions.
-
-        Deleting from the negated relation ``R__r`` can only *add* tuples to
-        ``R__o`` (rule (tR)), which we compute directly for the touched rows
-        and then propagate with the insertion delta rules.
-        """
-        report = InsertionReport()
-        with self.db.defer_maintenance():
-            seeds: dict[str, set[Row]] = {}
-            for relation, rows in rejection_deletes.items():
-                rejection = self.db[rejection_name(relation)]
-                out = self.db[output_name(relation)]
-                for row in map(tuple, rows):
-                    if not rejection.delete(row):
-                        continue
-                    if self._trusted_ok(relation, row) and out.insert(row):
-                        seeds.setdefault(output_name(relation), set()).add(row)
-            if seeds:
-                derived = self.engine.run_insertions(
-                    self.program, self.db, seeds
-                )
-                report.derived = derived
-        return report
-
-    # -- deletions (Figure 3) ------------------------------------------------------
-
-    def propagate_deletions(
-        self,
-        local_deletes: Rows | None = None,
-        rejection_inserts: Rows | None = None,
-    ) -> DeletionReport:
-        """The PropagateDelete algorithm of Figure 3."""
-        if self.has_negated_mappings:
-            raise NotImplementedError(
-                "incremental deletion is unsupported for mappings with "
-                "negated LHS atoms (deletions become non-monotone); use the "
-                "full-recomputation strategy"
-            )
-        # One deferral scope around the whole run: the per-row provenance
-        # and output deletions append maintenance runs instead of patching
-        # every index, and the derivability probes catch up in batched
-        # passes (see repro.storage.indexes).
-        with self.db.defer_maintenance():
-            return self._propagate_deletions_deferred(
-                local_deletes, rejection_inserts
-            )
-
-    def _propagate_deletions_deferred(
-        self,
-        local_deletes: Rows | None,
-        rejection_inserts: Rows | None,
-    ) -> DeletionReport:
-        report = DeletionReport()
-        output_deltas: dict[str, set[Row]] = {}
-        pending_affected: set[Token] = set()
-
-        # Phase 0: fold the curation changes into the edbs and compute the
-        # initial R__o deletions.  A deleted local contribution may leave
-        # its tuple apparently supported through R__t, but that support can
-        # be circular — so such tuples join the affected set and go through
-        # the derivability machinery rather than being trusted blindly.
-        for relation, rows in (local_deletes or {}).items():
-            local = self.db[local_name(relation)]
-            for row in map(tuple, rows):
-                if local.delete(row):
-                    report._count(local_name(relation))
-                    pending_affected.add((relation, row))
-        for relation, rows in (rejection_inserts or {}).items():
-            rejection = self.db[rejection_name(relation)]
-            for row in map(tuple, rows):
-                if rejection.insert(row):
-                    # Rejection removes the R__o row directly (rule (tR));
-                    # R__t itself is unaffected, so no derivability check.
-                    self._sync_output(relation, row, output_deltas)
-        for relation, rows in output_deltas.items():
-            report._count(output_name(relation), len(rows))
-            report.output_deletions.setdefault(relation, set()).update(rows)
-
-        # Main loop (Figure 3 lines 3-18).
-        while any(output_deltas.values()) or pending_affected:
-            report.iterations += 1
-            affected: set[Token] = set(pending_affected)
-            pending_affected = set()
-
-            # Line 4: deletion delta rules for the provenance tables —
-            # exact, because each provenance row materializes a full body
-            # instantiation.  Two-phase per occurrence: probe the doomed
-            # rows first, then delete them in one bulk run — no probe ever
-            # interleaves with a mutation, and the index layer sees one
-            # batched deletion instead of per-row patches.
-            for relation, rows in output_deltas.items():
-                for table, atom_index in self._body_occurrences.get(
-                    relation, ()
-                ):
-                    instance = self.db[table.relation]
-                    doomed: set[Row] = set()
-                    for row in rows:
-                        probe = table.body_probe(atom_index, row)
-                        if probe is None:
-                            continue
-                        doomed.update(instance.lookup(*probe))
-                    if not doomed:
-                        continue
-                    removed = instance.delete_existing(doomed)
-                    report.provenance_rows_deleted += len(removed)
-                    for prow in removed:
-                        for head in table.heads:
-                            affected.add(
-                                (
-                                    head.user_relation,
-                                    table.head_row(head, prow),
-                                )
-                            )
-
-            # Lines 10-16: examine tuples whose provenance was affected.
-            output_deltas = {}
-            direct: dict[Token, tuple[bool, bool]] = {}
-            to_check: list[Token] = []
-            for node in affected:
-                relation, row = node
-                any_support = False
-                trusted_support = False
-                for table, head in self.encoding.targets_for_relation(
-                    relation
-                ):
-                    rows_left = table.supporting_rows(self.db, head, row)
-                    if rows_left:
-                        any_support = True
-                        if self._head_trust_ok(head, row):
-                            trusted_support = True
-                            break
-                direct[node] = (any_support, trusted_support)
-                if any_support:
-                    to_check.append(node)  # line 14: Rchk
-                # else: line 15 — no direct support at all; deleted below.
-
-            verdicts = {}
-            if to_check:
-                tester = DerivationTest(
-                    self.db, self.encoding, self.head_filters
-                )
-                verdicts = tester.derivable(to_check)
-                report.derivability_checks += len(to_check)
-
-            for node in affected:
-                relation, row = node
-                any_support, trusted_support = direct[node]
-                if not any_support:
-                    keep_input = keep_trusted = False
-                else:
-                    verdict = verdicts[node]
-                    keep_input = verdict.any
-                    keep_trusted = verdict.trusted and trusted_support
-                if not keep_input:
-                    if self.db[input_name(relation)].delete(row):
-                        report._count(input_name(relation))
-                if not keep_trusted:
-                    if self.db[trusted_name(relation)].delete(row):
-                        report._count(trusted_name(relation))
-                self._sync_output(relation, row, output_deltas)
-
-            for relation, rows in output_deltas.items():
-                report._count(output_name(relation), len(rows))
-                report.output_deletions.setdefault(relation, set()).update(
-                    rows
-                )
-
-        return report
-
-    def _head_trust_ok(self, head, row: Row) -> bool:
-        condition = self.head_filters.get(head.trust_label)
-        return condition is None or condition(row)
-
-
-def _strip_output(internal_rel: str) -> str:
-    # A real error, not an assert: this guards the deletion delta rules'
-    # relation naming and must hold under ``python -O`` too.
-    if not internal_rel.endswith("__o"):
-        raise DatalogError(
-            f"expected an output relation (R__o), got {internal_rel!r}"
-        )
-    return internal_rel[: -len("__o")]
+class IncrementalMaintainer(WeightedMaintainer):
+    """Historical name for the unified weighted maintainer."""

@@ -71,3 +71,25 @@ class Merger:
             if added:
                 next_deltas.setdefault(predicate, set()).update(added)
         return next_deltas
+
+    @staticmethod
+    def apply_retractions(
+        db: Database,
+        contributions: Sequence[tuple[str, Sequence[Row]]],
+    ) -> dict[str, set[Row]]:
+        """The negative-weight counterpart of :meth:`apply`.
+
+        Feeds one round's merged retraction rows (the weighted core's
+        semijoin results — see ``repro.core.weighted``) to
+        :meth:`Instance.delete_existing
+        <repro.storage.instance.Instance.delete_existing>` and returns
+        the per-predicate *effective* deletions: the rows that were
+        actually present, which seed the next negative-delta round the
+        same way :meth:`apply`'s insertions seed a positive one.
+        """
+        removed: dict[str, set[Row]] = {}
+        for predicate, rows in contributions:
+            gone = db[predicate].delete_existing(set(rows))
+            if gone:
+                removed.setdefault(predicate, set()).update(gone)
+        return removed

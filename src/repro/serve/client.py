@@ -99,6 +99,16 @@ class ServeClient:
     def statements(self) -> list[dict]:
         return self.request("GET", "/statements")["statements"]
 
+    def changes(self, since: int = 0) -> dict:
+        """Poll the update-exchange change stream.
+
+        Returns ``{"version": V, "since": since, "changes": [...]}`` where
+        each change batch carries per-relation inserted/deleted rows.
+        Remember ``version`` and pass it back as ``since`` to get only
+        what happened after the previous poll.
+        """
+        return self.request("GET", f"/changes?since={int(since)}")
+
     def prepare(
         self,
         text: str,

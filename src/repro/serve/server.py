@@ -29,6 +29,8 @@ method    path           body / effect
 GET       /health        liveness + pinned snapshot version
 GET       /stats         admission, snapshot, registry, request counters
 GET       /statements    registered prepared statements
+GET       /changes       ?since=V → output-relation change batches with
+                         version > V (the update-exchange change stream)
 POST      /prepare       {kind, text, params?, answer?} → {statement, ...}
 POST      /execute       {statement, bindings?, mode?, order?, limit?,
                          offset?} → {rows, count, pinned_version, ...}
@@ -55,6 +57,7 @@ from .protocol import (
     ServeError,
     StatementRegistry,
     decode_value,
+    encode_row,
     parse_execute_args,
 )
 from .snapshots import SnapshotManager
@@ -96,6 +99,10 @@ class ReproServer:
         self._exchange_lock = asyncio.Lock()
         self._shutdown = asyncio.Event()
         self._server: asyncio.Server | None = None
+        # Keep one subscription open for the node's lifetime: change
+        # capture is gated on open subscriptions, so this is what makes
+        # every publish land in the change log that /changes serves.
+        self._subscription = cdss.system().subscribe()
         self.requests = 0
         self.errors = 0
         self.publishes = 0
@@ -119,6 +126,7 @@ class ReproServer:
         # Drain in-flight executions before tearing the node down.
         self._readers.shutdown(wait=True)
         self._writer.shutdown(wait=True)
+        self._subscription.close()
 
     async def serve_until_shutdown(self, duration: float | None = None) -> None:
         """Serve until ``POST /shutdown`` (or ``duration`` seconds pass)."""
@@ -147,7 +155,7 @@ class ReproServer:
                 ):
                     break
                 try:
-                    method, path, headers = self._parse_head(raw)
+                    method, path, query, headers = self._parse_head(raw)
                     length = int(headers.get("content-length", "0") or "0")
                     if length > _MAX_BODY:
                         raise ServeError(
@@ -167,7 +175,7 @@ class ReproServer:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 status, payload = await self._handle_request(
-                    method, path, body_bytes
+                    method, path, query, body_bytes
                 )
                 try:
                     await self._respond(
@@ -183,20 +191,27 @@ class ReproServer:
                 await writer.wait_closed()
 
     @staticmethod
-    def _parse_head(raw: bytes) -> tuple[str, str, dict[str, str]]:
+    def _parse_head(
+        raw: bytes,
+    ) -> tuple[str, str, dict[str, str], dict[str, str]]:
         lines = raw.decode("latin-1").split("\r\n")
         parts = lines[0].split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
             raise ServeError("malformed request line", code="bad_request")
         method, target = parts[0].upper(), parts[1]
-        path = target.partition("?")[0]
+        path, _, query_string = target.partition("?")
+        query: dict[str, str] = {}
+        for pair in query_string.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                query[name] = value
         headers: dict[str, str] = {}
         for line in lines[1:]:
             if not line:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        return method, path, headers
+        return method, path, query, headers
 
     async def _respond(
         self,
@@ -220,7 +235,11 @@ class ReproServer:
         await writer.drain()
 
     async def _handle_request(
-        self, method: str, path: str, body_bytes: bytes
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body_bytes: bytes,
     ) -> tuple[int, object]:
         self.requests += 1
         try:
@@ -237,7 +256,7 @@ class ReproServer:
                     )
             else:
                 body = {}
-            return 200, await self._dispatch(method, path, body)
+            return 200, await self._dispatch(method, path, query, body)
         except ServeError as exc:
             self.errors += 1
             return exc.status, exc.payload()
@@ -251,7 +270,11 @@ class ReproServer:
     # -- routing -----------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, body: Mapping[str, object]
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str],
+        body: Mapping[str, object],
     ) -> object:
         if method == "GET":
             if path == "/health":
@@ -264,6 +287,8 @@ class ReproServer:
                 return self._stats()
             if path == "/statements":
                 return {"statements": self.registry.describe()}
+            if path == "/changes":
+                return self._do_changes(query)
             raise ServeError(f"unknown path {path!r}", 404, "not_found")
         if method != "POST":
             raise ServeError(
@@ -296,6 +321,39 @@ class ReproServer:
             "admission": self.admission.stats(),
             "snapshot": self.snapshots.stats(),
         }
+
+    def _do_changes(self, query: Mapping[str, str]) -> dict:
+        """Serve the change stream: batches with version > ``since``.
+
+        Reads the exchange system's change log without any lock: batches
+        are immutable once appended and the log only grows under the
+        exchange lock, so a concurrent publish can at worst hide the
+        batch it is still writing — the client's next poll gets it.
+        """
+        raw = query.get("since", "0")
+        try:
+            since = int(raw)
+        except ValueError:
+            raise ServeError(
+                f"since must be an integer version, got {raw!r}",
+                code="bad_since",
+            ) from None
+        version, batches = self.cdss.system().changes_since(since)
+        changes = []
+        for batch in batches:
+            relations = {}
+            for relation in sorted(batch.changes):
+                zset = batch.changes[relation]
+                relations[relation] = {
+                    "inserted": [
+                        encode_row(row) for row in sorted(zset.positive(), key=repr)
+                    ],
+                    "deleted": [
+                        encode_row(row) for row in sorted(zset.negative(), key=repr)
+                    ],
+                }
+            changes.append({"version": batch.version, "relations": relations})
+        return {"version": version, "since": since, "changes": changes}
 
     # -- write path (exchange lock + single writer thread) -----------------
 

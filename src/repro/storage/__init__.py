@@ -21,6 +21,7 @@ from .persistence import checkpoint, checkpoint_equal, restore
 from .replication import ChangeFeed, apply_ops, build_replica, export_snapshot
 from .snapshot import DatabaseSnapshot, pin_database
 from .stats import StatisticsCache, TableStats, compute_stats
+from .zset import ZSet, apply_zset, fold_ops
 
 __all__ = [
     "ArityError",
@@ -43,7 +44,10 @@ __all__ = [
     "StorageError",
     "TableStats",
     "UnknownRelationError",
+    "ZSet",
     "apply_ops",
+    "apply_zset",
+    "fold_ops",
     "build_replica",
     "checkpoint",
     "checkpoint_equal",

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
     from .instance import Instance, Row
+    from .zset import ZSet
 
 OP_INSERT = "+"
 OP_DELETE = "-"
@@ -76,6 +77,19 @@ class ChangeFeed:
         """All ops recorded since the last drain (empties the journal)."""
         ops, self._ops = self._ops, []
         return ops
+
+    def drain_zsets(self) -> dict[str, "ZSet"]:
+        """Drain the journal folded into per-relation weighted Z-sets.
+
+        The net-change view of the same window :meth:`drain` journals:
+        ``+``/``-`` ops accumulate ±1 weights (an insert-then-delete
+        cancels), making the feed speak the same delta type as the
+        weighted maintenance core.  Raises :class:`ValueError` if the
+        window contains a ``clear`` — see :func:`repro.storage.zset.fold_ops`.
+        """
+        from .zset import fold_ops
+
+        return fold_ops(self.drain())
 
     def close(self) -> None:
         """Detach from the database; the journal stops growing."""

@@ -1,6 +1,8 @@
 """Tests for the v2 API surface: peer handles, transactional batches,
 lazy relation views, trust scopes, and the deprecated facade shims."""
 
+import os
+
 import pytest
 
 from repro import CDSS, Batch, BatchError, PeerHandle, RelationView
@@ -299,8 +301,13 @@ class TestDeprecatedFacade:
         cdss.update_exchange()
         cdss.relation("S").to_rows()
         cdss.peer("P2").trust().of("S", (1,))
+        # REPRO_STRATEGY=incremental/dred (CI's legacy-shim job) is an
+        # explicit opt-in to a deprecated strategy name, so the strategy
+        # shim's warning is expected there — everything else must be quiet.
+        legacy_env = os.environ.get("REPRO_STRATEGY") in ("incremental", "dred")
         deprecations = [
             w for w in recwarn.list
             if issubclass(w.category, DeprecationWarning)
+            and not (legacy_env and "strategy=" in str(w.message))
         ]
         assert deprecations == []

@@ -1,6 +1,7 @@
 """Tests for the declarative spec layer and the ``repro run`` CLI."""
 
 import json
+import os
 
 import pytest
 
@@ -36,7 +37,9 @@ class TestSpecObjects:
         assert [p.name for p in spec.peers] == ["PGUS", "PBioSQL", "PuBio"]
         assert [m.name for m in spec.mappings] == ["m1", "m2", "m3", "m4"]
         assert spec.edits == ()
-        assert spec.strategy == "incremental"
+        # The default strategy follows the REPRO_STRATEGY environment
+        # override (used by CI's legacy-shim job), else "unified".
+        assert spec.strategy == (os.environ.get("REPRO_STRATEGY") or "unified")
 
     def test_to_spec_captures_pending_edits(self):
         spec = running_example().to_spec()
@@ -135,6 +138,46 @@ class TestBuildAndRoundTrip:
         clone = CDSS.from_spec(spec)
         assert clone.strategy == "dred"
         assert clone.to_spec() == spec
+
+    @pytest.mark.parametrize("legacy", ["incremental", "dred"])
+    def test_legacy_strategy_shims_warn_and_round_trip(self, legacy):
+        """`strategy="incremental"`/`"dred"` stay accepted as deprecation
+        shims: they warn, round-trip through spec JSON verbatim, and run
+        on the unified weighted maintainer."""
+        with pytest.warns(DeprecationWarning, match="unified"):
+            cdss = CDSS("legacy", strategy=legacy)
+        cdss.add_peer("P", {"R": ("a",)})
+        cdss.add_peer("Q", {"S": ("a",)})
+        cdss.add_mapping("m", "R(x) -> S(x)")
+        with cdss.batch() as tx:
+            tx.insert("R", (1,))
+        with pytest.warns(DeprecationWarning, match="unified"):
+            report = cdss.update_exchange()
+        # The report echoes the *requested* name, not the resolved one.
+        assert report.strategy == legacy
+        assert cdss.relation("S").to_rows() == {(1,)}
+        document = cdss.to_spec().to_json()
+        assert f'"strategy": "{legacy}"' in document
+        with pytest.warns(DeprecationWarning, match="unified"):
+            clone = CDSS.from_spec(SystemSpec.from_json(document))
+        assert clone.strategy == legacy
+        clone.update_exchange()
+        assert clone.relation("S").to_rows() == {(1,)}
+
+    def test_default_strategy_does_not_warn(self, recwarn):
+        cdss = CDSS("quiet")
+        cdss.add_peer("P", {"R": ("a",)})
+        with cdss.batch() as tx:
+            tx.insert("R", (1,))
+        cdss.update_exchange()
+        strategy_warnings = [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+            and "strategy" in str(w.message)
+        ]
+        if not (os.environ.get("REPRO_STRATEGY") in ("incremental", "dred")):
+            assert strategy_warnings == []
 
     def test_unknown_keys_rejected(self):
         document = running_example(with_data=False).to_spec().to_dict()

@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import CDSS
-from repro.core import STRATEGY_DRED, STRATEGY_INCREMENTAL
+from repro.core import STRATEGY_DRED, STRATEGY_INCREMENTAL, STRATEGY_UNIFIED
 from repro.datalog import (
     NaiveEngine,
     PreparedPlanner,
@@ -401,6 +401,32 @@ class TestCDSSParallelAgreement:
         assert system.engine.stats.parallel_rounds > 0
         assert system.is_consistent()
         system.close()
+
+    def test_large_deletion_batch_uses_parallel_semijoins(self):
+        """A deletion batch big enough to clear PARALLEL_DELETION_MIN_ROWS
+        runs its retraction semijoins through the worker pool and still
+        lands on the exact sequential state."""
+        snapshots = {}
+        deletion_rounds = {}
+        for workers in (1, 2):
+            cdss = build_cdss(STRATEGY_UNIFIED, workers)
+            with cdss.peer("P1").batch() as tx:
+                for i in range(400):
+                    tx.insert("A", (i, i % 7))
+            cdss.update_exchange()
+            system = cdss.system()
+            before = system.engine.stats.parallel_rounds
+            with cdss.peer("P1").batch() as tx:
+                for i in range(300):
+                    tx.delete("A", (i, i % 7))
+            cdss.update_exchange()
+            deletion_rounds[workers] = system.engine.stats.parallel_rounds - before
+            assert system.is_consistent()
+            snapshots[workers] = system.db.snapshot()
+            system.close()
+        assert snapshots[1] == snapshots[2]
+        assert deletion_rounds[1] == 0
+        assert deletion_rounds[2] > 0
 
     def test_recompute_strategy_parallel(self):
         cdss = build_cdss(STRATEGY_INCREMENTAL, 2)

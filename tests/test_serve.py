@@ -348,6 +348,47 @@ class TestServerEndToEnd:
             assert stats["snapshot"]["refreshes"] == 1
             assert stats["publishes"] == 1
 
+    def test_change_stream(self):
+        cdss = paper_cdss()
+        with ServerThread(cdss) as node, ServeClient(port=node.port) as client:
+            # Nothing published since boot: the stream starts empty.
+            initial = client.changes()
+            assert initial["changes"] == []
+            cursor = initial["version"]
+
+            client.insert("B", (123, 456))
+            client.publish()
+            polled = client.changes(since=cursor)
+            assert polled["version"] == cursor + 1
+            assert len(polled["changes"]) == 1
+            batch = polled["changes"][0]
+            assert batch["version"] == cursor + 1
+            assert [123, 456] in batch["relations"]["B"]["inserted"]
+            assert batch["relations"]["B"]["deleted"] == []
+            cursor = polled["version"]
+
+            # A deletion arrives as a negative change through the same
+            # unified maintenance pass.
+            client.edit(
+                [{"op": "delete", "relation": "B", "row": [123, 456]}]
+            )
+            client.publish()
+            polled = client.changes(since=cursor)
+            assert len(polled["changes"]) == 1
+            assert [123, 456] in polled["changes"][0]["relations"]["B"][
+                "deleted"
+            ]
+            cursor = polled["version"]
+
+            # Caught-up cursors poll empty; stale cursors replay the tail.
+            assert client.changes(since=cursor)["changes"] == []
+            assert len(client.changes(since=0)["changes"]) == 2
+
+            with pytest.raises(ServeHTTPError) as bad_since:
+                client.request("GET", "/changes?since=later")
+            assert bad_since.value.status == 400
+            assert bad_since.value.code == "bad_since"
+
     def test_error_paths(self):
         cdss = paper_cdss()
         with ServerThread(cdss) as node, ServeClient(port=node.port) as client:
