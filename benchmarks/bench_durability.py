@@ -1,0 +1,275 @@
+"""Durability benchmark: WAL overhead, checkpoint cost, recovery speed.
+
+Measures what the durability subsystem costs on the publish hot path and
+what it buys back at restart, writing ``BENCH_durability.json``
+(``repro/bench-durability@1``).  Three phases over a multi-peer
+integer-dataset CDSS workload:
+
+* **wal_overhead** — identical publish rounds (stage a batch at every
+  peer, publish) against three configurations: a plain in-memory CDSS,
+  a :class:`repro.DurableNode` with ``fsync="never"``, and one with
+  ``fsync="always"``.  Reports per-round wall seconds and the overhead
+  ratio of each durable configuration over the baseline — the price of
+  the write-ahead log, with and without the disk-flush tax;
+* **checkpoint** — cost of materializing the full system state (database,
+  provenance tables, staged edit logs) into the SQLite store: wall
+  seconds, rows persisted, resulting file size, and the WAL prune;
+* **recovery** — crash the node (abandon it without a checkpoint), then
+  time ``DurableNode.open`` — which replays only the WAL tail through
+  the incremental maintainer — against rebuilding the same state from
+  scratch with a full recompute publish.  Reports both times, the
+  speedup, and the replay counters proving no recompute ran.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import DurableNode  # noqa: E402
+from repro.bench.harness import efficiency_snapshot  # noqa: E402
+from repro.durability.node import STATE_FILE  # noqa: E402
+from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
+
+RESULT_FORMAT = "repro/bench-durability@1"
+
+
+def build_workload(peers: int, base_per_peer: int, seed: int):
+    """A multi-peer CDSS spec with the base data staged (unpublished),
+    plus pre-drawn per-round edit batches shared by every configuration."""
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    cdss = generator.build_cdss()
+    generator.record_insertions(cdss, generator.insertions(base_per_peer))
+    return generator, cdss.to_spec()
+
+
+def run_rounds(generator, cdss, publish, rounds, warmup=None) -> list[float]:
+    """Per-round wall seconds for stage-batch-then-publish cycles."""
+    publish()  # the staged base data; not timed (one-time load)
+    if warmup is not None:  # settle indexes/caches before measuring
+        generator.record_insertions(cdss, warmup)
+        publish()
+    seconds = []
+    for updates in rounds:
+        begin = time.perf_counter()
+        generator.record_insertions(cdss, updates)
+        publish()
+        seconds.append(time.perf_counter() - begin)
+    return seconds
+
+
+def round_summary(seconds: list[float]) -> dict:
+    ordered = sorted(seconds)
+    return {
+        "rounds": len(seconds),
+        "total_seconds": sum(seconds),
+        "mean_seconds": sum(seconds) / len(seconds),
+        "median_seconds": ordered[len(ordered) // 2],
+        "max_seconds": max(seconds),
+    }
+
+
+def relation_counts(cdss) -> dict[str, int]:
+    return {name: len(cdss.relation(name)) for name in cdss.relations()}
+
+
+def run_wal_overhead(generator, spec, rounds, warmup, workdir: Path) -> dict:
+    summary: dict[str, dict] = {}
+
+    baseline = spec.build()
+    summary["memory_baseline"] = round_summary(
+        run_rounds(generator, baseline, baseline.update_exchange, rounds, warmup)
+    )
+
+    for fsync in ("never", "always"):
+        node = DurableNode.create(spec, workdir / f"fsync_{fsync}", fsync=fsync)
+        seconds = run_rounds(generator, node.cdss, node.publish, rounds, warmup)
+        summary[f"wal_fsync_{fsync}"] = round_summary(seconds)
+        summary[f"wal_fsync_{fsync}"]["wal_records"] = node.wal.last_seq
+        node.close(checkpoint=False)
+
+    base = summary["memory_baseline"]["median_seconds"]
+    for key in ("wal_fsync_never", "wal_fsync_always"):
+        summary[key]["overhead_vs_memory"] = (
+            summary[key]["median_seconds"] / base if base > 0 else 0.0
+        )
+    return summary
+
+
+def run_checkpoint(generator, spec, rounds, workdir: Path) -> dict:
+    node = DurableNode.create(spec, workdir / "checkpoint_node")
+    run_rounds(generator, node.cdss, node.publish, rounds)
+    wal_records_before = node.wal.last_seq
+    begin = time.perf_counter()
+    node.checkpoint()
+    seconds = time.perf_counter() - begin
+    store = node.store
+    rows = sum(store.size(bucket) for bucket in store.bucket_names())
+    state_bytes = (workdir / "checkpoint_node" / STATE_FILE).stat().st_size
+    # A second checkpoint of unchanged state (the steady-state cost).
+    begin = time.perf_counter()
+    node.checkpoint()
+    idle_seconds = time.perf_counter() - begin
+    summary = {
+        "seconds": seconds,
+        "idle_seconds": idle_seconds,
+        "rows_persisted": rows,
+        "state_file_bytes": state_bytes,
+        "wal_records_pruned": wal_records_before,
+        "relations": relation_counts(node.cdss),
+    }
+    node.close(checkpoint=False)
+    return summary
+
+
+def run_recovery(generator, spec, rounds, workdir: Path) -> dict:
+    """Checkpoint covers the bulk base load; the crash loses only the
+    incremental rounds — the WAL tail recovery is built to replay."""
+    data_dir = workdir / "recovery_node"
+    node = DurableNode.create(spec, data_dir)
+    node.publish()  # the staged base data
+    node.checkpoint()
+    for updates in rounds:
+        generator.record_insertions(node.cdss, updates)
+        node.publish()
+    expected = relation_counts(node.cdss)
+    # Crash: abandon the node without a checkpoint or a close.
+    node.wal.close()
+    node.store.close()
+
+    begin = time.perf_counter()
+    recovered = DurableNode.open(data_dir)
+    recovery_seconds = time.perf_counter() - begin
+    strategies = {r.strategy for r in recovered.cdss.exchange_reports}
+    if relation_counts(recovered.cdss) != expected:
+        raise RuntimeError("recovered state diverged from the crashed node")
+    if "recompute" in strategies:
+        raise RuntimeError("recovery fell back to a full recompute")
+    summary = {
+        "recovery_seconds": recovery_seconds,
+        "wal_tail_records": (
+            recovered.replayed_edit_records
+            + recovered.replayed_publish_records
+        ),
+        "replayed_edit_records": recovered.replayed_edit_records,
+        "replayed_publish_records": recovered.replayed_publish_records,
+        "replay_strategies": sorted(strategies),
+    }
+    recovered.close(checkpoint=False)
+
+    # The alternative a node without a WAL faces: rebuild everything from
+    # the spec and recompute the fixpoint over all the edits at once.
+    begin = time.perf_counter()
+    rebuilt = spec.build()
+    for updates in rounds:
+        generator.record_insertions(rebuilt, updates)
+    rebuilt.update_exchange(strategy="recompute")
+    recompute_seconds = time.perf_counter() - begin
+    if relation_counts(rebuilt) != expected:
+        raise RuntimeError("recompute reference diverged from the node")
+    summary["full_recompute_seconds"] = recompute_seconds
+    summary["speedup_vs_recompute"] = (
+        recompute_seconds / recovery_seconds if recovery_seconds > 0 else 0.0
+    )
+    summary["relations"] = expected
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=(
+            "result path (default: BENCH_durability.json at the repo root; "
+            "--quick writes BENCH_durability_quick.json unless --out is given)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        peers, base, n_rounds, per_round = 3, 40, 3, 6
+    else:
+        peers, base, n_rounds, per_round = 10, 120, 5, 10
+    if args.out is None:
+        suffix = "_quick" if args.quick else ""
+        args.out = REPO_ROOT / f"BENCH_durability{suffix}.json"
+
+    print(
+        f"durability benchmark: peers={peers} base={base}/peer "
+        f"rounds={n_rounds}x{per_round}/peer"
+    )
+    generator, spec = build_workload(peers, base, args.seed)
+    # One shared edit script so every configuration does identical work.
+    warmup = generator.insertions(per_round)
+    rounds = [generator.insertions(per_round) for _ in range(n_rounds)]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    try:
+        overhead = run_wal_overhead(generator, spec, rounds, warmup, workdir)
+        print(
+            "  wal overhead: memory "
+            f"{overhead['memory_baseline']['median_seconds']*1000:.1f}ms/round, "
+            f"fsync=never {overhead['wal_fsync_never']['overhead_vs_memory']:.2f}x, "
+            f"fsync=always {overhead['wal_fsync_always']['overhead_vs_memory']:.2f}x"
+        )
+        checkpoint = run_checkpoint(generator, spec, rounds, workdir)
+        print(
+            f"  checkpoint: {checkpoint['seconds']*1000:.0f}ms, "
+            f"{checkpoint['rows_persisted']} rows, "
+            f"{checkpoint['state_file_bytes']/1024:.0f} KiB sqlite"
+        )
+        recovery = run_recovery(generator, spec, rounds, workdir)
+        print(
+            f"  recovery: {recovery['recovery_seconds']*1000:.0f}ms replaying "
+            f"{recovery['wal_tail_records']} WAL records vs full recompute "
+            f"{recovery['full_recompute_seconds']*1000:.0f}ms "
+            f"({recovery['speedup_vs_recompute']:.2f}x)"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    result = {
+        "format": RESULT_FORMAT,
+        "workload": {
+            "peers": peers,
+            "base_per_peer": base,
+            "rounds": n_rounds,
+            "insert_per_peer_per_round": per_round,
+            "dataset": "integer",
+            "seed": args.seed,
+        },
+        "phases": {
+            "wal_overhead": overhead,
+            "checkpoint": checkpoint,
+            "recovery": recovery,
+        },
+        "efficiency": efficiency_snapshot(),
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

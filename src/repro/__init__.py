@@ -32,6 +32,7 @@ from .api import (
     AnswerSet,
     Batch,
     BatchError,
+    DurabilitySpec,
     EditSpec,
     MappingSpec,
     PeerHandle,
@@ -55,7 +56,8 @@ from .core import (
     STRATEGY_UNIFIED,
     ExchangeSystem,
 )
-from .storage import ZSet
+from .durability import DurableNode, WriteAheadLog
+from .storage import SQLiteStore, ZSet
 from .provenance import (
     BooleanSemiring,
     CountingSemiring,
@@ -76,6 +78,8 @@ __all__ = [
     "BooleanSemiring",
     "CDSS",
     "CountingSemiring",
+    "DurabilitySpec",
+    "DurableNode",
     "EditSpec",
     "ExchangeSystem",
     "LineageSemiring",
@@ -89,6 +93,7 @@ __all__ = [
     "RelationSchema",
     "RelationSpec",
     "RelationView",
+    "SQLiteStore",
     "STRATEGY_DRED",
     "STRATEGY_INCREMENTAL",
     "STRATEGY_RECOMPUTE",
@@ -102,6 +107,7 @@ __all__ = [
     "TrustPolicy",
     "TrustScope",
     "WhySemiring",
+    "WriteAheadLog",
     "__version__",
     "col",
     "param",

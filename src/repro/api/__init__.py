@@ -42,6 +42,7 @@ from .query import (
     param,
 )
 from .spec import (
+    DurabilitySpec,
     EditSpec,
     MappingSpec,
     PeerSpec,
@@ -57,6 +58,7 @@ __all__ = [
     "BatchError",
     "Comparison",
     "Condition",
+    "DurabilitySpec",
     "EditSpec",
     "MappingSpec",
     "PeerHandle",

@@ -178,6 +178,65 @@ class EditSpec:
         )
 
 
+#: Valid write-ahead-log fsync policies (mirrors
+#: :data:`repro.durability.wal.FSYNC_POLICIES`; duplicated here because the
+#: spec layer must not import the durability package it configures).
+_FSYNC_POLICIES = ("always", "never")
+
+
+@dataclass(frozen=True)
+class DurabilitySpec:
+    """How a node persists itself (see :mod:`repro.durability`).
+
+    ``path`` is the node's data directory (overridable on the command
+    line), ``fsync`` the WAL flush policy, and ``checkpoint_every`` the
+    publish cadence at which the serve tier checkpoints automatically
+    (0 = only on graceful shutdown).
+    """
+
+    path: str | None = None
+    fsync: str = "always"
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fsync not in _FSYNC_POLICIES:
+            raise SpecError(
+                f"unknown fsync policy {self.fsync!r}; expected one of "
+                f"{_FSYNC_POLICIES}"
+            )
+        if (
+            not isinstance(self.checkpoint_every, int)
+            or isinstance(self.checkpoint_every, bool)
+            or self.checkpoint_every < 0
+        ):
+            raise SpecError(
+                f"checkpoint_every must be an integer >= 0, got "
+                f"{self.checkpoint_every!r}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        document: dict[str, object] = {
+            "fsync": self.fsync,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        if self.path is not None:
+            document["path"] = self.path
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "DurabilitySpec":
+        known = {"path", "fsync", "checkpoint_every"}
+        unknown = set(document) - known
+        if unknown:
+            raise SpecError(f"unknown durability keys: {sorted(unknown)}")
+        path = document.get("path")
+        return cls(
+            path=None if path is None else str(path),
+            fsync=str(document.get("fsync", "always")),
+            checkpoint_every=document.get("checkpoint_every", 0),  # type: ignore[arg-type]
+        )
+
+
 @dataclass(frozen=True)
 class SystemSpec:
     """A complete declarative description of one CDSS."""
@@ -191,6 +250,7 @@ class SystemSpec:
     perspective: str | None = None
     index_policy: str = POLICY_DEFERRED
     workers: int = 1
+    durability: DurabilitySpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "peers", tuple(self.peers))
@@ -248,6 +308,8 @@ class SystemSpec:
         }
         if self.perspective is not None:
             document["perspective"] = self.perspective
+        if self.durability is not None:
+            document["durability"] = self.durability.to_dict()
         return document
 
     @classmethod
@@ -261,11 +323,15 @@ class SystemSpec:
         known = {
             "format", "name", "strategy", "encoding_style", "perspective",
             "index_policy", "workers", "peers", "mappings", "edits",
+            "durability",
         }
         unknown = set(document) - known
         if unknown:
             raise SpecError(f"unknown spec keys: {sorted(unknown)}")
         perspective = document.get("perspective")
+        durability = document.get("durability")
+        if durability is not None and not isinstance(durability, Mapping):
+            raise SpecError("durability must be a JSON object")
         return cls(
             name=str(document.get("name", "cdss")),
             peers=tuple(
@@ -285,6 +351,11 @@ class SystemSpec:
             perspective=None if perspective is None else str(perspective),
             index_policy=str(document.get("index_policy", POLICY_DEFERRED)),
             workers=document.get("workers", 1),  # type: ignore[arg-type]
+            durability=(
+                None
+                if durability is None
+                else DurabilitySpec.from_dict(durability)
+            ),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

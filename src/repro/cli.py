@@ -6,6 +6,7 @@ Usage::
     python -m repro run bio.json          # execute a declarative SystemSpec
     python -m repro query bio.json 'ans(x, y) :- U(x, z), U(y, z)'
     python -m repro serve bio.json --port 8080   # HTTP+JSON serving tier
+    python -m repro serve bio.json --data-dir n/ # durable, crash-recoverable
     python -m repro fig4 --scale 0.5      # reproduce one figure
     python -m repro all --scale 0.25      # every figure + ablations
     python -m repro list                  # what is available
@@ -238,15 +239,49 @@ def _run_serve(args: argparse.Namespace) -> int:
     from .datalog.ast import DatalogError
     from .schema import SchemaError
     from .serve import run as serve_run
+    from .storage.instance import StorageError
 
     try:
-        cdss = CDSS.from_spec(
-            _load_spec(args.spec, args.index_policy, args.workers)
+        spec = _load_spec(args.spec, args.index_policy, args.workers)
+        durability = spec.durability
+        data_dir = args.data_dir or (
+            durability.path if durability is not None else None
         )
-        if not args.no_exchange:
-            # Start from a consistent fixpoint: the first pinned snapshot
-            # must already reflect the spec's seed data.
-            cdss.update_exchange(strategy=args.strategy)
+        node = None
+        if data_dir is not None:
+            from .durability import DurableNode
+
+            fsync = args.fsync or (
+                durability.fsync if durability is not None else "always"
+            )
+            checkpoint_every = args.checkpoint_every
+            if checkpoint_every is None:
+                checkpoint_every = (
+                    durability.checkpoint_every
+                    if durability is not None
+                    else 0
+                )
+            # Recover the node if the directory exists, else initialize
+            # it (spec edits land in the initial checkpoint).
+            node = DurableNode.launch(
+                spec,
+                data_dir,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            cdss = node.cdss
+            if not args.no_exchange and not node.recovered:
+                # Fresh node: publish the spec's seed edits so the first
+                # pinned snapshot is a consistent fixpoint.  A recovered
+                # node restarts exactly as it crashed — staged-but-
+                # unpublished edits stay staged.
+                node.publish(strategy=args.strategy)
+        else:
+            cdss = CDSS.from_spec(spec)
+            if not args.no_exchange:
+                # Start from a consistent fixpoint: the first pinned
+                # snapshot must already reflect the spec's seed data.
+                cdss.update_exchange(strategy=args.strategy)
         serve_run(
             cdss,
             host=args.host,
@@ -256,8 +291,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             readers=args.readers,
             duration=args.duration,
+            node=node,
         )
-    except (OSError, SpecError, DatalogError, SchemaError) as error:
+    except (OSError, SpecError, DatalogError, SchemaError, StorageError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     except KeyboardInterrupt:
@@ -390,6 +426,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-exchange",
         action="store_true",
         help="skip the initial update exchange before serving",
+    )
+    serve_cmd.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve durably from this node directory: recover it if it "
+            "exists, else initialize it from the spec (overrides the "
+            "spec's durability.path)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--fsync",
+        choices=("always", "never"),
+        default=None,
+        help="write-ahead-log fsync policy (default: spec's, else always)",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "checkpoint after every N publishes (0 = only on graceful "
+            "shutdown; default: spec's durability setting)"
+        ),
     )
     serve_cmd.add_argument(
         "--strategy",

@@ -47,20 +47,46 @@ class Update:
 
 
 class EditLog:
-    """The ordered edit log of one peer (covering all its relations)."""
+    """The ordered edit log of one peer (covering all its relations).
+
+    Observers registered with :meth:`observe` are called with each batch
+    of newly *staged* entries (from :meth:`insert` / :meth:`delete` /
+    :meth:`extend`) — the hook the durability layer uses to write-ahead-log
+    edits before they reach the exchange engine.  Draining and clearing do
+    not notify: consumption is the publish path's business.
+    """
 
     def __init__(self, peer: str) -> None:
         self.peer = peer
         self._entries: list[Update] = []
+        self._observers: list = []
+
+    def observe(self, callback) -> None:
+        """Register ``callback(log, entries)`` for newly staged entries."""
+        self._observers.append(callback)
+
+    def unobserve(self, callback) -> bool:
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    def _notify(self, entries: tuple[Update, ...]) -> None:
+        if entries:
+            for callback in self._observers:
+                callback(self, entries)
 
     def insert(self, relation: str, row: Iterable[object]) -> Update:
         update = Update(relation, tuple(row), is_insert=True)
         self._entries.append(update)
+        self._notify((update,))
         return update
 
     def delete(self, relation: str, row: Iterable[object]) -> Update:
         update = Update(relation, tuple(row), is_insert=False)
         self._entries.append(update)
+        self._notify((update,))
         return update
 
     def extend(self, updates: Iterable[Update]) -> int:
@@ -72,6 +98,7 @@ class EditLog:
         """
         before = len(self._entries)
         self._entries.extend(updates)
+        self._notify(tuple(self._entries[before:]))
         return len(self._entries) - before
 
     def __len__(self) -> int:

@@ -334,6 +334,21 @@ class ExchangeSystem:
         self._subscriptions.add(subscription)
         return subscription
 
+    def restore_version(self, version: int) -> None:
+        """Seed the change-stream cursor after loading a checkpoint.
+
+        A recovered node must hand out version numbers that continue the
+        pre-crash sequence — clients hold cursors against it.  The change
+        log itself is not restored (retention makes it best-effort anyway);
+        WAL-tail replay repopulates the recent batches.
+        """
+        if version < self._version:
+            raise ValueError(
+                f"cannot move change-stream version backwards "
+                f"({self._version} -> {version})"
+            )
+        self._version = int(version)
+
     def changes_since(self, since: int) -> tuple[int, list[ChangeBatch]]:
         """``(current version, batches with version > since)``.
 

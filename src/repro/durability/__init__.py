@@ -1,0 +1,46 @@
+"""Durability: write-ahead logging, checkpoints, crash recovery.
+
+The subsystem that lets a CDSS node be killed and restarted without
+recomputing the world — DESIGN.md's "Durability" section has the full
+picture.  :class:`WriteAheadLog` is the framed, checksummed redo log;
+:class:`DurableNode` ties it to the SQLite checkpoint store and the
+exchange engine's incremental maintenance path.
+"""
+
+from .node import (
+    EDITLOG_PREFIX,
+    KIND_EDITS,
+    KIND_PUBLISH,
+    NODE_META_BUCKET,
+    SPEC_FILE,
+    STATE_FILE,
+    WAL_DIR,
+    DurableNode,
+)
+from .wal import (
+    FSYNC_ALWAYS,
+    FSYNC_NEVER,
+    FSYNC_POLICIES,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    read_segment,
+)
+
+__all__ = [
+    "DurableNode",
+    "EDITLOG_PREFIX",
+    "FSYNC_ALWAYS",
+    "FSYNC_NEVER",
+    "FSYNC_POLICIES",
+    "KIND_EDITS",
+    "KIND_PUBLISH",
+    "NODE_META_BUCKET",
+    "SPEC_FILE",
+    "STATE_FILE",
+    "WAL_DIR",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_segment",
+]

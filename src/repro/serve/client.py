@@ -99,15 +99,24 @@ class ServeClient:
     def statements(self) -> list[dict]:
         return self.request("GET", "/statements")["statements"]
 
-    def changes(self, since: int = 0) -> dict:
+    def changes(self, since: int = 0, wait: float | None = None) -> dict:
         """Poll the update-exchange change stream.
 
         Returns ``{"version": V, "since": since, "changes": [...]}`` where
         each change batch carries per-relation inserted/deleted rows.
         Remember ``version`` and pass it back as ``since`` to get only
         what happened after the previous poll.
+
+        ``wait=SECS`` long-polls: an empty result parks server-side until
+        the next publish or the wait elapses (the server caps it at its
+        ``MAX_CHANGES_WAIT``; a timed-out wait returns an empty batch
+        list, not an error).  Make sure the client timeout exceeds the
+        wait, or the connection gives up before the server answers.
         """
-        return self.request("GET", f"/changes?since={int(since)}")
+        path = f"/changes?since={int(since)}"
+        if wait is not None:
+            path += f"&wait={float(wait)}"
+        return self.request("GET", path)
 
     def prepare(
         self,

@@ -29,8 +29,9 @@ method    path           body / effect
 GET       /health        liveness + pinned snapshot version
 GET       /stats         admission, snapshot, registry, request counters
 GET       /statements    registered prepared statements
-GET       /changes       ?since=V → output-relation change batches with
-                         version > V (the update-exchange change stream)
+GET       /changes       ?since=V&wait=S → output-relation change batches
+                         with version > V (the update-exchange change
+                         stream); wait>0 long-polls until the next publish
 POST      /prepare       {kind, text, params?, answer?} → {statement, ...}
 POST      /execute       {statement, bindings?, mode?, order?, limit?,
                          offset?} → {rows, count, pinned_version, ...}
@@ -64,9 +65,15 @@ from .snapshots import SnapshotManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.cdss import CDSS
+    from ..durability.node import DurableNode
 
 _MAX_BODY = 8 * 1024 * 1024
 _STREAM_LIMIT = 1 * 1024 * 1024
+
+#: Longest honored ``/changes?wait=`` long-poll, seconds.  Clients wanting
+#: to wait longer re-issue the request; an unbounded wait would pin a
+#: connection (and its handler task) forever.
+MAX_CHANGES_WAIT = 60.0
 
 
 class ReproServer:
@@ -74,15 +81,25 @@ class ReproServer:
 
     def __init__(
         self,
-        cdss: "CDSS",
+        cdss: "CDSS | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
         max_queue: int = 128,
         timeout: float = 30.0,
         readers: int = 4,
+        node: "DurableNode | None" = None,
     ) -> None:
+        if cdss is None:
+            if node is None:
+                raise ValueError("ReproServer needs a cdss or a DurableNode")
+            cdss = node.cdss
+        elif node is not None and node.cdss is not cdss:
+            raise ValueError("node and cdss arguments disagree")
         self.cdss = cdss
+        #: When set, publishes route through the durable node (write-ahead
+        #: logged, auto-checkpointed) and graceful shutdown checkpoints.
+        self.node = node
         self.host = host
         self.port = port
         self.registry = StatementRegistry(cdss)
@@ -103,6 +120,9 @@ class ReproServer:
         # capture is gated on open subscriptions, so this is what makes
         # every publish land in the change log that /changes serves.
         self._subscription = cdss.system().subscribe()
+        #: Long-poll parking lot: one future per waiting ``/changes``
+        #: request, resolved (all at once) after every publish.
+        self._change_waiters: list[asyncio.Future] = []
         self.requests = 0
         self.errors = 0
         self.publishes = 0
@@ -119,6 +139,10 @@ class ReproServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        # Wake parked long-polls first: wait_closed() blocks on in-flight
+        # handlers, and a /changes waiter would otherwise hold it for its
+        # full timeout.
+        self._wake_change_waiters()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -127,6 +151,10 @@ class ReproServer:
         self._readers.shutdown(wait=True)
         self._writer.shutdown(wait=True)
         self._subscription.close()
+        if self.node is not None:
+            # Graceful shutdown = final checkpoint; the next open() replays
+            # an empty WAL tail.
+            self.node.close()
 
     async def serve_until_shutdown(self, duration: float | None = None) -> None:
         """Serve until ``POST /shutdown`` (or ``duration`` seconds pass)."""
@@ -288,7 +316,7 @@ class ReproServer:
             if path == "/statements":
                 return {"statements": self.registry.describe()}
             if path == "/changes":
-                return self._do_changes(query)
+                return await self._do_changes(query)
             raise ServeError(f"unknown path {path!r}", 404, "not_found")
         if method != "POST":
             raise ServeError(
@@ -312,7 +340,7 @@ class ReproServer:
         raise ServeError(f"unknown path {path!r}", 404, "not_found")
 
     def _stats(self) -> dict:
-        return {
+        stats = {
             "requests": self.requests,
             "errors": self.errors,
             "publishes": self.publishes,
@@ -321,14 +349,27 @@ class ReproServer:
             "admission": self.admission.stats(),
             "snapshot": self.snapshots.stats(),
         }
+        if self.node is not None:
+            stats["durability"] = {
+                "data_dir": str(self.node.data_dir),
+                "wal_seq": self.node.wal.last_seq,
+                "checkpoints": self.node.checkpoints,
+                "recovered": self.node.recovered,
+                "replayed_edit_records": self.node.replayed_edit_records,
+                "replayed_publish_records": (
+                    self.node.replayed_publish_records
+                ),
+            }
+        return stats
 
-    def _do_changes(self, query: Mapping[str, str]) -> dict:
+    async def _do_changes(self, query: Mapping[str, str]) -> dict:
         """Serve the change stream: batches with version > ``since``.
 
-        Reads the exchange system's change log without any lock: batches
-        are immutable once appended and the log only grows under the
-        exchange lock, so a concurrent publish can at worst hide the
-        batch it is still writing — the client's next poll gets it.
+        With ``wait=SECS`` (long poll) an empty result parks the request
+        until the next publish lands or the wait elapses — clients get
+        sub-second change propagation without hot polling.  The wait is
+        capped at ``MAX_CHANGES_WAIT`` and a timed-out poll returns the
+        normal (empty) payload, so clients need no special timeout path.
         """
         raw = query.get("since", "0")
         try:
@@ -338,6 +379,43 @@ class ReproServer:
                 f"since must be an integer version, got {raw!r}",
                 code="bad_since",
             ) from None
+        raw_wait = query.get("wait", "0")
+        try:
+            wait = min(float(raw_wait or "0"), MAX_CHANGES_WAIT)
+        except ValueError:
+            raise ServeError(
+                f"wait must be a number of seconds, got {raw_wait!r}",
+                code="bad_wait",
+            ) from None
+        payload = self._changes_payload(since)
+        if payload["changes"] or wait <= 0:
+            return payload
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait
+        while not payload["changes"] and not self._shutdown.is_set():
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            waiter: asyncio.Future = loop.create_future()
+            self._change_waiters.append(waiter)
+            try:
+                await asyncio.wait_for(waiter, remaining)
+            except asyncio.TimeoutError:
+                break
+            finally:
+                if waiter in self._change_waiters:
+                    self._change_waiters.remove(waiter)
+            payload = self._changes_payload(since)
+        return payload
+
+    def _changes_payload(self, since: int) -> dict:
+        """One change-stream read: batches with version > ``since``.
+
+        Reads the exchange system's change log without any lock: batches
+        are immutable once appended and the log only grows under the
+        exchange lock, so a concurrent publish can at worst hide the
+        batch it is still writing — the client's next poll gets it.
+        """
         version, batches = self.cdss.system().changes_since(since)
         changes = []
         for batch in batches:
@@ -354,6 +432,12 @@ class ReproServer:
                 }
             changes.append({"version": batch.version, "relations": relations})
         return {"version": version, "since": since, "changes": changes}
+
+    def _wake_change_waiters(self) -> None:
+        waiters, self._change_waiters = self._change_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
 
     # -- write path (exchange lock + single writer thread) -----------------
 
@@ -466,9 +550,14 @@ class ReproServer:
             raise ServeError("strategy must be a string")
 
         def publish() -> dict:
-            report = self.cdss.update_exchange(
-                peers=peers, strategy=strategy
-            )
+            if self.node is not None:
+                # Durable path: WAL-logged before applied, and checkpointed
+                # on the node's configured cadence.
+                report = self.node.publish(peers=peers, strategy=strategy)
+            else:
+                report = self.cdss.update_exchange(
+                    peers=peers, strategy=strategy
+                )
             # Copy-on-publish: pin the new fixpoint while the exchange
             # lock is still held, so no later write can tear the copy.
             snapshot = self.snapshots.refresh()
@@ -488,11 +577,12 @@ class ReproServer:
                 f"{type(exc).__name__}: {exc}", status=500, code="publish_error"
             ) from exc
         self.publishes += 1
+        self._wake_change_waiters()
         return result  # type: ignore[return-value]
 
 
 def run(
-    cdss: "CDSS",
+    cdss: "CDSS | None" = None,
     host: str = "127.0.0.1",
     port: int = 8080,
     max_inflight: int = 64,
@@ -500,11 +590,14 @@ def run(
     timeout: float = 30.0,
     readers: int = 4,
     duration: float | None = None,
+    node: "DurableNode | None" = None,
 ) -> None:
     """Boot a server and block until shutdown — the CLI entry point.
 
     Prints ``repro-serve listening on http://host:port`` once the socket
     is bound (with the *actual* port, so ``--port 0`` is scriptable).
+    Pass ``node`` (a :class:`~repro.durability.node.DurableNode`) to serve
+    durably: publishes are write-ahead logged and shutdown checkpoints.
     """
 
     async def main() -> None:
@@ -516,6 +609,7 @@ def run(
             max_queue=max_queue,
             timeout=timeout,
             readers=readers,
+            node=node,
         )
         await server.start()
         print(

@@ -4,7 +4,24 @@ The storage layer of DESIGN.md's stack — the stand-in for the RDBMS
 tables and Berkeley DB storage of the paper's Section 5.
 """
 
+from .backend import (
+    BACKEND_MEMORY,
+    BACKEND_SQLITE,
+    BACKENDS,
+    StorageBackend,
+    open_backend,
+)
 from .btree import BPlusTree, BTreeError
+from .codec import (
+    CodecError,
+    decode_row,
+    decode_value,
+    dumps_row,
+    encode_row,
+    encode_value,
+    key_text,
+    loads_row,
+)
 from .database import Database, UnknownRelationError
 from .indexes import (
     INDEX_POLICIES,
@@ -20,14 +37,19 @@ from .kvstore import KeyValueStore, RelationStore
 from .persistence import checkpoint, checkpoint_equal, restore
 from .replication import ChangeFeed, apply_ops, build_replica, export_snapshot
 from .snapshot import DatabaseSnapshot, pin_database
+from .sqlite import SQLiteStore
 from .stats import StatisticsCache, TableStats, compute_stats
 from .zset import ZSet, apply_zset, fold_ops
 
 __all__ = [
     "ArityError",
+    "BACKENDS",
+    "BACKEND_MEMORY",
+    "BACKEND_SQLITE",
     "BPlusTree",
     "BTreeError",
     "ChangeFeed",
+    "CodecError",
     "Database",
     "DatabaseSnapshot",
     "DeferredIndexSet",
@@ -40,7 +62,9 @@ __all__ = [
     "POLICY_EAGER",
     "RelationStore",
     "Row",
+    "SQLiteStore",
     "StatisticsCache",
+    "StorageBackend",
     "StorageError",
     "TableStats",
     "UnknownRelationError",
@@ -52,8 +76,16 @@ __all__ = [
     "checkpoint",
     "checkpoint_equal",
     "compute_stats",
+    "decode_row",
+    "decode_value",
+    "dumps_row",
+    "encode_row",
+    "encode_value",
     "export_snapshot",
+    "key_text",
+    "loads_row",
     "make_index_set",
+    "open_backend",
     "pin_database",
     "restore",
 ]

@@ -10,6 +10,7 @@ storage for provenance tables.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator
 
 from .btree import BPlusTree
@@ -18,7 +19,13 @@ Row = tuple[object, ...]
 
 
 class KeyValueStore:
-    """A collection of named, ordered buckets (one B+-tree each)."""
+    """A collection of named, ordered buckets (one B+-tree each).
+
+    Implements the :class:`~repro.storage.backend.StorageBackend`
+    protocol; :meth:`transaction` and :meth:`close` are no-ops because an
+    in-memory store has neither crash atomicity to provide nor resources
+    to release.
+    """
 
     def __init__(self, branching: int = 32) -> None:
         self._branching = branching
@@ -61,9 +68,23 @@ class KeyValueStore:
             return iter(())
         return tree.range(low, high)
 
+    def values(self, bucket: str) -> Iterator[object]:
+        tree = self._buckets.get(bucket)
+        if tree is None:
+            return iter(())
+        return (value for _, value in tree.range(None, None))
+
     def size(self, bucket: str) -> int:
         tree = self._buckets.get(bucket)
         return 0 if tree is None else len(tree)
+
+    @contextmanager
+    def transaction(self):
+        """No-op atomicity scope (backend-protocol conformance)."""
+        yield self
+
+    def close(self) -> None:
+        """No-op resource release (backend-protocol conformance)."""
 
 
 def _row_key(row: Row) -> tuple[str, ...]:

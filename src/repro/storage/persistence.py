@@ -1,4 +1,4 @@
-"""Checkpointing databases into the ordered key-value store.
+"""Checkpointing databases into a storage backend.
 
 ORCHESTRA persists peer instances and provenance tables in auxiliary storage
 (Berkeley DB for the Tukwila backend — Section 5: "Auxiliary storage holds
@@ -6,55 +6,96 @@ and indexes provenance tables for peer instances"; "Between update exchange
 operations, it maintains copies of all relations, enabling future operations
 to be incremental").  This module provides that persistence for the
 reproduction: a :class:`~repro.storage.database.Database` can be
-checkpointed into a :class:`~repro.storage.kvstore.KeyValueStore` and
-restored later, preserving labeled nulls.
+checkpointed into any :class:`~repro.storage.backend.StorageBackend` — the
+in-memory :class:`~repro.storage.kvstore.KeyValueStore` or the on-disk
+:class:`~repro.storage.sqlite.SQLiteStore` — and restored later, preserving
+labeled nulls.
 
-The representation: one bucket per relation holding (row-key -> row), plus a
-catalog bucket recording relation arities.
+The representation: one bucket per relation holding (row-key -> row), a
+catalog bucket recording relation arities, an index bucket recording each
+relation's materialized index definitions, and a meta bucket recording
+database-level settings (the index maintenance policy).  ``restore``
+mirrors the checkpoint *exactly*: relations present in the target database
+but absent from the catalog are dropped (the restore-side twin of
+``checkpoint``'s stale-bucket wipe), and recorded indexes are rebuilt so a
+recovered instance probes the same access paths the checkpointed one did.
 """
 
 from __future__ import annotations
 
+from .backend import StorageBackend
 from .database import Database
-from .instance import Row, StorageError
+from .indexes import INDEX_POLICIES
+from .instance import StorageError
 from .kvstore import KeyValueStore, _row_key
 
 CATALOG_BUCKET = "__catalog__"
+INDEX_BUCKET = "__indexes__"
+META_BUCKET = "__dbmeta__"
 DATA_PREFIX = "rel::"
+
+#: Buckets owned by the checkpoint representation (wiped on checkpoint).
+_OWN_BUCKETS = (CATALOG_BUCKET, INDEX_BUCKET, META_BUCKET)
 
 
 def checkpoint(
-    db: Database, store: KeyValueStore | None = None
-) -> KeyValueStore:
-    """Write a full copy of ``db`` into a key-value store.
+    db: Database, store: StorageBackend | None = None
+) -> StorageBackend:
+    """Write a full copy of ``db`` into a storage backend.
 
     An existing store is wiped of stale relation buckets first, so the
-    result always mirrors ``db`` exactly.
+    result always mirrors ``db`` exactly.  The write runs inside one
+    backend transaction: a crash mid-checkpoint leaves the previous
+    checkpoint intact, never a torn mix.
     """
     if store is None:
         store = KeyValueStore()
-    for bucket in store.bucket_names():
-        if bucket.startswith(DATA_PREFIX) or bucket == CATALOG_BUCKET:
-            store.drop(bucket)
-    for instance in db:
-        store.put(CATALOG_BUCKET, instance.name, instance.arity)
-        bucket = DATA_PREFIX + instance.name
-        for row in instance:
-            store.put(bucket, _row_key(row), row)
+    with store.transaction():
+        for bucket in store.bucket_names():
+            if bucket.startswith(DATA_PREFIX) or bucket in _OWN_BUCKETS:
+                store.drop(bucket)
+        store.put(META_BUCKET, "index_policy", db.index_policy)
+        for instance in db:
+            store.put(CATALOG_BUCKET, instance.name, instance.arity)
+            indexed = instance.indexed_columns()
+            if indexed:
+                store.put(
+                    INDEX_BUCKET,
+                    instance.name,
+                    [list(cols) for cols in sorted(indexed)],
+                )
+            bucket = DATA_PREFIX + instance.name
+            for row in instance:
+                store.put(bucket, _row_key(row), row)
     return store
 
 
-def restore(store: KeyValueStore, into: Database | None = None) -> Database:
+def restore(
+    store: StorageBackend, into: Database | None = None
+) -> Database:
     """Rebuild a database from a checkpoint.
 
     When ``into`` is given, relations are created/verified there (useful for
-    loading a checkpoint into a freshly configured exchange system);
-    otherwise a new database is returned.
+    loading a checkpoint into a freshly configured exchange system) and
+    relations ``into`` holds that the checkpoint catalog does not are
+    dropped, so the result mirrors the checkpoint exactly; otherwise a new
+    database is returned, built with the checkpointed index policy.
+    Recorded index definitions are rebuilt on every restored relation.
     """
-    db = into if into is not None else Database()
     names = [name for name, _ in store.cursor(CATALOG_BUCKET)]
     if not names:
         raise StorageError("store contains no checkpoint catalog")
+    if into is not None:
+        db = into
+    else:
+        policy = store.get(META_BUCKET, "index_policy")
+        db = Database(
+            index_policy=(
+                policy
+                if isinstance(policy, str) and policy in INDEX_POLICIES
+                else "eager"
+            )
+        )
     for name in names:
         arity = store.get(CATALOG_BUCKET, name)
         if not isinstance(name, str) or not isinstance(arity, int):
@@ -63,12 +104,17 @@ def restore(store: KeyValueStore, into: Database | None = None) -> Database:
             )
         instance = db.ensure(name, arity)
         instance.clear()
-        for _, row in store.cursor(DATA_PREFIX + name):
-            instance.insert(row)  # type: ignore[arg-type]
+        instance.insert_many(store.values(DATA_PREFIX + name))  # type: ignore[arg-type]
+        for columns in store.get(INDEX_BUCKET, name, ()) or ():
+            instance.ensure_index(tuple(int(c) for c in columns))
+    catalog = set(names)
+    for name in db.relation_names():
+        if name not in catalog:
+            db.drop(name)
     return db
 
 
-def checkpoint_equal(db: Database, store: KeyValueStore) -> bool:
+def checkpoint_equal(db: Database, store: StorageBackend) -> bool:
     """True iff ``store`` holds exactly the contents of ``db``."""
     names = {name for name, _ in store.cursor(CATALOG_BUCKET)}
     if names != set(db.relation_names()):

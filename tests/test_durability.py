@@ -1,0 +1,425 @@
+"""Tests for the durability subsystem: WAL, checkpoints, crash recovery.
+
+The crash-point matrix simulates process death at the three interesting
+instants — after a checkpoint, losing the un-fsynced WAL tail, and mid-
+record (a torn write) — and asserts the recovered node serves *byte-
+identical certain answers* to a clean in-memory reference that performed
+the surviving operations, without ever running a full recompute (checked
+through the exchange-report strategy counters and the node's replay
+counters).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import CDSS, DurableNode, DurabilitySpec, SystemSpec, WriteAheadLog
+from repro.durability.wal import read_segment
+from repro.serve.client import ServeClient
+from repro.storage.instance import StorageError
+
+
+def paper_spec() -> SystemSpec:
+    """The running example (with m3, so labeled nulls + provenance)."""
+    cdss = CDSS("dur")
+    cdss.add_peer("PGUS", {"G": ("id", "can", "nam")})
+    cdss.add_peer("PBioSQL", {"B": ("id", "nam")})
+    cdss.add_peer("PuBio", {"U": ("nam", "can")})
+    cdss.add_mapping("m1", "G(i, c, n) -> B(i, n)")
+    cdss.add_mapping("m2", "G(i, c, n) -> U(n, c)")
+    cdss.add_mapping("m3", "B(i, n) -> exists c . U(n, c)")
+    cdss.add_mapping("m4", "B(i, c), U(n, c) -> B(i, n)")
+    with cdss.batch() as tx:
+        tx.insert("G", (1, 2, 3))
+        tx.insert("G", (3, 5, 2))
+        tx.insert("B", (3, 5))
+        tx.insert("U", (2, 5))
+    return cdss.to_spec()
+
+
+def run_script(cdss: CDSS, publish, publishes: int, stage_tail: bool):
+    """The scripted workload the crash matrix replays at various depths.
+
+    ``publish`` is either ``node.publish`` or ``cdss.update_exchange`` so
+    the same script drives both the durable node and the in-memory
+    reference.  ``publishes`` ∈ {1, 2, 3} selects how far to run;
+    ``stage_tail`` stages one final unpublished edit.
+    """
+    assert 1 <= publishes <= 3
+    publish()  # the spec's seed edits
+    if publishes >= 2:
+        with cdss.peer("PGUS").batch() as tx:
+            tx.insert("G", (7, 8, 9))
+        publish()
+    if publishes >= 3:
+        with cdss.peer("PBioSQL").batch() as tx:
+            tx.delete("B", (3, 2))
+        publish()
+    if stage_tail:
+        cdss.peer("PGUS").insert("G", (5, 5, 5))
+
+
+def certain_state(cdss: CDSS) -> dict:
+    """Byte-comparable certain answers for every user relation."""
+    return {
+        relation: sorted(cdss.relation(relation).certain(), key=repr)
+        for relation in cdss.relations()
+    }
+
+
+def reference_state(publishes: int, stage_tail: bool) -> dict:
+    cdss = paper_spec().build()
+    run_script(cdss, cdss.update_exchange, publishes, stage_tail)
+    return certain_state(cdss)
+
+
+def assert_no_recompute(node: DurableNode) -> None:
+    strategies = [report.strategy for report in node.cdss.exchange_reports]
+    assert strategies, "recovery should have replayed at least one publish"
+    assert "recompute" not in strategies
+
+
+def newest_wal_segment(data_dir: Path) -> Path:
+    segments = [
+        path
+        for path in sorted((data_dir / "wal").glob("wal-*.log"))
+        if path.stat().st_size > 0
+    ]
+    assert segments, "expected a non-empty WAL segment"
+    return segments[-1]
+
+
+def drop_last_record(path: Path, partial: bool = False) -> None:
+    """Simulate a crash while writing the final WAL record.
+
+    ``partial=False`` drops the whole last line (died *before* the write
+    hit disk); ``partial=True`` leaves half of it behind (torn write).
+    """
+    data = path.read_bytes()
+    assert data.endswith(b"\n")
+    cut = data.rindex(b"\n", 0, len(data) - 1) + 1 if data.count(b"\n") > 1 else 0
+    tail = data[cut:]
+    if partial:
+        data = data[:cut] + tail[: max(1, len(tail) // 2)]
+    else:
+        data = data[:cut]
+    path.write_bytes(data)
+
+
+# ---------------------------------------------------------------------------
+# WAL framing
+# ---------------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_append_read_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append("edits", {"peer": "P", "entries": []}) == 1
+            assert wal.append("publish", {"peers": ["P"]}) == 2
+        reopened = WriteAheadLog(tmp_path)
+        records = list(reopened.records())
+        assert [(r.seq, r.kind) for r in records] == [
+            (1, "edits"),
+            (2, "publish"),
+        ]
+        assert records[1].body == {"peers": ["P"]}
+        assert reopened.last_seq == 2
+
+    def test_after_seq_filters(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for index in range(5):
+            wal.append("edits", {"i": index})
+        assert [r.seq for r in wal.records(after_seq=3)] == [4, 5]
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("edits", {"i": 1})
+        wal.append("edits", {"i": 2})
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        drop_last_record(segment, partial=True)
+        reopened = WriteAheadLog(tmp_path)
+        assert [r.body["i"] for r in reopened.records()] == [1]
+        assert reopened.last_seq == 1
+        # New appends go to a fresh segment past the torn tail.
+        assert reopened.append("edits", {"i": 3}) == 2
+        assert [r.body["i"] for r in reopened.records()] == [1, 3]
+
+    def test_checksum_corruption_ends_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("edits", {"i": 1})
+        wal.append("edits", {"i": 2})
+        wal.close()
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        data = segment.read_bytes()
+        # Flip one payload byte of the FIRST record: its crc fails, and
+        # replay must stop there rather than skip over the hole.
+        index = data.index(b'"i":1')
+        segment.write_bytes(
+            data[:index] + b'"i":7' + data[index + 5 :]
+        )
+        assert list(WriteAheadLog(tmp_path).records()) == []
+
+    def test_rotate_prunes_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("edits", {"i": 1})
+        wal.append("edits", {"i": 2})
+        pruned = wal.rotate(retain_after_seq=2)
+        assert pruned == 1
+        wal.append("edits", {"i": 3})
+        assert [r.seq for r in wal.records()] == [3]
+        # A rotation that covers nothing keeps the segment.
+        assert wal.rotate(retain_after_seq=0) == 0
+        assert [r.seq for r in wal.records()] == [3]
+
+    def test_fsync_policy_validation(self, tmp_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        WriteAheadLog(tmp_path, fsync="never").close()
+
+    def test_read_segment_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(b"deadbeef not-json\n")
+        assert read_segment(path) == []
+
+
+# ---------------------------------------------------------------------------
+# DurableNode round trips
+# ---------------------------------------------------------------------------
+
+
+class TestDurableNode:
+    def test_crash_recovery_replays_tail_without_recompute(self, tmp_path):
+        node = DurableNode.create(paper_spec(), tmp_path / "node")
+        run_script(node.cdss, node.publish, publishes=3, stage_tail=True)
+        expected = certain_state(node.cdss)
+        version = node.cdss.system().version
+        # Crash: no close(), no checkpoint — only the WAL survives.
+        node.wal.close()
+        node.store.close()
+
+        recovered = DurableNode.open(tmp_path / "node")
+        assert recovered.recovered
+        assert recovered.replayed_publish_records == 3
+        assert recovered.replayed_edit_records >= 3
+        assert_no_recompute(recovered)
+        assert certain_state(recovered.cdss) == expected
+        assert certain_state(recovered.cdss) == reference_state(3, True)
+        assert recovered.cdss.pending_edits() == 1
+        # Change-stream versions continue the pre-crash sequence (the
+        # serving tier held no subscription here, so replay may not
+        # undershoot — only match or exceed).
+        assert recovered.cdss.system().version >= version
+        recovered.close()
+
+    def test_recovered_node_resumes_incrementally(self, tmp_path):
+        node = DurableNode.create(paper_spec(), tmp_path / "node")
+        run_script(node.cdss, node.publish, publishes=2, stage_tail=False)
+        node.wal.close()
+        node.store.close()
+        recovered = DurableNode.open(tmp_path / "node")
+        # The staged tail publishes on the recovered node...
+        with recovered.cdss.peer("PBioSQL").batch() as tx:
+            tx.delete("B", (3, 2))
+        recovered.publish()
+        assert certain_state(recovered.cdss) == reference_state(3, False)
+        recovered.close()
+        # ...and survives the NEXT crash/restart cycle too.
+        final = DurableNode.open(tmp_path / "node")
+        assert final.replayed_publish_records == 0  # graceful close
+        assert certain_state(final.cdss) == reference_state(3, False)
+        final.close()
+
+    def test_checkpoint_cadence(self, tmp_path):
+        node = DurableNode.create(
+            paper_spec(), tmp_path / "node", checkpoint_every=2
+        )
+        assert node.checkpoints == 1  # the initial checkpoint
+        node.publish()
+        assert node.checkpoints == 1
+        node.publish()
+        assert node.checkpoints == 2  # cadence hit
+        assert list(node.wal.records()) == []  # pruned up to the checkpoint
+        assert node.wal.last_seq == 2  # but the sequence never resets
+        node.close(checkpoint=False)
+
+    def test_batch_commits_are_wal_logged(self, tmp_path):
+        node = DurableNode.create(paper_spec(), tmp_path / "node")
+        before = node.wal.last_seq
+        with node.cdss.peer("PGUS").batch() as tx:
+            tx.insert("G", (7, 8, 9))
+            tx.insert("G", (8, 9, 10))
+        assert node.wal.last_seq == before + 1  # one record per commit
+        records = list(node.wal.records(after_seq=before))
+        assert records[0].kind == "edits"
+        assert len(records[0].body["entries"]) == 2
+        node.close(checkpoint=False)
+
+    def test_create_then_open_guards(self, tmp_path):
+        node = DurableNode.create(paper_spec(), tmp_path / "node")
+        node.close()
+        with pytest.raises(StorageError):
+            DurableNode.create(paper_spec(), tmp_path / "node")
+        with pytest.raises(StorageError):
+            DurableNode.open(tmp_path / "fresh")
+        # launch() picks the right constructor either way.
+        opened = DurableNode.launch(paper_spec(), tmp_path / "node")
+        assert opened.recovered
+        opened.close()
+        created = DurableNode.launch(paper_spec(), tmp_path / "fresh")
+        assert not created.recovered
+        created.close()
+
+    def test_durability_spec_roundtrip(self, tmp_path):
+        spec = paper_spec()
+        from dataclasses import replace
+
+        durable = replace(
+            spec,
+            durability=DurabilitySpec(
+                path=str(tmp_path / "node"), fsync="never", checkpoint_every=4
+            ),
+        )
+        loaded = SystemSpec.from_json(durable.to_json())
+        assert loaded.durability == durable.durability
+        assert SystemSpec.from_json(spec.to_json()).durability is None
+        from repro import SpecError
+
+        with pytest.raises(SpecError):
+            DurabilitySpec(fsync="sometimes")
+        with pytest.raises(SpecError):
+            DurabilitySpec(checkpoint_every=-1)
+        with pytest.raises(SpecError):
+            SystemSpec.from_dict(
+                {**spec.to_dict(), "durability": {"surprise": 1}}
+            )
+
+
+# ---------------------------------------------------------------------------
+# The crash-point matrix
+# ---------------------------------------------------------------------------
+
+
+class TestCrashMatrix:
+    """Kill the node at each interesting instant; recovery must serve
+    byte-identical certain answers to a clean reference."""
+
+    def _crashed_node(self, tmp_path, publishes=3, stage_tail=False):
+        node = DurableNode.create(paper_spec(), tmp_path / "node")
+        run_script(node.cdss, node.publish, publishes, stage_tail)
+        return node
+
+    def test_kill_after_checkpoint(self, tmp_path):
+        node = self._crashed_node(tmp_path)
+        node.checkpoint()
+        node.wal.close()
+        node.store.close()
+        recovered = DurableNode.open(tmp_path / "node")
+        # Everything is in the checkpoint: nothing to replay.
+        assert recovered.replayed_publish_records == 0
+        assert recovered.replayed_edit_records == 0
+        assert certain_state(recovered.cdss) == reference_state(3, False)
+        recovered.close()
+
+    def test_kill_before_fsync_loses_only_the_tail(self, tmp_path):
+        """The final publish record never reached disk: the node comes
+        back at the previous publish, with the tail edits re-staged."""
+        node = self._crashed_node(tmp_path)
+        node.wal.close()
+        node.store.close()
+        drop_last_record(newest_wal_segment(tmp_path / "node"))
+        recovered = DurableNode.open(tmp_path / "node")
+        assert recovered.replayed_publish_records == 2
+        assert_no_recompute(recovered)
+        # The third publish is gone, but its edits record survived: the
+        # deletion is staged, invisible until the next publish.
+        assert recovered.cdss.pending_edits() == 1
+        assert certain_state(recovered.cdss) == reference_state(2, False)
+        recovered.publish()
+        assert certain_state(recovered.cdss) == reference_state(3, False)
+        recovered.close()
+
+    def test_kill_mid_record_tolerates_torn_write(self, tmp_path):
+        node = self._crashed_node(tmp_path)
+        node.wal.close()
+        node.store.close()
+        drop_last_record(newest_wal_segment(tmp_path / "node"), partial=True)
+        recovered = DurableNode.open(tmp_path / "node")
+        assert recovered.replayed_publish_records == 2
+        assert_no_recompute(recovered)
+        assert certain_state(recovered.cdss) == reference_state(2, False)
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL a durable serve node (subprocess, end to end)
+# ---------------------------------------------------------------------------
+
+
+class TestServeRecovery:
+    def _boot(self, spec_path, data_dir):
+        repo_root = Path(__file__).resolve().parent.parent
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(spec_path),
+                "--port",
+                "0",
+                "--data-dir",
+                str(data_dir),
+            ],
+            cwd=repo_root,
+            env={**os.environ, "PYTHONPATH": str(repo_root / "src")},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        banner = proc.stdout.readline()
+        assert "repro-serve listening on " in banner, banner
+        return proc, banner.strip().rsplit(" ", 1)[-1]
+
+    def test_sigkill_then_restart_serves_identical_answers(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        paper_spec().save(spec_path)
+        data_dir = tmp_path / "node"
+        proc, url = self._boot(spec_path, data_dir)
+        try:
+            with ServeClient.from_url(url, timeout=60) as client:
+                client.insert("G", (7, 8, 9))
+                client.publish()
+                before = client.query(
+                    "ans(i, n) :- B(i, n)", order=["i", "n"]
+                )["rows"]
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+
+        proc, url = self._boot(spec_path, data_dir)
+        try:
+            with ServeClient.from_url(url, timeout=60) as client:
+                after = client.query(
+                    "ans(i, n) :- B(i, n)", order=["i", "n"]
+                )["rows"]
+                durability = client.stats()["durability"]
+                client.shutdown()
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+        assert after == before
+        assert durability["recovered"]
+        # WAL-tail replay, not recompute: both the seed publish and the
+        # client's publish came back from the log.
+        assert durability["replayed_publish_records"] == 2
+        assert durability["replayed_edit_records"] >= 1

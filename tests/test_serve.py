@@ -389,6 +389,49 @@ class TestServerEndToEnd:
             assert bad_since.value.status == 400
             assert bad_since.value.code == "bad_since"
 
+    def test_change_stream_long_poll_times_out_empty(self):
+        cdss = paper_cdss()
+        with ServerThread(cdss) as node, ServeClient(port=node.port) as client:
+            cursor = client.changes()["version"]
+            started = time.monotonic()
+            polled = client.changes(since=cursor, wait=0.4)
+            elapsed = time.monotonic() - started
+            # A timed-out long poll is a normal empty response, not an
+            # error — clients need no special timeout handling.
+            assert polled["changes"] == []
+            assert polled["version"] == cursor
+            assert elapsed >= 0.35
+
+            with pytest.raises(ServeHTTPError) as bad_wait:
+                client.request("GET", "/changes?since=0&wait=soon")
+            assert bad_wait.value.status == 400
+            assert bad_wait.value.code == "bad_wait"
+
+    def test_change_stream_long_poll_wakes_on_publish(self):
+        cdss = paper_cdss()
+        with ServerThread(cdss) as node, ServeClient(port=node.port) as client:
+            cursor = client.changes()["version"]
+
+            def later_publish():
+                time.sleep(0.3)
+                with ServeClient(port=node.port) as writer:
+                    writer.insert("B", (77, 88))
+                    writer.publish()
+
+            publisher = threading.Thread(target=later_publish)
+            publisher.start()
+            started = time.monotonic()
+            try:
+                polled = client.changes(since=cursor, wait=30)
+            finally:
+                publisher.join(timeout=60)
+            elapsed = time.monotonic() - started
+            # Woken by the publish, long before the 30s wait elapses.
+            assert elapsed < 10
+            assert len(polled["changes"]) == 1
+            batch = polled["changes"][0]
+            assert [77, 88] in batch["relations"]["B"]["inserted"]
+
     def test_error_paths(self):
         cdss = paper_cdss()
         with ServerThread(cdss) as node, ServeClient(port=node.port) as client:

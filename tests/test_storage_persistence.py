@@ -8,11 +8,16 @@ from repro.datalog.ast import SkolemValue
 from repro.storage import (
     Database,
     KeyValueStore,
+    SQLiteStore,
     StorageError,
     checkpoint,
     checkpoint_equal,
     restore,
 )
+
+#: Both sides of the storage-backend protocol; checkpoints must behave
+#: identically over each.
+BACKENDS = [KeyValueStore, SQLiteStore]
 
 
 class TestCheckpointRestore:
@@ -51,6 +56,45 @@ class TestCheckpointRestore:
         target.create("R", 1, [(5,)])  # stale contents are replaced
         restore(store, into=target)
         assert target["R"].rows() == {(1,)}
+
+    def test_restore_drops_relations_absent_from_catalog(self):
+        """The restore-side twin of the stale-bucket wipe: relations the
+        target holds that the checkpoint does not must go away."""
+        db = Database()
+        db.create("R", 1, [(1,)])
+        store = checkpoint(db)
+        target = Database()
+        target.create("R", 1, [(5,)])
+        target.create("GONE", 2, [(1, 2)])
+        restored = restore(store, into=target)
+        assert restored is target
+        assert target.relation_names() == ("R",)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_indexes_survive_roundtrip(self, backend):
+        db = Database(index_policy="eager")
+        db.create("R", 3, [(1, 2, 3), (4, 5, 6)])
+        db["R"].ensure_index((1,))
+        db["R"].ensure_index((0, 2))
+        db.create("S", 1, [(9,)])  # no indexes
+        loaded = restore(checkpoint(db, backend()))
+        assert loaded.index_policy == "eager"
+        assert set(loaded["R"].indexed_columns()) == {(1,), (0, 2)}
+        assert set(loaded["S"].indexed_columns()) == set()
+
+    @pytest.mark.parametrize("policy", ["eager", "deferred"])
+    def test_index_policy_survives_roundtrip(self, policy):
+        db = Database(index_policy=policy)
+        db.create("R", 1, [(1,)])
+        assert restore(checkpoint(db)).index_policy == policy
+
+    def test_restore_into_keeps_target_policy(self):
+        db = Database(index_policy="eager")
+        db.create("R", 1, [(1,)])
+        store = checkpoint(db)
+        target = Database(index_policy="deferred")
+        restore(store, into=target)
+        assert target.index_policy == "deferred"
 
     def test_restore_empty_store_raises(self):
         with pytest.raises(StorageError):
@@ -97,23 +141,40 @@ class TestCheckpointRestore:
         assert len(resumed.instance("U")) == 1  # same null, shared by n=5
 
 
+#: Column values a CDSS relation can actually hold: scalars plus labeled
+#: nulls whose arguments may themselves nest.
+_values = st.recursive(
+    st.one_of(
+        st.integers(-5, 5),
+        st.text(max_size=3),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.builds(
+        SkolemValue,
+        st.sampled_from(["f_m1_c", "f_m3_x"]),
+        st.tuples(children),
+    ),
+    max_leaves=4,
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=30, deadline=None)
 @given(
     rows=st.dictionaries(
         st.sampled_from(["R", "S", "T"]),
-        st.frozensets(
-            st.tuples(st.integers(0, 5), st.text(max_size=3)), max_size=8
-        ),
+        st.frozensets(st.tuples(_values, _values), max_size=8),
         max_size=3,
     )
 )
-def test_property_checkpoint_roundtrip(rows):
+def test_property_checkpoint_roundtrip(backend, rows):
     db = Database()
     for name, contents in rows.items():
         db.create(name, 2, contents)
     if not rows:
         return
-    store = checkpoint(db)
+    store = checkpoint(db, backend())
     loaded = restore(store)
     assert loaded.snapshot() == db.snapshot()
     assert checkpoint_equal(db, store)

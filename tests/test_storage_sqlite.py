@@ -1,0 +1,241 @@
+"""Tests for the SQLite storage backend and the durable value codec.
+
+The contract under test is *parity*: the in-memory B+-tree store and the
+sqlite3 store implement the same bucket protocol, so any operation
+sequence must leave both with identical contents (cursor *order* may
+differ — it is only promised to be deterministic per backend).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.ast import SkolemValue
+from repro.storage import (
+    KeyValueStore,
+    SQLiteStore,
+    StorageBackend,
+    StorageError,
+    open_backend,
+)
+from repro.storage.codec import (
+    CodecError,
+    decode_value,
+    dumps_row,
+    encode_value,
+    key_text,
+    loads_row,
+)
+
+
+# -- codec -----------------------------------------------------------------
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -7,
+            3.5,
+            "",
+            "text",
+            SkolemValue("f_m3_c", (5,)),
+            SkolemValue("f_m1_x", ("a", None)),
+            SkolemValue("f_m1_x", (SkolemValue("f_m2_y", (1,)), 2)),
+            (1, "a"),
+            (1, (2, SkolemValue("f", ()))),
+        ],
+    )
+    def test_value_roundtrip(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value) or isinstance(value, list)
+
+    def test_bool_int_distinction_survives(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_row_roundtrip_is_canonical(self):
+        row = (1, SkolemValue("f_m3_c", (5,)), "x")
+        text = dumps_row(row)
+        assert loads_row(text) == row
+        assert dumps_row(loads_row(text)) == text
+
+    def test_equal_rows_equal_bytes(self):
+        a = (SkolemValue("f", (1, "a")), 2)
+        b = (SkolemValue("f", (1, "a")), 2)
+        assert dumps_row(a) == dumps_row(b)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_undecodable_document_raises(self):
+        with pytest.raises(CodecError):
+            decode_value({"$null": [1, []], "extra": 2})
+        with pytest.raises(CodecError):
+            decode_value({"$mystery": []})
+        with pytest.raises(CodecError):
+            decode_value([1, 2])
+
+    def test_key_text_distinguishes_types(self):
+        assert key_text(("int:1",)) != key_text(("str:'1'",))
+        assert key_text(1) != key_text("1")
+
+
+# -- backend construction --------------------------------------------------
+
+
+class TestOpenBackend:
+    def test_memory(self):
+        store = open_backend("memory")
+        assert isinstance(store, KeyValueStore)
+        assert isinstance(store, StorageBackend)
+
+    def test_sqlite(self, tmp_path):
+        store = open_backend("sqlite", str(tmp_path / "s.db"))
+        assert isinstance(store, SQLiteStore)
+        assert isinstance(store, StorageBackend)
+        store.close()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(StorageError):
+            open_backend("papyrus")
+
+
+# -- sqlite specifics ------------------------------------------------------
+
+
+class TestSQLiteStore:
+    def test_basic_ops(self):
+        store = SQLiteStore()
+        store.put("b", "k", (1, "x"))
+        assert store.get("b", "k") == (1, "x")
+        assert store.get("b", "missing", 42) == 42
+        assert store.size("b") == 1
+        assert store.delete("b", "k")
+        assert not store.delete("b", "k")
+        assert store.size("b") == 0
+
+    def test_bucket_names_may_contain_separators(self):
+        store = SQLiteStore()
+        store.put("rel::R__l", ("k",), (1,))
+        store.put("__catalog__", "R__l", 2)
+        assert store.bucket_names() == ("__catalog__", "rel::R__l")
+        assert store.drop("rel::R__l")
+        assert store.bucket_names() == ("__catalog__",)
+
+    def test_labeled_nulls_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "state.sqlite3")
+        null = SkolemValue("f_m3_c", (5, SkolemValue("g", ("x",))))
+        store = SQLiteStore(path)
+        store.put("rows", ("key",), (5, null))
+        store.close()
+        reopened = SQLiteStore(path)
+        value = reopened.get("rows", ("key",))
+        assert value == (5, null)
+        assert isinstance(value[1], SkolemValue)
+        reopened.close()
+
+    def test_cursor_is_sorted_and_bounded(self):
+        store = SQLiteStore()
+        for key in ("b", "a", "c"):
+            store.put("x", key, key.upper())
+        assert [k for k, _ in store.cursor("x")] == ["a", "b", "c"]
+        assert [v for _, v in store.cursor("x", low="b")] == ["B", "C"]
+        assert [v for _, v in store.cursor("x", high="b")] == ["A", "B"]
+        assert list(store.cursor("missing")) == []
+
+    def test_transaction_rolls_back_on_error(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        store = SQLiteStore(path)
+        store.put("b", "committed", 1)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.put("b", "doomed", 2)
+                store.put("new_bucket", "k", 3)
+                raise RuntimeError("abort")
+        assert store.get("b", "committed") == 1
+        assert store.get("b", "doomed") is None
+        # The rolled-back bucket is gone from the catalog cache too.
+        assert "new_bucket" not in store.bucket_names()
+        store.put("new_bucket", "k", 4)  # and is recreatable
+        assert store.get("new_bucket", "k") == 4
+        store.close()
+
+    def test_nested_transactions_join(self):
+        store = SQLiteStore()
+        with store.transaction():
+            store.put("b", "outer", 1)
+            with store.transaction():
+                store.put("b", "inner", 2)
+        assert store.get("b", "outer") == 1
+        assert store.get("b", "inner") == 2
+
+    def test_synchronous_validation(self, tmp_path):
+        with pytest.raises(StorageError):
+            SQLiteStore(str(tmp_path / "x.db"), synchronous="sometimes")
+
+    def test_close_is_idempotent(self):
+        store = SQLiteStore()
+        store.close()
+        store.close()
+
+
+# -- cross-backend parity (property) ---------------------------------------
+
+_keys = st.tuples(st.sampled_from(["int:1", "int:2", "str:'a'", "str:'b'"]))
+_rows = st.tuples(
+    st.integers(-3, 3),
+    st.one_of(
+        st.text(max_size=2),
+        st.booleans(),
+        st.none(),
+        st.builds(
+            SkolemValue,
+            st.sampled_from(["f_m1_c", "f_m3_x"]),
+            st.tuples(st.integers(0, 3)),
+        ),
+    ),
+)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(["b1", "b2"]), _keys, _rows),
+        st.tuples(st.just("delete"), st.sampled_from(["b1", "b2"]), _keys),
+        st.tuples(st.just("drop"), st.sampled_from(["b1", "b2"])),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_property_backend_parity(ops):
+    """Any op sequence leaves both backends with identical contents."""
+    memory = KeyValueStore()
+    sqlite = SQLiteStore()
+    for op in ops:
+        if op[0] == "put":
+            _, bucket, key, row = op
+            memory.put(bucket, key, row)
+            sqlite.put(bucket, key, row)
+        elif op[0] == "delete":
+            _, bucket, key = op
+            assert memory.delete(bucket, key) == sqlite.delete(bucket, key)
+        else:
+            _, bucket = op
+            assert memory.drop(bucket) == sqlite.drop(bucket)
+    assert memory.bucket_names() == sqlite.bucket_names()
+    for bucket in memory.bucket_names():
+        assert memory.size(bucket) == sqlite.size(bucket)
+        assert dict(memory.cursor(bucket)) == dict(sqlite.cursor(bucket))
+        # values() is cursor order minus the keys, on both backends.
+        for store in (memory, sqlite):
+            values = [value for _, value in store.cursor(bucket)]
+            assert list(store.values(bucket)) == values
+    sqlite.close()
