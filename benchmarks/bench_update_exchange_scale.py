@@ -72,10 +72,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench.harness import efficiency_snapshot  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    efficiency_snapshot,
+    rows_per_cpu_second,
+)
 from repro.workload import CDSSWorkloadGenerator, WorkloadConfig  # noqa: E402
 
-RESULT_FORMAT = "repro/bench-update-exchange@4"
+RESULT_FORMAT = "repro/bench-update-exchange@5"
 QUERY_RESULT_FORMAT = "repro/bench-query@1"
 
 INDEX_POLICIES = ("eager", "deferred")
@@ -438,6 +441,7 @@ def run_benchmark(
     workers_counts: tuple[int, ...] | None = None,
     churn_per_peer: int | None = None,
     churn_batches: int = 3,
+    replication_workers_counts: tuple[int, ...] | None = None,
 ) -> dict[str, object]:
     series = run_policy_series(
         peer_counts,
@@ -458,6 +462,19 @@ def run_benchmark(
             seed=seed,
             repeat=repeat,
             workers_counts=workers_counts,
+        )
+    if replication_workers_counts:
+        print(
+            "replication series: full vs complement at "
+            f"workers={replication_workers_counts}"
+        )
+        result["replication_series"] = run_replication_series(
+            peer_counts,
+            base_per_peer,
+            insert_per_peer,
+            seed=seed,
+            repeat=repeat,
+            workers_counts=replication_workers_counts,
         )
     # The legacy top-level cells: the shipped-default policy's series (what
     # --baseline comparisons across PRs read).
@@ -612,6 +629,189 @@ def _workers_speedup(
                     str(cell["peers"])
                 ] = base[phase]["seconds"] / seconds
     return out
+
+
+# ---------------------------------------------------------------------------
+# Replication shipping series (protocol v1 full vs v2 complement)
+# ---------------------------------------------------------------------------
+
+REPLICATION_MODES = ("full", "complement")
+
+
+def run_replication_cell(
+    peers: int,
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int,
+    workers: int,
+    mode: str,
+) -> dict[str, object]:
+    """One replication cell: the three exchange phases under ``mode``.
+
+    ``mode`` pins ``REPRO_REPLICATION`` for the pool's protocol
+    negotiation — ``full`` forces v1 broadcast shipping, ``complement``
+    allows v2 retained-derivation shipping — and the cell reads the
+    transport's per-message byte counters plus the pool's replication
+    row accounting afterwards.  ``bytes_on_wire`` is the MSG_APPLY
+    payload volume (the replication traffic the protocol targets);
+    ``bytes_total`` includes task shipping and results for context.  On
+    a 1-CPU CI host wall time barely moves either way — bytes, rows
+    retained and rows/CPU-second are the honest metrics here.
+    """
+    import os
+
+    generator = CDSSWorkloadGenerator(
+        WorkloadConfig(peers=peers, dataset="integer", seed=seed)
+    )
+    previous = os.environ.get("REPRO_REPLICATION")
+    os.environ["REPRO_REPLICATION"] = mode
+    try:
+        cdss = _build_cdss(generator, PRIMARY_POLICY, workers)
+        generator.record_insertions(cdss, generator.insertions(base_per_peer))
+        publish_seconds, publish_cpu = _timed_cpu(cdss.update_exchange)
+        generator.record_insertions(
+            cdss, generator.insertions(insert_per_peer)
+        )
+        incremental_seconds, incremental_cpu = _timed_cpu(
+            cdss.update_exchange
+        )
+        generator.record_deletions(cdss, generator.deletions(insert_per_peer))
+        deletion_seconds, deletion_cpu = _timed_cpu(cdss.update_exchange)
+        total_tuples = cdss.system().total_tuples()
+        stats = cdss.system().parallel_stats() or {}
+        cdss.system().close()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_REPLICATION", None)
+        else:
+            os.environ["REPRO_REPLICATION"] = previous
+
+    transport = stats.get("transport", {}) or {}
+    apply_traffic = transport.get("apply", {})
+    replication = dict(stats.get("replication", {}))
+    cpu_seconds = publish_cpu + incremental_cpu + deletion_cpu
+    return {
+        "peers": peers,
+        "workers": workers,
+        "mode": mode,
+        "protocol": stats.get("protocol"),
+        "seconds": publish_seconds + incremental_seconds + deletion_seconds,
+        "cpu_seconds": cpu_seconds,
+        "total_tuples": total_tuples,
+        "rows_per_cpu_second": rows_per_cpu_second(
+            total_tuples, cpu_seconds
+        ),
+        "bytes_on_wire": apply_traffic.get("bytes_out", 0),
+        "frames_on_wire": apply_traffic.get("frames_out", 0),
+        "bytes_total": transport.get("total", {}).get("bytes_out", 0),
+        "replication": replication,
+        "peak_rss_kb": efficiency_snapshot()["peak_rss_kb"],
+    }
+
+
+def run_replication_series(
+    peer_counts: tuple[int, ...],
+    base_per_peer: int,
+    insert_per_peer: int,
+    seed: int = 0,
+    repeat: int = 1,
+    workers_counts: tuple[int, ...] = (2, 4),
+) -> dict[str, object]:
+    """Full vs complement shipping, per peer and worker count.
+
+    Each cell pairs the two modes on an identical workload and reports
+    ``wire_bytes_reduction`` — the fraction of MSG_APPLY bytes the
+    complement protocol avoids shipping (the headline number for this
+    series; the driver fails the run if it ever goes negative).  Byte
+    counters are deterministic per workload, so medians only de-noise
+    the timing fields.
+    """
+    import os
+
+    cells: list[dict[str, object]] = []
+    for peers in peer_counts:
+        for workers in workers_counts:
+            samples: dict[str, list[dict[str, object]]] = {
+                mode: [] for mode in REPLICATION_MODES
+            }
+            for _ in range(max(1, repeat)):
+                for mode in REPLICATION_MODES:
+                    samples[mode].append(
+                        run_replication_cell(
+                            peers,
+                            base_per_peer,
+                            insert_per_peer,
+                            seed,
+                            workers,
+                            mode,
+                        )
+                    )
+            pair: dict[str, dict[str, object]] = {}
+            for mode in REPLICATION_MODES:
+                ordered = sorted(
+                    samples[mode], key=lambda cell: cell["seconds"]
+                )
+                median = dict(ordered[len(ordered) // 2])
+                median["samples"] = len(ordered)
+                pair[mode] = median
+            full_bytes = pair["full"]["bytes_on_wire"]
+            complement_bytes = pair["complement"]["bytes_on_wire"]
+            reduction = (
+                1.0 - complement_bytes / full_bytes if full_bytes else 0.0
+            )
+            retained = pair["complement"]["replication"].get(
+                "rows_retained", 0
+            )
+            shipped = pair["complement"]["replication"].get(
+                "rows_shipped", 0
+            )
+            cells.append(
+                {
+                    "peers": peers,
+                    "workers": workers,
+                    "full": pair["full"],
+                    "complement": pair["complement"],
+                    "wire_bytes_reduction": reduction,
+                }
+            )
+            print(
+                f"  [replication] peers={peers:3d} workers={workers}"
+                f"  full={full_bytes}B complement={complement_bytes}B"
+                f"  reduction={reduction:.1%}"
+                f"  shipped={shipped} retained={retained}"
+            )
+    return {
+        "workload": {
+            "dataset": "integer",
+            "topology": "chain",
+            "base_per_peer": base_per_peer,
+            "insert_per_peer": insert_per_peer,
+            "delete_per_peer": insert_per_peer,
+            "seed": seed,
+            "repeat": repeat,
+            "index_policy": PRIMARY_POLICY,
+            "workers_counts": list(workers_counts),
+            "modes": list(REPLICATION_MODES),
+            "cpu_count": os.cpu_count(),
+        },
+        "cells": cells,
+    }
+
+
+def replication_regressions(series: dict[str, object]) -> list[str]:
+    """Cells where complement shipping moved MORE bytes than full —
+    the invariant the CI bench job enforces."""
+    problems: list[str] = []
+    for cell in series.get("cells", ()):
+        full_bytes = cell["full"]["bytes_on_wire"]
+        complement_bytes = cell["complement"]["bytes_on_wire"]
+        if complement_bytes > full_bytes:
+            problems.append(
+                f"peers={cell['peers']} workers={cell['workers']}: "
+                f"complement shipped {complement_bytes}B > full "
+                f"{full_bytes}B"
+            )
+    return problems
 
 
 # ---------------------------------------------------------------------------
@@ -1036,9 +1236,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("all", "exchange", "query"),
+        choices=("all", "exchange", "query", "replication"),
         default="all",
-        help="which series to run (default: both)",
+        help=(
+            "which series to run (default: exchange + query; "
+            "'replication' runs just the shipping-mode series and "
+            "merges it into an existing --out file when one is present)"
+        ),
     )
     parser.add_argument(
         "--index-policy",
@@ -1063,6 +1267,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker counts for the shard-parallel series "
         "(default: 1 2 4, or 1 2 with --quick; pass no values to skip)",
+    )
+    parser.add_argument(
+        "--replication-workers",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="worker counts for the replication shipping series "
+        "(default: 2 4, or 2 with --quick; pass no values to skip)",
     )
     parser.add_argument(
         "--churn",
@@ -1139,6 +1352,10 @@ def main(argv: list[str] | None = None) -> int:
         workers_counts = (1, 2) if args.quick else (1, 2, 4)
     else:
         workers_counts = tuple(args.workers_counts)
+    if args.replication_workers is None:
+        replication_workers = (2,) if args.quick else (2, 4)
+    else:
+        replication_workers = tuple(args.replication_workers)
     churn = args.churn if args.churn is not None else insert
     churn_batches = (
         args.churn_batches
@@ -1164,6 +1381,7 @@ def main(argv: list[str] | None = None) -> int:
             workers_counts=workers_counts,
             churn_per_peer=churn,
             churn_batches=churn_batches,
+            replication_workers_counts=replication_workers,
         )
 
         if args.baseline is not None and args.baseline.exists():
@@ -1200,6 +1418,46 @@ def main(argv: list[str] | None = None) -> int:
         result["efficiency"] = efficiency_snapshot()
         args.out.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.out}")
+        problems = replication_regressions(
+            result.get("replication_series", {})
+        )
+        if problems:
+            for problem in problems:
+                print(f"REPLICATION REGRESSION: {problem}")
+            return 1
+
+    if args.only == "replication":
+        if replication_workers:
+            print(
+                "replication series: full vs complement at "
+                f"workers={replication_workers}"
+            )
+            series = run_replication_series(
+                peer_counts,
+                base,
+                insert,
+                seed=args.seed,
+                repeat=repeat,
+                workers_counts=replication_workers,
+            )
+            # Merge into an existing exchange result when one is present,
+            # so the committed trajectory file can be refreshed without a
+            # full rerun of the other series.
+            result = (
+                json.loads(args.out.read_text()) if args.out.exists() else {}
+            )
+            # @5 is @4 plus the replication series, so a merged file
+            # carries the new format tag.
+            result["format"] = RESULT_FORMAT
+            result["replication_series"] = series
+            result["efficiency"] = efficiency_snapshot()
+            args.out.write_text(json.dumps(result, indent=2) + "\n")
+            print(f"wrote {args.out}")
+            problems = replication_regressions(series)
+            if problems:
+                for problem in problems:
+                    print(f"REPLICATION REGRESSION: {problem}")
+                return 1
 
     if args.only in ("all", "query"):
         print(

@@ -308,6 +308,19 @@ class ExchangeSystem:
             for relation in self.internal.relation_names()
         }
 
+    def parallel_stats(self) -> dict | None:
+        """Worker-pool replication + transport counters, or ``None``.
+
+        ``None`` while no parallel executor exists (``workers=1`` or no
+        parallel round yet); otherwise the live counter snapshot — the
+        negotiated replication protocol version, complement-shipping row
+        counts (shipped vs. retained vs. rejected), and the per-message
+        frames/bytes/pickle-seconds breakdown measured by the pool's
+        transport layer.  The serve tier republishes this under
+        ``/stats`` as ``"parallel"``.
+        """
+        return self.engine.parallel_stats()
+
     def total_tuples(self) -> int:
         return self.db.total_rows()
 

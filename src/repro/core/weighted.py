@@ -333,13 +333,7 @@ class WeightedMaintainer:
             # provenance row doomed through one occurrence must still be
             # visible to the others), then the doomed rows leave in one
             # bulk retraction per table.
-            doomed = self._doomed_provenance_rows(output_deltas)
-            from ..parallel.merge import Merger
-
-            removed = Merger.apply_retractions(
-                self.db,
-                [(name, rows) for name, rows in doomed.items()],
-            )
+            removed = self._retract_doomed_provenance_rows(output_deltas)
             for name, rows in removed.items():
                 table = self._table_by_name[name]
                 report.provenance_rows_deleted += len(rows)
@@ -410,16 +404,21 @@ class WeightedMaintainer:
             report._count(output_name(relation), len(rows))
             report.output_deletions.setdefault(relation, set()).update(rows)
 
-    def _doomed_provenance_rows(
+    def _retract_doomed_provenance_rows(
         self, output_deltas: dict[str, ZSet]
     ) -> dict[str, set[Row]]:
-        """Evaluate the retraction semijoins for one round's R__o delta.
+        """Evaluate and apply the retraction semijoins for one round.
 
-        Returns doomed provenance rows per table, deduplicated across
-        occurrences.  Rounds big enough to amortize Δ-shipping go through
-        the shard-parallel executor (same :class:`Merger` merge as an
-        insertion round); everything else — and any pool failure — runs
-        the same plans in-process.
+        Returns the *effective* deletions per provenance table (rows that
+        were actually present), deduplicated across occurrences.  Rounds
+        big enough to amortize Δ-shipping go through the shard-parallel
+        executor's :meth:`~repro.parallel.executor.ParallelExecutor.
+        run_retraction_round` — which also journals the deletions under
+        producer-worker origin tags so replicas drop their own retained
+        retraction rows without re-shipping (replication protocol v2);
+        everything else — and any pool failure — runs the same plans
+        in-process and retracts through :meth:`Merger.apply_retractions
+        <repro.parallel.merge.Merger.apply_retractions>`.
         """
         tasks: list[tuple[ProvenanceTable, Rule, list[Row]]] = []
         total_rows = 0
@@ -431,9 +430,8 @@ class WeightedMaintainer:
             for table, rule in self._deletion_rules.get(relation, ()):
                 tasks.append((table, rule, rows))
 
-        doomed: dict[str, set[Row]] = {}
         if not tasks:
-            return doomed
+            return {}
 
         executor = (
             self.engine._executor()
@@ -445,20 +443,23 @@ class WeightedMaintainer:
                 (self.engine.cached_plan(rule, self.db, 0), 0, rows)
                 for _, rule, rows in tasks
             ]
-            results = executor.run_round(self.db, plans, self._relevant)
-            if results is not None:
+            removed = executor.run_retraction_round(
+                self.db, plans, self._relevant
+            )
+            if removed is not None:
                 self.engine.stats.parallel_rounds += 1
-                for (table, _, _), rows in zip(tasks, results):
-                    doomed.setdefault(table.relation, set()).update(rows)
-                return doomed
+                return removed
             # Pool failure: nothing was mutated; fall through and run the
             # very same round sequentially.
 
+        doomed: dict[str, set[Row]] = {}
         for table, rule, rows in tasks:
             matched = self._run_deletion_rule(rule, rows)
             if matched:
                 doomed.setdefault(table.relation, set()).update(matched)
-        return doomed
+        from ..parallel.merge import Merger
+
+        return Merger.apply_retractions(self.db, list(doomed.items()))
 
     def _run_deletion_rule(self, rule: Rule, delta_rows: list[Row]) -> list[Row]:
         """One semijoin evaluation: the rule's Δ atom (body index 0) pinned

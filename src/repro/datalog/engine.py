@@ -231,6 +231,19 @@ class SemiNaiveEngine:
             self._parallel = executor
         return executor if executor.available else None
 
+    def parallel_stats(self) -> dict | None:
+        """Replication + transport counters of the parallel subsystem.
+
+        ``None`` until a parallel executor exists (workers=1, or no
+        parallel round has run yet); afterwards the executor's
+        :meth:`~repro.parallel.executor.ParallelExecutor.stats` snapshot,
+        including protocol version, complement-shipping row counts, and
+        the per-message-tag byte/pickle-time breakdown.
+        """
+        if self._parallel is None:
+            return None
+        return self._parallel.stats()
+
     def close(self) -> None:
         """Release the worker pool and stay sequential (idempotent).
 
@@ -579,7 +592,7 @@ class SemiNaiveEngine:
         executor = self._executor()
         if executor is None:
             return None
-        tasks: list[tuple[Rule, RulePlan, int | None, list[Row]]] = []
+        tasks: list = []
         for rule in rules:
             for index, atom in enumerate(rule.body):
                 if atom.negated:
@@ -588,27 +601,23 @@ class SemiNaiveEngine:
                 if not rows:
                     continue
                 plan = self._plan_for(rule, db, index, result)
-                tasks.append((rule, plan, index, list(rows)))
+                tasks.append(
+                    (
+                        plan,
+                        index,
+                        list(rows),
+                        rule.head.predicate,
+                        self._filter_for(rule),
+                    )
+                )
         if not tasks:
             return {}
-        outputs = executor.run_round(
-            db,
-            [(plan, index, rows) for _, plan, index, rows in tasks],
-            relevant,
-        )
-        if outputs is None:
+        next_deltas = executor.run_insertion_round(db, tasks, relevant)
+        if next_deltas is None:
             return None
         result.rule_applications += len(tasks)
         result.parallel_rounds += 1
-        from ..parallel import Merger
-
-        return Merger.apply(
-            db,
-            [
-                (rule.head.predicate, derived, self._filter_for(rule))
-                for (rule, _, _, _), derived in zip(tasks, outputs)
-            ],
-        )
+        return next_deltas
 
 
 class NaiveEngine:

@@ -8,6 +8,11 @@ across N OS processes — Δ-tuples hash-partitioned on the first join key
 current by change-feed delta shipping (:class:`WorkerPool`,
 :mod:`repro.storage.replication`), results deduplicated across shards
 and inserted under the ambient deferred-index scope (:class:`Merger`).
+Replication runs protocol v2 where negotiated: workers retain the
+derivations they produced, the parent ships only each worker's
+complement plus rejection acks, and every frame/byte crossing the pipes
+is counted by :class:`MessageTransport` (surfaced through
+``ExchangeSystem.parallel_stats()`` and the serve tier's ``/stats``).
 
 The subsystem hides behind the engine interface: construct the engine —
 or any layer above it, up to ``CDSS(workers=N)``, ``SystemSpec.workers``
@@ -22,9 +27,13 @@ from .executor import ParallelExecutor
 from .merge import Merger
 from .pool import WorkerPool, WorkerPoolError, resolve_workers
 from .shard import ShardPlanner, first_join_key
+from .transport import MessageTransport
+from .worker import PROTOCOL_VERSION
 
 __all__ = [
     "Merger",
+    "MessageTransport",
+    "PROTOCOL_VERSION",
     "ParallelExecutor",
     "ShardPlanner",
     "WorkerPool",

@@ -48,6 +48,32 @@ class Merger:
         return merged
 
     @staticmethod
+    def combine_masks(
+        task_count: int,
+        task_indices: Sequence[Sequence[int]],
+        worker_results: Sequence[Sequence[Sequence[Row]]],
+    ) -> "list[dict[Row, int]]":
+        """Union shard results per task, remembering who produced what.
+
+        Like :meth:`combine`, but each task's result is a ``row ->
+        producer-worker bitmask`` mapping (bit ``w`` set when worker ``w``
+        derived the row in some shard).  The masks drive complement
+        shipping: rows are journaled under a
+        :meth:`~repro.storage.database.Database.tag_changes` origin so the
+        pool's sync can skip shipping them back to their producers.
+        """
+        merged: "list[dict[Row, int]]" = [{} for _ in range(task_count)]
+        for worker_index, (indices, results) in enumerate(
+            zip(task_indices, worker_results)
+        ):
+            bit = 1 << worker_index
+            for task_index, rows in zip(indices, results):
+                target = merged[task_index]
+                for row in rows:
+                    target[row] = target.get(row, 0) | bit
+        return merged
+
+    @staticmethod
     def apply(
         db: Database,
         contributions: Sequence[

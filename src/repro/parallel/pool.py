@@ -8,8 +8,13 @@ first use) and the parent-side bookkeeping of the replication protocol:
   :class:`~repro.storage.replication.ChangeFeed` to the database and
   broadcasts a full snapshot; :meth:`sync` drains the feed and ships only
   the delta, so replicas are *kept* current rather than re-replicated
-  between rounds.  Sessions end automatically when their database is
-  garbage-collected (a weakref callback) or when the pool closes.
+  between rounds.  Under the negotiated replication protocol v2, each
+  worker's delta is further cut to the **complement** — rows *other*
+  workers produced — because every worker retains its own accepted
+  derivations locally (self-markers + rejection acks in the stream; see
+  DESIGN.md "Replication protocol v2").  Sessions end automatically when
+  their database is garbage-collected (a weakref callback) or when the
+  pool closes.
 * **plan registry** — rule plans are registered by identity and assigned
   integer ids; each plan is pickled to the workers exactly once
   (:meth:`flush_plans`), after which rounds reference plans by id.  The
@@ -36,7 +41,15 @@ import os
 import weakref
 from typing import TYPE_CHECKING, Sequence
 
-from ..storage.replication import OP_CREATE, OP_DROP
+from ..storage.replication import (
+    OP_CREATE,
+    OP_DELETE,
+    OP_DROP,
+    OP_INSERT,
+    pack_ops,
+    split_op_streams,
+)
+from .transport import MessageTransport
 from .worker import (
     MSG_APPLY,
     MSG_END_SESSION,
@@ -45,9 +58,8 @@ from .worker import (
     MSG_PLANS,
     MSG_SESSION,
     MSG_STOP,
+    PROTOCOL_VERSION,
     REPLY_OK,
-    dump_message,
-    recv_message,
     send_message,
     worker_main,
 )
@@ -104,12 +116,17 @@ def _close_all_pools() -> None:  # pragma: no cover - interpreter teardown
 
 
 class _Session:
-    __slots__ = ("sid", "feed", "dbref", "relevant", "stale")
+    __slots__ = ("sid", "feed", "dbref", "relevant", "stale", "rejections")
 
     def __init__(self, sid: int, feed, dbref) -> None:
         self.sid = sid
         self.feed = feed
         self.dbref = dbref
+        # Protocol v2 rejection acks, (round token, head predicate,
+        # worker) -> rows that worker derived but the parent's trust
+        # filters / merge discarded.  sync() attaches them to the
+        # matching self-markers and prunes consumed tokens.
+        self.rejections: dict[tuple[int, str, int], tuple] = {}
         # Delta-shipping filter: replicas only need relations that rule
         # *bodies* read — head-only relations (and their usually-wide
         # derived rows) never cross the wire.  ``relevant`` accumulates
@@ -130,11 +147,37 @@ class WorkerPool:
         self.workers = workers
         self.start_method = start_method
         self.broken = False
+        #: Negotiated replication protocol version: ``min()`` over what
+        #: every worker advertises (and the ``REPRO_REPLICATION`` cap),
+        #: settled by the startup handshake.  Protocol >= 2 ships
+        #: complements; 1 is full shipping.
+        self.protocol = PROTOCOL_VERSION
+        self.transport: MessageTransport | None = None
+        #: Replication-volume counters (complement shipping bookkeeping);
+        #: see :meth:`stats`.
+        self.repl_stats: dict[str, int] = {
+            "syncs": 0,
+            "broadcast_syncs": 0,
+            "complement_syncs": 0,
+            "full_syncs": 0,
+            "rows_shipped": 0,
+            "rows_retained": 0,
+            "rows_rejected": 0,
+            "markers": 0,
+            "snapshots": 0,
+            "snapshot_rows": 0,
+        }
         self._started = False
         self._conns: list = []
         self._procs: list = []
         self._sessions: dict[int, _Session] = {}
         self._session_ids = itertools.count(1)
+        # Round tokens: one per evaluated round, pool-wide monotone.  The
+        # eviction watermark shipped with every MSG_APPLY is derived from
+        # the last issued token, so worker retention caches never outlive
+        # the round after the one that could consume them.
+        self._round_tokens = itertools.count(1)
+        self._last_token = 0
         # id(plan) -> pid; pid -> plan (pins the plan so its id is stable).
         self._plan_ids: dict[int, int] = {}
         self._plans: dict[int, "RulePlan"] = {}
@@ -167,7 +210,61 @@ class WorkerPool:
             self.broken = True
             self.close()
             raise WorkerPoolError(f"could not spawn workers: {error}") from error
+        self.transport = MessageTransport(self._conns)
         self._started = True
+        try:
+            self._negotiate_protocol()
+        except Exception:
+            self.close()
+            raise
+
+    def _negotiate_protocol(self) -> None:
+        """Startup handshake: settle the replication protocol version.
+
+        Every worker advertises the protocol it implements (capped by its
+        ``REPRO_WORKER_PROTOCOL``); the pool runs at the minimum, further
+        capped by the parent's own version and by
+        ``REPRO_REPLICATION=full`` (an operator kill switch forcing v1
+        full shipping).  A mismatched worker therefore degrades the whole
+        pool to full shipping instead of corrupting replicas.
+        """
+        raw = os.environ.get("REPRO_REPLICATION", "").strip().lower()
+        if raw == "full":
+            cap = 1
+        elif raw in ("", "complement"):
+            cap = PROTOCOL_VERSION
+        else:
+            raise WorkerPoolError(
+                f"REPRO_REPLICATION must be 'full' or 'complement', got {raw!r}"
+            )
+        try:
+            replies = self._ping_workers()
+        except WorkerPoolError:
+            self.close()
+            raise
+        advertised = min(
+            (reply.get("protocol", 1) for reply in replies),
+            default=PROTOCOL_VERSION,
+        )
+        self.protocol = max(1, min(cap, advertised))
+
+    def _ping_workers(self) -> list[dict]:
+        """Round-trip MSG_PING to every worker; returns the reply dicts."""
+        self._broadcast((MSG_PING,))
+        replies = []
+        try:
+            for index in range(len(self._conns)):
+                reply = self.transport.recv(index, MSG_PING)
+                if reply[0] != REPLY_OK:
+                    raise WorkerPoolError(f"worker ping failed:\n{reply[1]}")
+                replies.append(reply[1])
+        except WorkerPoolError:
+            self.broken = True
+            raise
+        except Exception as error:
+            self.broken = True
+            raise WorkerPoolError(f"worker pipe failed: {error}") from error
+        return replies
 
     def close(self) -> None:
         """Tear the pool down (idempotent, safe from __del__/atexit)."""
@@ -199,6 +296,7 @@ class WorkerPool:
         self._plans.clear()
         self._unshipped.clear()
         self._started = False
+        self.transport = None
         # Closed means closed: a pool never restarts, even if it had not
         # spawned yet (start() raises, callers fall back to sequential).
         self.broken = True
@@ -213,10 +311,9 @@ class WorkerPool:
 
     def _broadcast(self, message: tuple) -> None:
         try:
-            # Pickle once, fan the same frame out to every worker.
-            frame = dump_message(message)
-            for conn in self._conns:
-                conn.send_bytes(frame)
+            # Pickle once, fan the same frame out to every worker (the
+            # transport counts frames/bytes/pickle time per message tag).
+            self.transport.broadcast(message)
         except Exception as error:
             self.broken = True
             raise WorkerPoolError(f"worker pipe failed: {error}") from error
@@ -240,7 +337,12 @@ class WorkerPool:
         feed = db.changefeed()
         sid = next(self._session_ids)
         try:
-            self._broadcast((MSG_SESSION, sid, db.export_snapshot()))
+            snapshot = db.export_snapshot()
+            self._broadcast((MSG_SESSION, sid, snapshot))
+            self.repl_stats["snapshots"] += 1
+            self.repl_stats["snapshot_rows"] += sum(
+                len(rows) for _, _, rows in snapshot["relations"]
+            )
         except Exception:
             feed.close()
             raise
@@ -281,6 +383,15 @@ class WorkerPool:
         consuming the feed — when a newly relevant relation is already
         stale: the caller must end the session and open a fresh one (a
         new snapshot), because no delta can repair a dropped history.
+
+        Under the negotiated protocol v2, origin-tagged ops (merged
+        derivations the executor inserted under
+        :meth:`Database.tag_changes`) are not shipped back to the workers
+        that produced them: the window splits into per-worker complement
+        streams with in-stream self-markers
+        (:func:`~repro.storage.replication.split_op_streams`).  Windows
+        with no tagged ops — and every window under protocol v1 —
+        broadcast one shared frame.
         """
         if relevant is not None:
             if session.relevant is None:
@@ -291,21 +402,77 @@ class WorkerPool:
                     if fresh & session.stale:
                         return False
                     session.relevant |= fresh
-        ops = session.feed.drain()
-        if ops and session.relevant is not None:
+        entries = session.feed.drain_tagged()
+        if entries and session.relevant is not None:
             shipped = []
-            for op in ops:
-                name, kind, _payload = op
+            for entry in entries:
+                name, kind = entry[0], entry[1]
                 if (
                     kind in (OP_CREATE, OP_DROP)
                     or name in session.relevant
                 ):
-                    shipped.append(op)
+                    shipped.append(entry)
                 else:
                     session.stale.add(name)
-            ops = shipped
-        if ops:
-            self._broadcast((MSG_APPLY, session.sid, ops))
+            entries = shipped
+        # Watermark: every token issued before this sync is settled once
+        # this window is applied (its markers are in the window or its
+        # entries were dropped), so workers evict leftovers below it.
+        evict_before = self._last_token + 1
+        stats = self.repl_stats
+        if entries:
+            stats["syncs"] += 1
+            tagged = any(entry[3] is not None for entry in entries)
+            if not tagged or self.protocol < 2:
+                ops = [(name, kind, payload) for name, kind, payload, _ in entries]
+                rows = sum(
+                    len(payload)
+                    for _, kind, payload in ops
+                    if kind == OP_INSERT or kind == OP_DELETE
+                )
+                stats["rows_shipped"] += rows * self.workers
+                if tagged:
+                    stats["full_syncs"] += 1
+                else:
+                    stats["broadcast_syncs"] += 1
+                self._broadcast((MSG_APPLY, session.sid, ops, evict_before))
+            else:
+                streams, counters = split_op_streams(
+                    entries, self.workers, session.rejections
+                )
+                stats["complement_syncs"] += 1
+                for key in ("rows_shipped", "rows_retained", "rows_rejected", "markers"):
+                    stats[key] += counters[key]
+                messages: list[tuple | None] = []
+                shared: dict[int, tuple] = {}
+                for stream in streams:
+                    # Streams may share one list object (workers outside
+                    # every producer mask); share the message object too
+                    # so the transport pickles it once.  Each distinct
+                    # stream packs (deflates) exactly once.
+                    message = shared.get(id(stream))
+                    if message is None:
+                        message = (
+                            MSG_APPLY,
+                            session.sid,
+                            pack_ops(stream),
+                            evict_before,
+                        )
+                        shared[id(stream)] = message
+                    messages.append(message)
+                try:
+                    self.transport.send_each(messages)
+                except Exception as error:
+                    self.broken = True
+                    raise WorkerPoolError(
+                        f"worker pipe failed: {error}"
+                    ) from error
+        if session.rejections:
+            session.rejections = {
+                key: rows
+                for key, rows in session.rejections.items()
+                if key[0] >= evict_before
+            }
         return True
 
     # -- plans -------------------------------------------------------------
@@ -350,10 +517,17 @@ class WorkerPool:
 
     # -- evaluation --------------------------------------------------------
 
+    def next_round_token(self) -> int:
+        """Issue the next round token (worker retention-cache key)."""
+        self._last_token = next(self._round_tokens)
+        return self._last_token
+
     def evaluate(
         self,
         session: _Session,
         assignments: Sequence[Sequence[tuple[int, int | None, list]]],
+        token: int,
+        retain: bool,
     ) -> "list[list[list[Row]]]":
         """Dispatch one round's shard assignments and collect results.
 
@@ -361,22 +535,30 @@ class WorkerPool:
         delta body index, Δ-shard rows)``; workers with an empty list are
         skipped.  All engaged workers evaluate concurrently; the reply for
         worker ``w`` is a derived-row list per task, aligned with its
-        assignment.
+        assignment.  ``token`` names the round; ``retain`` (protocol v2)
+        tells workers to cache their derived rows for complement shipping.
         """
         if len(assignments) != len(self._conns):
             raise WorkerPoolError(
                 f"{len(assignments)} assignments for {len(self._conns)} workers"
             )
+        transport = self.transport
         try:
-            for conn, tasks in zip(self._conns, assignments):
+            for index, tasks in enumerate(assignments):
                 if tasks:
-                    send_message(conn, (MSG_EVAL, session.sid, list(tasks)))
+                    # Per-worker payloads are genuinely distinct (disjoint
+                    # Δ-shards), so each pickles once; identical payload
+                    # objects would share a frame via send_each.
+                    transport.send(
+                        index,
+                        (MSG_EVAL, session.sid, list(tasks), token, retain),
+                    )
             results: "list[list[list[Row]]]" = []
-            for conn, tasks in zip(self._conns, assignments):
+            for index, tasks in enumerate(assignments):
                 if not tasks:
                     results.append([])
                     continue
-                reply = recv_message(conn)
+                reply = transport.recv(index, MSG_EVAL)
                 if reply[0] != REPLY_OK:
                     raise WorkerPoolError(
                         f"worker evaluation failed:\n{reply[1]}"
@@ -395,21 +577,24 @@ class WorkerPool:
     def ping(self) -> list[int]:
         """Round-trip every worker; returns each worker's session count."""
         self.start()
-        self._broadcast((MSG_PING,))
-        replies = []
-        try:
-            for conn in self._conns:
-                reply = recv_message(conn)
-                if reply[0] != REPLY_OK:
-                    raise WorkerPoolError(f"worker ping failed:\n{reply[1]}")
-                replies.append(reply[1])
-        except WorkerPoolError:
-            self.broken = True
-            raise
-        except Exception as error:
-            self.broken = True
-            raise WorkerPoolError(f"worker pipe failed: {error}") from error
-        return replies
+        return [reply["sessions"] for reply in self._ping_workers()]
+
+    def stats(self) -> dict:
+        """Replication protocol + transport counters (picklable).
+
+        ``replication`` counts protocol-level volume: rows shipped as
+        complements vs. covered by worker-retained derivations, rejection
+        acks, sync/snapshot counts.  ``transport`` is the per-message-tag
+        frame/byte/pickle-time breakdown.  Surfaces through
+        ``ExchangeSystem.parallel_stats()`` and the serve tier's
+        ``/stats``.
+        """
+        return {
+            "workers": self.workers,
+            "protocol": self.protocol if self._started else None,
+            "replication": dict(self.repl_stats),
+            "transport": self.transport.stats() if self.transport else {},
+        }
 
     def __repr__(self) -> str:
         state = (

@@ -17,15 +17,22 @@ pipe.  It is deliberately thin and stateful in exactly two ways:
   batches out.
 
 Workers never apply trust conditions (head filters are Python closures
-held by the parent engine and are applied at merge time) and never write
-to the replicated relations themselves — the parent merges, filters and
-inserts, then ships the effective insertions back as ordinary feed ops.
-This is what keeps the protocol ``spawn``-safe: nothing unpicklable ever
-crosses the pipe, and this module imports cleanly in a fresh interpreter.
+held by the parent engine and are applied at merge time).  Under
+replication protocol v1 they never write to the replicated relations
+themselves either — the parent merges, filters and inserts, then ships
+the effective insertions back as ordinary feed ops.  Protocol v2
+(complement shipping) keeps the parent authoritative but lets each
+worker **retain** the rows it derived for a round and apply them locally
+when the parent's stream says so (a self-marker carrying the filter/merge
+rejections), so only rows produced by *other* workers cross the wire.
+Either way nothing unpicklable ever crosses the pipe, and this module
+imports cleanly in a fresh interpreter — the protocol stays
+``spawn``-safe.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import traceback
 from typing import Sequence
@@ -33,15 +40,52 @@ from typing import Sequence
 from ..datalog.engine import EMPTY_SOURCE, DeltaPool
 from ..datalog.plan import RulePlan, Row, run_plan
 from ..storage.database import Database
-from ..storage.replication import apply_ops, build_replica
+from ..storage.replication import (
+    OP_CLEAR,
+    OP_CREATE,
+    OP_DELETE,
+    OP_DROP,
+    OP_INSERT,
+    OP_SELF_DELETE,
+    OP_SELF_INSERT,
+    build_replica,
+    unpack_ops,
+)
+
+#: Replication protocol version this module implements.  v2 adds
+#: complement shipping: workers retain the derivations they produced
+#: (``MSG_EVAL`` carries a round token + retain flag), the parent ships
+#: per-worker complement streams with in-stream self-markers, and
+#: ``MSG_APPLY`` carries an eviction watermark.  The pool negotiates
+#: ``min()`` across what every worker advertises at startup and falls
+#: back to v1 full shipping on mismatch (or ``REPRO_REPLICATION=full``).
+PROTOCOL_VERSION = 2
+
+
+def advertised_protocol() -> int:
+    """The protocol version this worker advertises on ping.
+
+    ``REPRO_WORKER_PROTOCOL`` caps it — the knob exists so tests (and
+    staged multi-host rollouts) can hold a worker at an older protocol
+    and exercise the pool's full-shipping fallback.
+    """
+    raw = os.environ.get("REPRO_WORKER_PROTOCOL", "").strip()
+    if not raw:
+        return PROTOCOL_VERSION
+    try:
+        version = int(raw)
+    except ValueError:
+        return PROTOCOL_VERSION
+    return max(1, min(PROTOCOL_VERSION, version))
+
 
 # Parent -> worker message tags.
 MSG_SESSION = "session"  # (tag, sid, snapshot)           no reply
 MSG_END_SESSION = "end_session"  # (tag, sid)             no reply
-MSG_APPLY = "apply"  # (tag, sid, ops)                    no reply
+MSG_APPLY = "apply"  # (tag, sid, ops, evict_before)      no reply
 MSG_PLANS = "plans"  # (tag, [(pid, plan), ...])          no reply
-MSG_EVAL = "eval"  # (tag, sid, [(pid, delta_index, rows), ...]) -> reply
-MSG_PING = "ping"  # (tag,)                               -> reply
+MSG_EVAL = "eval"  # (tag, sid, tasks, token, retain) -> reply
+MSG_PING = "ping"  # (tag,)   -> reply {"sessions": n, "protocol": v}
 MSG_STOP = "stop"  # (tag,)                               no reply, exits
 
 # Worker -> parent reply tags.
@@ -76,10 +120,17 @@ def recv_message(conn) -> object:
 class _Replica:
     """One session's replicated database plus its persistent Δ-pool."""
 
-    __slots__ = ("db", "_deltas", "_scope")
+    __slots__ = ("db", "retained", "_deltas", "_scope")
 
     def __init__(self, db: Database) -> None:
         self.db = db
+        # Protocol v2 retention cache: (round token, head predicate) ->
+        # the rows this worker derived for that round.  A later
+        # MSG_APPLY stream consumes entries through self-markers; the
+        # stream's eviction watermark drops whatever was never consumed
+        # (relevance-filtered relations, rounds whose rows all merged
+        # away), so the cache is bounded by one round of derivations.
+        self.retained: dict[tuple[int, str], set[Row]] = {}
         # The engine's own Δ-pool implementation, so replica Δ-indexes
         # are maintained exactly like the sequential engine's.
         self._deltas = DeltaPool()
@@ -121,6 +172,49 @@ class _Replica:
             derived = list(dict.fromkeys(derived))
         return derived
 
+    def apply(self, ops: Sequence, evict_before: int) -> None:
+        """Replay one shipped complement stream, in journal order.
+
+        Plain ops replay exactly like :func:`~repro.storage.replication.
+        apply_ops`; the v2 self-markers resolve against the retention
+        cache — insert what this worker derived minus what the parent's
+        filters/merge rejected, or delete the retained retraction rows
+        (deleting a row the parent never held is a set-semantics no-op on
+        both sides, so no rejection ack is needed for deletes).  Finally,
+        retained entries older than ``evict_before`` are dropped: their
+        rounds can never be referenced again.
+        """
+        db = self.db
+        retained = self.retained
+        for name, op, payload in ops:
+            if op == OP_SELF_INSERT:
+                token, rejected = payload
+                rows = retained.pop((token, name), None)
+                if rows:
+                    if rejected:
+                        rows = rows.difference(rejected)
+                    db[name].insert_many(rows)
+            elif op == OP_SELF_DELETE:
+                rows = retained.pop((payload[0], name), None)
+                if rows:
+                    db[name].delete_many(rows)
+            elif op == OP_INSERT:
+                db[name].insert_many(payload)
+            elif op == OP_DELETE:
+                db[name].delete_many(payload)
+            elif op == OP_CLEAR:
+                db[name].clear()
+            elif op == OP_CREATE:
+                db.ensure(name, payload)
+            elif op == OP_DROP:
+                db.drop(name)
+            else:  # pragma: no cover - future-proofing
+                raise ValueError(f"unknown replication op {op!r}")
+        if retained:
+            dead = [key for key in retained if key[0] < evict_before]
+            for key in dead:
+                del retained[key]
+
 
 def worker_main(conn) -> None:
     """Message loop of one worker process.
@@ -132,6 +226,7 @@ def worker_main(conn) -> None:
     """
     sessions: dict[int, _Replica] = {}
     plans: dict[int, RulePlan] = {}
+    protocol = advertised_protocol()
     # A failure in a fire-and-forget message (apply/plans/session) must
     # NOT write a reply — the parent only reads replies for eval/ping, so
     # an unsolicited frame would desynchronize the protocol and the error
@@ -154,21 +249,25 @@ def worker_main(conn) -> None:
                     f"worker:\n{deferred_error}"
                 )
             if tag == MSG_EVAL:
-                _, sid, tasks = message
+                _, sid, tasks, token, retain = message
                 replica = sessions[sid]
-                send_message(
-                    conn,
-                    (
-                        REPLY_OK,
-                        [
-                            replica.evaluate(plans[pid], delta_index, rows)
-                            for pid, delta_index, rows in tasks
-                        ],
-                    ),
-                )
+                results = []
+                for pid, delta_index, rows in tasks:
+                    plan = plans[pid]
+                    derived = replica.evaluate(plan, delta_index, rows)
+                    if retain and derived:
+                        # Protocol v2: remember what this worker produced
+                        # so the parent can ship only the complement; a
+                        # later self-marker (or the eviction watermark)
+                        # settles the entry.
+                        replica.retained.setdefault(
+                            (token, plan.rule.head.predicate), set()
+                        ).update(derived)
+                    results.append(derived)
+                send_message(conn, (REPLY_OK, results))
             elif tag == MSG_APPLY:
-                _, sid, ops = message
-                apply_ops(sessions[sid].db, ops)
+                _, sid, ops, evict_before = message
+                sessions[sid].apply(unpack_ops(ops), evict_before)
             elif tag == MSG_PLANS:
                 if message[1] is None:  # registry reset (cap exceeded)
                     plans.clear()
@@ -180,7 +279,13 @@ def worker_main(conn) -> None:
             elif tag == MSG_END_SESSION:
                 sessions.pop(message[1], None)
             elif tag == MSG_PING:
-                send_message(conn, (REPLY_OK, len(sessions)))
+                send_message(
+                    conn,
+                    (
+                        REPLY_OK,
+                        {"sessions": len(sessions), "protocol": protocol},
+                    ),
+                )
             else:
                 raise ValueError(f"unknown message tag {tag!r}")
         except Exception:  # noqa: BLE001 — report to the parent, stay alive

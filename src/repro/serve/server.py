@@ -349,6 +349,12 @@ class ReproServer:
             "admission": self.admission.stats(),
             "snapshot": self.snapshots.stats(),
         }
+        system_fn = getattr(self.cdss, "system", None)
+        if system_fn is not None:
+            parallel_fn = getattr(system_fn(), "parallel_stats", None)
+            parallel = parallel_fn() if parallel_fn is not None else None
+            if parallel is not None:
+                stats["parallel"] = parallel
         if self.node is not None:
             stats["durability"] = {
                 "data_dir": str(self.node.data_dir),

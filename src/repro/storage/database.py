@@ -43,6 +43,11 @@ class Database:
         # Row-level change feeds for replica synchronization (see
         # repro.storage.replication); almost always empty.
         self._feeds: tuple = ()
+        # Origin tag stamped onto journal entries recorded while a
+        # tag_changes() scope is open (the parallel executor tags merged
+        # derivations with their producer-worker bitmask so the pool can
+        # ship complements instead of the full delta).
+        self._change_origin: object | None = None
         # Instances enrolled in each currently open deferral scope,
         # innermost last — create/attach append to every open scope so a
         # relation born mid-scope still flushes at the scope's barrier.
@@ -204,6 +209,25 @@ class Database:
         from .replication import ChangeFeed
 
         return ChangeFeed(self)
+
+    @contextmanager
+    def tag_changes(self, origin: object):
+        """Stamp every journal entry recorded inside the scope with
+        ``origin``.
+
+        Attached :class:`~repro.storage.replication.ChangeFeed` journals
+        keep the tag per entry (see
+        :meth:`~repro.storage.replication.ChangeFeed.drain_tagged`);
+        plain :meth:`~repro.storage.replication.ChangeFeed.drain` strips
+        it, so nothing downstream of the ordinary replay path changes.
+        Scopes nest; the previous origin is restored on exit.
+        """
+        previous = self._change_origin
+        self._change_origin = origin
+        try:
+            yield self
+        finally:
+            self._change_origin = previous
 
     def _attach_feed(self, feed) -> None:
         self._feeds += (feed,)

@@ -26,7 +26,9 @@ cleanly so an outlived database does not keep journaling into the void.
 
 from __future__ import annotations
 
+import pickle
 import weakref
+import zlib
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,9 +42,67 @@ OP_CLEAR = "clear"
 OP_CREATE = "create"
 OP_DROP = "drop"
 
+# Replication-protocol-v2 marker ops (never recorded by a feed; the
+# worker pool synthesizes them when it splits a drained journal into
+# per-worker complement streams — see repro.parallel.pool).  A marker
+# tells a worker "apply the rows you retained for this round yourself":
+# payload is (round token, rejected rows) for self-insert and
+# (round token,) for self-delete.
+OP_SELF_INSERT = "self+"
+OP_SELF_DELETE = "self-"
+
+# Packed-stream sentinel: a v2 MSG_APPLY ops field of the form
+# ``(OPS_PACKED, blob)`` carries the op list as a zlib-compressed pickle
+# instead of the plain list.  Row payloads are highly repetitive
+# (adjacent provenance rows share most of their bytes), so deflate
+# typically halves the frame again on top of complement shipping.  Only
+# negotiated-v2 sessions ever see packed frames — protocol v1 keeps the
+# plain-list wire format older workers expect.
+OPS_PACKED = "z"
+
+# Frames below this pickle size ship plain: deflate overhead (header +
+# dictionary warm-up) eats the saving on tiny windows.
+_PACK_MIN_BYTES = 192
+
+
+def pack_ops(ops: "Sequence[Op]") -> object:
+    """The wire form of a v2 op stream: packed when that is smaller.
+
+    Returns either the stream unchanged (small or incompressible
+    windows) or an ``(OPS_PACKED, blob)`` pair.  Callers that share one
+    stream object across workers should pack once and share the packed
+    object the same way — the transport dedups frames by object id.
+    """
+    blob = pickle.dumps(ops, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) < _PACK_MIN_BYTES:
+        return ops
+    packed = zlib.compress(blob, 6)
+    if len(packed) >= len(blob):
+        return ops
+    return (OPS_PACKED, packed)
+
+
+def unpack_ops(ops: object) -> "Sequence[Op]":
+    """Invert :func:`pack_ops` (plain streams pass through)."""
+    if (
+        isinstance(ops, tuple)
+        and len(ops) == 2
+        and ops[0] == OPS_PACKED
+    ):
+        return pickle.loads(zlib.decompress(ops[1]))
+    return ops
+
 #: One journal entry: (relation name, op, payload).  Payload is a row
 #: tuple-sequence for +/-, the arity for create, and () otherwise.
 Op = tuple[str, str, object]
+
+#: A drained entry with its origin tag: (name, op, payload, origin).
+#: ``origin`` is ``None`` for ordinary mutations, or the value the
+#: database's :meth:`~repro.storage.database.Database.tag_changes` scope
+#: set — the worker pool tags merged derivations with a ``(round token,
+#: producer-worker bitmask)`` pair so complement shipping can tell which
+#: replicas already hold the rows.
+TaggedOp = tuple[str, str, object, object]
 
 
 class ChangeFeed:
@@ -59,14 +119,31 @@ class ChangeFeed:
         # Weak: a feed must never keep its database alive — replica
         # sessions are torn down *because* the source database died.
         self._dbref = weakref.ref(db)
-        self._ops: list[Op] = []
+        # Mutable [name, op, payload(list for +/-), origin] entries; see
+        # _record for the coalescing invariant.
+        self._ops: list[list] = []
         self._closed = False
         db._attach_feed(self)
 
     # -- recording (called by Instance/Database mutation paths) ------------
 
     def _record(self, name: str, op: str, payload: object) -> None:
-        self._ops.append((name, op, payload))
+        # Entries are stored as mutable [name, op, payload, origin] lists
+        # so consecutive same-kind ops on the same relation coalesce in
+        # place: a bulk edit applied row by row journals one op, not N,
+        # and drain materializes each payload tuple exactly once.
+        db = self._dbref()
+        origin = db._change_origin if db is not None else None
+        ops = self._ops
+        if op == OP_INSERT or op == OP_DELETE:
+            if ops:
+                last = ops[-1]
+                if last[0] == name and last[1] == op and last[3] == origin:
+                    last[2].extend(payload)
+                    return
+            ops.append([name, op, list(payload), origin])
+        else:
+            ops.append([name, op, payload, origin])
 
     # -- consumption -------------------------------------------------------
 
@@ -74,9 +151,29 @@ class ChangeFeed:
         return len(self._ops)
 
     def drain(self) -> list[Op]:
-        """All ops recorded since the last drain (empties the journal)."""
-        ops, self._ops = self._ops, []
-        return ops
+        """All ops recorded since the last drain (empties the journal).
+
+        Origin tags are stripped — this is the plain replay format
+        :func:`apply_ops` consumes; the worker pool uses
+        :meth:`drain_tagged` to keep them.
+        """
+        return [(name, op, payload) for name, op, payload, _ in self._drain()]
+
+    def drain_tagged(self) -> list[TaggedOp]:
+        """Like :meth:`drain`, but each entry keeps its origin tag."""
+        return self._drain()
+
+    def _drain(self) -> list[TaggedOp]:
+        entries, self._ops = self._ops, []
+        return [
+            (
+                name,
+                op,
+                tuple(payload) if (op == OP_INSERT or op == OP_DELETE) else payload,
+                origin,
+            )
+            for name, op, payload, origin in entries
+        ]
 
     def drain_zsets(self) -> dict[str, "ZSet"]:
         """Drain the journal folded into per-relation weighted Z-sets.
@@ -128,6 +225,91 @@ def build_replica(snapshot: dict[str, object]) -> "Database":
     for name, arity, rows in snapshot["relations"]:  # type: ignore[union-attr]
         db.create(name, arity).insert_many(rows)
     return db
+
+
+def split_op_streams(
+    entries: Sequence[TaggedOp],
+    workers: int,
+    rejections: "dict[tuple[int, str, int], tuple]",
+) -> tuple[list[list[Op]], dict[str, int]]:
+    """Split one drained journal window into per-worker complement streams.
+
+    This is the parent-side half of replication protocol v2 (see
+    DESIGN.md, "Replication protocol v2").  ``entries`` come from
+    :meth:`ChangeFeed.drain_tagged`; a ``(round token, producer bitmask)``
+    origin on a ``+``/``-`` entry means every row in it was derived (and
+    retained) by exactly the workers in the bitmask.  For worker ``w``:
+
+    * untagged entries, and tagged entries whose mask excludes ``w``,
+      ship as plain ops — the **complement**: rows some *other* worker
+      produced, which ``w``'s replica cannot know;
+    * the first tagged entry per ``(token, relation, op)`` whose mask
+      includes ``w`` becomes a single in-stream marker
+      (:data:`OP_SELF_INSERT` / :data:`OP_SELF_DELETE`) telling ``w`` to
+      apply its retained rows for that round itself, minus the
+      ``rejections`` the parent's trust filters or merge discarded;
+      later same-key entries are dropped (the retained set covers them).
+
+    Markers replace entries *in place*, so each stream preserves journal
+    order; within one round token the tagged run is contiguous and
+    single-kind, so pulling later entries' rows up to the first marker
+    position commutes.  Workers outside every mask share one stream
+    *object* (the full plain window), which the transport layer pickles
+    once.  Returns ``(streams, counters)`` with per-worker op lists and
+    ``rows_shipped`` / ``rows_retained`` / ``rows_rejected`` / ``markers``
+    totals.
+    """
+    union_mask = 0
+    for entry in entries:
+        if entry[3] is not None:
+            union_mask |= entry[3][1]
+    plain = [(name, op, payload) for name, op, payload, _ in entries]
+    plain_rows = sum(
+        len(payload)
+        for _, op, payload in plain
+        if op == OP_INSERT or op == OP_DELETE
+    )
+    counters = {
+        "rows_shipped": 0,
+        "rows_retained": 0,
+        "rows_rejected": 0,
+        "markers": 0,
+    }
+    streams: list[list[Op]] = []
+    for w in range(workers):
+        if not (union_mask >> w) & 1:
+            # This worker produced nothing in the window: its complement
+            # is the whole window, shared (one pickle) across such workers.
+            streams.append(plain)
+            counters["rows_shipped"] += plain_rows
+            continue
+        stream: list[Op] = []
+        seen: set[tuple[int, str, str]] = set()
+        for name, op, payload, origin in entries:
+            if origin is None or not (op == OP_INSERT or op == OP_DELETE):
+                stream.append((name, op, payload))
+                if op == OP_INSERT or op == OP_DELETE:
+                    counters["rows_shipped"] += len(payload)
+                continue
+            token, mask = origin
+            if not (mask >> w) & 1:
+                stream.append((name, op, payload))
+                counters["rows_shipped"] += len(payload)
+                continue
+            counters["rows_retained"] += len(payload)
+            key = (token, name, op)
+            if key in seen:
+                continue
+            seen.add(key)
+            counters["markers"] += 1
+            if op == OP_INSERT:
+                rejected = rejections.get((token, name, w), ())
+                counters["rows_rejected"] += len(rejected)
+                stream.append((name, OP_SELF_INSERT, (token, rejected)))
+            else:
+                stream.append((name, OP_SELF_DELETE, (token,)))
+        streams.append(stream)
+    return streams, counters
 
 
 def apply_ops(db: "Database", ops: Sequence[Op]) -> None:

@@ -1,0 +1,433 @@
+"""Replication protocol v2: complement shipping, coalescing, fallback.
+
+The property at stake is the same one `tests/test_parallel.py` pins for
+the pool as a whole — parallel evaluation must be **byte-identical** to
+sequential — extended to the wire protocol: whatever mix of full
+shipping (protocol v1, the `REPRO_REPLICATION=full` kill switch, or a
+worker advertising an older protocol) and complement shipping (the
+negotiated v2 default) moves the deltas, every replica and therefore
+every query result must come out the same.  On top sit unit tests for
+the protocol's parts: journal coalescing, origin tags, the per-worker
+stream splitter, and the transport counters the benchmark series reads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import warnings
+
+import pytest
+from _pytest.monkeypatch import MonkeyPatch
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CDSS
+from repro.datalog.engine import SemiNaiveEngine
+from repro.datalog.parser import parse_program
+from repro.parallel import PROTOCOL_VERSION, WorkerPool
+from repro.storage.database import Database
+from repro.storage.replication import (
+    OP_SELF_DELETE,
+    OP_SELF_INSERT,
+    OPS_PACKED,
+    pack_ops,
+    split_op_streams,
+    unpack_ops,
+)
+
+TC_PROGRAM = """
+T(x, y) :- E(x, y)
+T(x, z) :- E(x, y), T(y, z)
+"""
+
+
+def make_db(relations):
+    db = Database()
+    for name, (arity, rows) in relations.items():
+        db.create(name, arity, rows)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# ChangeFeed: origin tags and journal coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestFeedTagsAndCoalescing:
+    def test_consecutive_same_kind_ops_coalesce(self):
+        db = make_db({"E": (1, [])})
+        feed = db.changefeed()
+        for i in range(5):
+            db["E"].insert((i,))
+        assert len(feed) == 1
+        ops = feed.drain()
+        assert ops == [("E", "+", tuple((i,) for i in range(5)))]
+        feed.close()
+
+    def test_kind_and_relation_changes_break_coalescing(self):
+        db = make_db({"E": (1, []), "F": (1, [])})
+        feed = db.changefeed()
+        db["E"].insert((1,))
+        db["F"].insert((2,))
+        db["E"].insert((3,))
+        db["E"].delete((1,))
+        ops = feed.drain()
+        assert [op[:2] for op in ops] == [
+            ("E", "+"),
+            ("F", "+"),
+            ("E", "+"),
+            ("E", "-"),
+        ]
+        feed.close()
+
+    def test_origin_tag_recorded_and_stripped(self):
+        db = make_db({"E": (1, [])})
+        feed = db.changefeed()
+        db["E"].insert((1,))
+        with db.tag_changes((7, 0b10)):
+            db["E"].insert((2,))
+        db["E"].insert((3,))
+        tagged = feed.drain_tagged()
+        assert [entry[3] for entry in tagged] == [None, (7, 0b10), None]
+        # Different origins must not coalesce even for same relation/kind.
+        assert len(tagged) == 3
+        db["E"].insert((4,))
+        assert feed.drain() == [("E", "+", ((4,),))]  # plain drain: no tag
+        feed.close()
+
+    def test_tag_scopes_nest_and_restore(self):
+        db = make_db({"E": (1, [])})
+        feed = db.changefeed()
+        with db.tag_changes("outer"):
+            db["E"].insert((1,))
+            with db.tag_changes("inner"):
+                db["E"].insert((2,))
+            db["E"].insert((3,))
+        db["E"].insert((4,))
+        assert [e[3] for e in feed.drain_tagged()] == [
+            "outer",
+            "inner",
+            "outer",
+            None,
+        ]
+        feed.close()
+
+
+# ---------------------------------------------------------------------------
+# Stream splitting (the parent-side half of protocol v2)
+# ---------------------------------------------------------------------------
+
+
+class TestSplitOpStreams:
+    def test_untagged_entries_share_one_stream_object(self):
+        entries = [("E", "+", ((1,),), None), ("F", "-", ((2,),), None)]
+        streams, counters = split_op_streams(entries, 3, {})
+        assert streams[0] is streams[1] is streams[2]
+        assert streams[0] == [("E", "+", ((1,),)), ("F", "-", ((2,),))]
+        assert counters["rows_shipped"] == 6  # 2 rows x 3 workers
+        assert counters["markers"] == 0
+
+    def test_tagged_entry_becomes_marker_for_producer(self):
+        entries = [
+            ("T", "+", ((1, 2), (2, 3)), (5, 0b01)),  # produced by worker 0
+            ("U", "+", ((9,),), None),
+        ]
+        rejections = {(5, "T", 0): ((4, 4),)}
+        streams, counters = split_op_streams(entries, 2, rejections)
+        assert streams[0] == [
+            ("T", OP_SELF_INSERT, (5, ((4, 4),))),
+            ("U", "+", ((9,),)),
+        ]
+        assert streams[1] == [
+            ("T", "+", ((1, 2), (2, 3))),
+            ("U", "+", ((9,),)),
+        ]
+        assert counters["rows_retained"] == 2
+        assert counters["rows_rejected"] == 1
+        # worker 1 gets T's 2 rows + both workers get U's row.
+        assert counters["rows_shipped"] == 4
+        assert counters["markers"] == 1
+
+    def test_repeat_entries_for_same_round_emit_one_marker(self):
+        entries = [
+            ("T", "+", ((1,),), (5, 0b01)),
+            ("T", "+", ((2,),), (5, 0b11)),  # both workers produced row 2
+            ("T", "-", ((3,),), (6, 0b01)),  # different round + kind
+        ]
+        streams, _ = split_op_streams(entries, 2, {})
+        kinds0 = [(name, op) for name, op, _ in streams[0]]
+        assert kinds0 == [("T", OP_SELF_INSERT), ("T", OP_SELF_DELETE)]
+        kinds1 = [(name, op) for name, op, _ in streams[1]]
+        assert kinds1 == [("T", "+"), ("T", OP_SELF_INSERT), ("T", "-")]
+
+    def test_pack_ops_round_trips_and_shrinks_large_streams(self):
+        small = [("E", "+", ((1,),))]
+        assert pack_ops(small) is small  # below the deflate threshold
+        big = [("E", "+", tuple((i, i + 1) for i in range(500)))]
+        packed = pack_ops(big)
+        assert packed[0] == OPS_PACKED
+        assert len(packed[1]) < len(pickle.dumps(big))
+        assert unpack_ops(packed) == big
+        assert unpack_ops(small) is small
+
+    def test_markers_preserve_journal_order_around_untagged_ops(self):
+        entries = [
+            ("T", "+", ((1,),), (5, 0b01)),
+            ("E", "+", ((8,),), None),  # user edit after the round
+            ("T", "-", ((1,),), (6, 0b10)),
+        ]
+        streams, _ = split_op_streams(entries, 2, {})
+        assert [op for _, op, _ in streams[0]] == [OP_SELF_INSERT, "+", "-"]
+        assert [op for _, op, _ in streams[1]] == ["+", "+", OP_SELF_DELETE]
+
+
+# ---------------------------------------------------------------------------
+# Pool-level protocol negotiation and fallback
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolNegotiation:
+    def test_pool_negotiates_current_protocol(self):
+        pool = WorkerPool(2)
+        try:
+            assert pool.ping() == [0, 0]
+            assert pool.protocol == PROTOCOL_VERSION
+        finally:
+            pool.close()
+
+    def test_replication_env_forces_full_shipping(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLICATION", "full")
+        pool = WorkerPool(2)
+        try:
+            pool.start()
+            assert pool.protocol == 1
+        finally:
+            pool.close()
+
+    def test_old_worker_protocol_degrades_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_PROTOCOL", "1")
+        pool = WorkerPool(2)
+        try:
+            pool.start()
+            assert pool.protocol == 1
+        finally:
+            pool.close()
+
+    def test_unknown_replication_mode_rejected(self, monkeypatch):
+        from repro.parallel import WorkerPoolError
+
+        monkeypatch.setenv("REPRO_REPLICATION", "zstd")
+        pool = WorkerPool(2)
+        with pytest.raises(WorkerPoolError):
+            pool.start()
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Engine-level agreement: complement vs. full shipping vs. sequential
+# ---------------------------------------------------------------------------
+
+
+def run_tc_engine(workers, edges, increments):
+    db = make_db({"E": (2, edges)})
+    engine = SemiNaiveEngine(workers=workers)
+    program = parse_program(TC_PROGRAM)
+    engine.run(program, db)
+    for edge in increments:
+        db["E"].insert(edge)
+        engine.run_insertions(program, db, {"E": {edge}})
+    rows = db["T"].rows()
+    stats = engine.parallel_stats()
+    engine.close()
+    return rows, stats
+
+
+class TestEngineAgreement:
+    EDGES = [(i, i + 1) for i in range(30)] + [(7, 2), (20, 5)]
+    INCREMENTS = [(30, 31), (31, 3)]
+
+    def test_complement_shipping_matches_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLICATION", raising=False)
+        sequential, _ = run_tc_engine(1, self.EDGES, self.INCREMENTS)
+        parallel, stats = run_tc_engine(2, self.EDGES, self.INCREMENTS)
+        assert parallel == sequential
+        assert stats is not None
+        assert stats["protocol"] == PROTOCOL_VERSION
+        repl = stats["replication"]
+        assert repl["complement_syncs"] > 0
+        assert repl["rows_retained"] > 0
+
+    def test_full_shipping_matches_sequential(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLICATION", "full")
+        sequential, _ = run_tc_engine(1, self.EDGES, self.INCREMENTS)
+        parallel, stats = run_tc_engine(2, self.EDGES, self.INCREMENTS)
+        assert parallel == sequential
+        repl = stats["replication"]
+        assert repl["rows_retained"] == 0
+        assert repl["complement_syncs"] == 0
+
+    def test_complement_ships_fewer_apply_bytes_than_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLICATION", "full")
+        _, full_stats = run_tc_engine(2, self.EDGES, self.INCREMENTS)
+        monkeypatch.delenv("REPRO_REPLICATION", raising=False)
+        _, comp_stats = run_tc_engine(2, self.EDGES, self.INCREMENTS)
+        full_bytes = full_stats["transport"]["apply"]["bytes_out"]
+        comp_bytes = comp_stats["transport"]["apply"]["bytes_out"]
+        assert comp_bytes < full_bytes
+        assert (
+            comp_stats["replication"]["rows_shipped"]
+            < full_stats["replication"]["rows_shipped"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# CDSS-level property: byte-identical results across shipping modes
+# ---------------------------------------------------------------------------
+
+
+def build_cdss(strategy, workers, chain, close_cycle):
+    """A chain confederation ``P0 -> ... -> Pn-1``, optionally closed
+    into a cycle with an existential (labeled-null) mapping."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        cdss = CDSS(strategy=strategy, workers=workers)
+        for i in range(chain):
+            cdss.add_peer(f"P{i}", {f"R{i}": ("k", "v")})
+        for i in range(chain - 1):
+            cdss.add_mapping(f"m{i}", f"R{i}(k, v) -> R{i + 1}(k, v)")
+        if close_cycle:
+            cdss.add_mapping(
+                "mz", f"R{chain - 1}(k, v) -> exists w . R0(k, w)"
+            )
+    return cdss
+
+
+@st.composite
+def lifecycle(draw):
+    """A random topology plus a short edit lifecycle over it: chain
+    length, whether the chain closes into a null-generating cycle, and
+    insert/delete batches per relation."""
+    chain = draw(st.integers(min_value=2, max_value=4))
+    close_cycle = draw(st.booleans())
+    keys = st.integers(min_value=0, max_value=6)
+    values = st.integers(min_value=0, max_value=3)
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        inserts = {}
+        for i in range(chain):
+            rows = draw(
+                st.sets(st.tuples(keys, values), min_size=0, max_size=4)
+            )
+            if rows:
+                inserts[i] = rows
+        steps.append((inserts, draw(st.booleans())))
+    return chain, close_cycle, steps
+
+
+def run_lifecycle(strategy, workers, scenario):
+    chain, close_cycle, steps = scenario
+    cdss = build_cdss(strategy, workers, chain, close_cycle)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for inserts, delete_first in steps:
+            with cdss.batch() as batch:
+                for index, rows in inserts.items():
+                    for row in rows:
+                        batch.insert(f"R{index}", row)
+            cdss.update_exchange()
+            if delete_first:
+                existing = sorted(cdss.system().local_contributions("R0"))
+                if existing:
+                    with cdss.batch() as batch:
+                        batch.delete("R0", existing[0])
+                    cdss.update_exchange()
+        snapshot = cdss.system().db.snapshot()
+        cdss.system().close()
+    return snapshot
+
+
+class TestShippingModeAgreement:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=lifecycle())
+    def test_unified_full_vs_complement_vs_sequential(self, steps):
+        with monkeypatch_ctx() as mp:
+            mp.delenv("REPRO_REPLICATION", raising=False)
+            complement = run_lifecycle("unified", 2, steps)
+            sequential = run_lifecycle("unified", 1, steps)
+            mp.setenv("REPRO_REPLICATION", "full")
+            full = run_lifecycle("unified", 2, steps)
+        assert complement == sequential
+        assert full == sequential
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=lifecycle())
+    def test_dred_shim_full_vs_complement(self, steps):
+        with monkeypatch_ctx() as mp:
+            mp.delenv("REPRO_REPLICATION", raising=False)
+            complement = run_lifecycle("dred", 2, steps)
+            mp.setenv("REPRO_REPLICATION", "full")
+            full = run_lifecycle("dred", 2, steps)
+        assert complement == full
+
+    def test_protocol_fallback_worker_agrees(self, monkeypatch):
+        scenario = (
+            3,
+            True,
+            [
+                ({0: {(1, 1), (2, 2)}, 1: {(3, 3)}, 2: {(4, 4)}}, True),
+                ({0: {(5, 1)}, 2: {(1, 1)}}, False),
+            ],
+        )
+        monkeypatch.delenv("REPRO_REPLICATION", raising=False)
+        baseline = run_lifecycle("unified", 1, scenario)
+        monkeypatch.setenv("REPRO_WORKER_PROTOCOL", "1")
+        degraded = run_lifecycle("unified", 2, scenario)
+        assert degraded == baseline
+
+
+@contextlib.contextmanager
+def monkeypatch_ctx():
+    """A context-managed monkeypatch usable inside @given bodies.
+
+    pytest's function-scoped ``monkeypatch`` fixture does not reset
+    between hypothesis examples; this hands out a fresh patcher per
+    ``with`` block instead.
+    """
+    mp = MonkeyPatch()
+    try:
+        yield mp
+    finally:
+        mp.undo()
+
+
+# ---------------------------------------------------------------------------
+# Serve-tier surfacing
+# ---------------------------------------------------------------------------
+
+
+class TestStatsSurfacing:
+    def test_exchange_system_exposes_parallel_stats(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLICATION", raising=False)
+        cdss = build_cdss("unified", 2, 3, True)
+        system = cdss.system()
+        assert system.parallel_stats() is None  # pool not spawned yet
+        with cdss.batch() as batch:
+            for i in range(40):
+                batch.insert("R0", (i, i))
+        cdss.update_exchange()
+        stats = system.parallel_stats()
+        assert stats is not None
+        assert stats["workers"] == 2
+        assert stats["protocol"] == PROTOCOL_VERSION
+        assert "apply" in stats["transport"] or stats["transport"] == {}
+        assert stats["transport"]["total"]["bytes_out"] > 0
+        cdss.system().close()
