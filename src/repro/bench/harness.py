@@ -38,18 +38,85 @@ def efficiency_snapshot() -> dict[str, object]:
         peak_rss_kb = peak // 1024 if sys.platform == "darwin" else peak
     except (ImportError, OSError):  # pragma: no cover - non-POSIX
         pass
+    gc_stats = gc.get_stats()
+    tracemalloc_peak_kb: int | None = None
+    try:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            _, traced_peak = tracemalloc.get_traced_memory()
+            tracemalloc_peak_kb = traced_peak // 1024
+    except ImportError:  # pragma: no cover - tracemalloc is stdlib
+        pass
     return {
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "process_cpu_seconds": time.process_time(),
         "peak_rss_kb": peak_rss_kb,
-        "gc_collections": sum(s["collections"] for s in gc.get_stats()),
+        "gc_collections": sum(s["collections"] for s in gc_stats),
+        # Allocation churn: gen-0 collections approximate how often the
+        # young generation filled; allocated_blocks is the live count.
+        "gc_gen0_collections": gc_stats[0]["collections"] if gc_stats else 0,
+        "allocated_blocks": sys.getallocatedblocks(),
+        # Only populated when the caller started tracemalloc (it is far
+        # too slow to turn on by default inside benchmarks).
+        "tracemalloc_peak_kb": tracemalloc_peak_kb,
     }
 
 
 def rows_per_cpu_second(rows: float, cpu_seconds: float) -> float:
     """Rows of useful output per CPU second (0 when unmeasurably fast)."""
     return rows / cpu_seconds if cpu_seconds > 0 else 0.0
+
+
+def phase_efficiency_table(
+    phases: dict[str, dict[str, float]], title: str = "phase efficiency"
+) -> str:
+    """Per-phase work-per-resource summary as an aligned ASCII table.
+
+    ``phases`` maps phase name to a dict with ``rows`` and
+    ``cpu_seconds`` (``wall_seconds`` optional); the table adds the
+    derived ``rows_per_cpu_s`` column.  Benchmarks print this at the end
+    of a run so every series closes with a resource-efficiency readout.
+    """
+    headers = ("phase", "rows", "wall_s", "cpu_s", "rows_per_cpu_s")
+    rows = []
+    for phase, values in phases.items():
+        count = float(values.get("rows", 0.0))
+        cpu = float(values.get("cpu_seconds", 0.0))
+        wall = float(values.get("wall_seconds", 0.0))
+        rows.append(
+            (
+                phase,
+                f"{count:.0f}",
+                f"{wall:.4f}",
+                f"{cpu:.4f}",
+                f"{rows_per_cpu_second(count, cpu):.0f}",
+            )
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        f"== {title} ==",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def efficiency_footer() -> str:
+    """One-line cumulative resource readout for the end of a bench run."""
+    snapshot = efficiency_snapshot()
+    return (
+        f"[efficiency] cpu={snapshot['process_cpu_seconds']:.2f}s"
+        f" peak_rss={snapshot['peak_rss_kb']}kB"
+        f" gc_gen0={snapshot['gc_gen0_collections']}"
+        f" allocated_blocks={snapshot['allocated_blocks']}"
+    )
 
 
 @dataclass(frozen=True)
@@ -137,6 +204,7 @@ class ExperimentResult:
     def print_table(self) -> None:
         print()
         print(self.to_table())
+        print(efficiency_footer())
 
     def to_json_dict(self) -> dict[str, object]:
         """A JSON-serializable view (for ``BENCH_*.json`` perf-trajectory

@@ -7,6 +7,8 @@ Usage::
     python -m repro query bio.json 'ans(x, y) :- U(x, z), U(y, z)'
     python -m repro serve bio.json --port 8080   # HTTP+JSON serving tier
     python -m repro serve bio.json --data-dir n/ # durable, crash-recoverable
+    python -m repro stats http://127.0.0.1:8080 --watch  # live stat deltas
+    python -m repro run bio.json --verbose --trace t.jsonl  # phase timings
     python -m repro fig4 --scale 0.5      # reproduce one figure
     python -m repro all --scale 0.25      # every figure + ablations
     python -m repro list                  # what is available
@@ -147,17 +149,34 @@ def _load_spec(path: str, index_policy: str | None, workers: int | None):
     return spec
 
 
+def _print_phase_table(report) -> None:
+    """Render ``ExchangeReport.phases`` as a wall/CPU-seconds table."""
+    print("phase          wall_s      cpu_s")
+    for phase, clocks in report.phases.items():
+        print(
+            f"{phase:<12} {clocks.get('wall_seconds', 0.0):>9.4f}  "
+            f"{clocks.get('cpu_seconds', 0.0):>9.4f}"
+        )
+    print(f"{'total':<12} {report.seconds:>9.4f}  {report.cpu_seconds:>9.4f}")
+
+
 def _run_spec(
     path: str,
     strategy: str | None,
     index_policy: str | None,
     workers: int | None,
+    verbose: bool = False,
+    trace: str | None = None,
 ) -> int:
     """Execute a declarative SystemSpec JSON: build, exchange, print."""
     from . import CDSS, SpecError
     from .datalog.ast import DatalogError  # covers ParseError, SafetyError
     from .schema import SchemaError
 
+    if trace is not None:
+        from .obs import tracing
+
+        tracing.enable(trace)
     try:
         cdss = CDSS.from_spec(_load_spec(path, index_policy, workers))
         # Schema validation (e.g. weak acyclicity) fires lazily on first use.
@@ -169,11 +188,15 @@ def _run_spec(
         f"{cdss!r}: update exchange ({report.strategy}) derived "
         f"{report.inserted} tuples in {report.seconds:.4f}s"
     )
+    if verbose:
+        _print_phase_table(report)
     for peer in cdss.peer_handles():
         print(f"{peer.name}:")
         for relation in peer.relations():
             rows = sorted(peer.relation(relation), key=repr)
             print(f"  {relation}: {rows}")
+    if trace is not None:
+        print(f"trace written to {trace}")
     return 0
 
 
@@ -241,6 +264,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     from .serve import run as serve_run
     from .storage.instance import StorageError
 
+    if args.trace is not None:
+        from .obs import tracing
+
+        tracing.enable(args.trace)
     try:
         spec = _load_spec(args.spec, args.index_policy, args.workers)
         durability = spec.durability
@@ -301,6 +328,66 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_stats(stats: object, prefix: str = "") -> dict[str, object]:
+    """Flatten a nested stats document into dotted scalar keys."""
+    flat: dict[str, object] = {}
+    if isinstance(stats, dict):
+        for key in sorted(stats):
+            flat.update(_flatten_stats(stats[key], f"{prefix}{key}."))
+    else:
+        flat[prefix[:-1]] = stats
+    return flat
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """`repro stats URL [--watch]`: print a node's stats, then deltas."""
+    import time as _time
+
+    from .obs.schema import normalize
+    from .serve.client import ServeClient, ServeHTTPError
+
+    try:
+        with ServeClient.from_url(args.url, timeout=10.0) as client:
+            previous = _flatten_stats(normalize(client.stats()))
+            width = max(len(k) for k in previous) if previous else 0
+            for key, value in previous.items():
+                if isinstance(value, float):
+                    value = round(value, 6)
+                print(f"{key:<{width}}  {value}")
+            if not args.watch:
+                return 0
+            while True:
+                _time.sleep(args.interval)
+                current = _flatten_stats(normalize(client.stats()))
+                deltas = []
+                for key, value in current.items():
+                    before = previous.get(key)
+                    if value == before:
+                        continue
+                    if isinstance(value, (int, float)) and isinstance(
+                        before, (int, float)
+                    ):
+                        change = value - before
+                        deltas.append(
+                            f"{key} {round(value, 6)} ({change:+.6g})"
+                        )
+                    else:
+                        deltas.append(f"{key} {value}")
+                stamp = _time.strftime("%H:%M:%S")
+                if deltas:
+                    print(f"-- {stamp}")
+                    for line in deltas:
+                        print(f"  {line}")
+                else:
+                    print(f"-- {stamp} (no change)")
+                previous = current
+    except (ConnectionError, OSError, ServeHTTPError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,6 +421,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="override the spec's evaluation worker count (1 = sequential)",
+    )
+    run_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-phase wall/CPU seconds of the exchange",
+    )
+    run_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export exchange trace spans as JSONL to PATH",
     )
     query_cmd = sub.add_parser(
         "query",
@@ -472,6 +570,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="override the spec's evaluation worker count (1 = sequential)",
     )
+    serve_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export publish trace spans as JSONL to PATH",
+    )
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="print a serving node's /stats (normalized); --watch for deltas",
+    )
+    stats_cmd.add_argument("url", help="node URL, e.g. http://127.0.0.1:8080")
+    stats_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling and print per-tick counter deltas",
+    )
+    stats_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling interval with --watch (default 2s)",
+    )
     sub.add_parser("list", help="list available experiments")
     for name, (description, _) in EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
@@ -493,7 +614,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         return _run_spec(
-            args.spec, args.strategy, args.index_policy, args.workers
+            args.spec,
+            args.strategy,
+            args.index_policy,
+            args.workers,
+            verbose=args.verbose,
+            trace=args.trace,
         )
     if args.command == "query":
         return _run_query(
@@ -507,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:<20} {description}")

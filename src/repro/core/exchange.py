@@ -41,6 +41,8 @@ from typing import Iterable, Mapping
 from ..datalog.ast import Program
 from ..datalog.engine import EvaluationResult, SemiNaiveEngine
 from ..datalog.planner import Planner
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..provenance.relations import ENCODING_COMPOSITE, ProvenanceEncoding
 from ..provenance.trust import TrustPolicy, exchange_head_filters
 from ..schema.internal import (
@@ -192,6 +194,40 @@ class ExchangeReport:
     inserted: int = 0
     deleted: int = 0
     details: dict[str, object] = field(default_factory=dict)
+    #: Total CPU seconds of the operation (process-wide clock).
+    cpu_seconds: float = 0.0
+    #: Per-phase timing: ``{"evaluate" | "merge" | "index_settle":
+    #: {"wall_seconds": float, "cpu_seconds": float}}``.  ``evaluate``
+    #: is stratum fixpoint evaluation, ``merge`` the parallel
+    #: executor's result merge (0 on the sequential path, where merging
+    #: happens inside evaluation), ``index_settle`` deferred index
+    #: catch-up.  Always populated — sourced from the layers'
+    #: always-on phase clocks, not from opt-in tracing.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+_INDEX_METRIC_KEYS = (
+    ("repro_index_applied_runs_total", "applied_runs"),
+    ("repro_index_rebuilds_total", "rebuilds"),
+    ("repro_index_retired_total", "retired"),
+    ("repro_index_hot_settled_total", "hot_settled"),
+    ("repro_index_spills_total", "spills"),
+    ("repro_index_settle_seconds_total", "settle_wall_seconds"),
+)
+
+
+def _exchange_samples(system: "ExchangeSystem"):
+    """Metrics collector: exchange publishes + the owned database's
+    aggregate index-maintenance counters (weakref-registered, summed
+    across live systems at scrape time)."""
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    yield sample(
+        "repro_exchange_publishes_total", kind, "", (), system.publishes
+    )
+    stats = system.db.index_stats()
+    for name, key in _INDEX_METRIC_KEYS:
+        yield sample(name, kind, "", (), stats[key])
 
 
 class ExchangeSystem:
@@ -264,6 +300,9 @@ class ExchangeSystem:
             output_name(relation): relation
             for relation in internal.relation_names()
         }
+        #: Publishes applied through :meth:`apply_delta` (cumulative).
+        self.publishes = 0
+        _metrics.REGISTRY.register(self, _exchange_samples)
 
     def close(self) -> None:
         """Release the evaluation worker pool, if one was spawned.
@@ -419,6 +458,7 @@ class ExchangeSystem:
     def recompute(self) -> ExchangeReport:
         """Clear all derived state; re-run the fixpoint from the edbs."""
         start = time.perf_counter()
+        cpu_start = time.process_time()
         outputs_before = (
             self.snapshot_outputs() if self._subscriptions else None
         )
@@ -439,12 +479,19 @@ class ExchangeSystem:
         return ExchangeReport(
             strategy=STRATEGY_RECOMPUTE,
             seconds=time.perf_counter() - start,
+            cpu_seconds=time.process_time() - cpu_start,
             inserted=result.total_inserted,
             details={
                 "rounds": result.rounds,
                 "evaluation": EvaluationResult.counters_delta(
                     {}, result.counters()
                 ),
+            },
+            phases={
+                "evaluate": {
+                    "wall_seconds": result.eval_wall_seconds,
+                    "cpu_seconds": result.eval_cpu_seconds,
+                }
             },
         )
 
@@ -465,36 +512,90 @@ class ExchangeSystem:
             )
         effective = resolve_strategy(strategy)
         start = time.perf_counter()
+        cpu_start = time.process_time()
         stats_before = self.engine.stats.counters()
-        if effective == STRATEGY_RECOMPUTE:
-            # recompute() fills details["evaluation"] from its own run
-            # and captures the change batch by output-snapshot diff.
-            report = self._apply_by_recompute(delta)
-        else:
-            local, rejections = _publish_zsets(delta)
-            feed = self._capture_feed()
-            try:
-                with self.db.defer_maintenance():
-                    deletion_report, unreject_report, insert_report = (
-                        self._maintainer.apply(local, rejections)
+        merge_before = self._merge_clock()
+        settle_before = self._settle_clock()
+        span = (
+            _tracing.start(
+                "exchange", strategy=strategy, perspective=self.perspective
+            )
+            if _tracing.ENABLED
+            else None
+        )
+        try:
+            if effective == STRATEGY_RECOMPUTE:
+                # recompute() fills details["evaluation"] from its own run
+                # and captures the change batch by output-snapshot diff.
+                report = self._apply_by_recompute(delta)
+            else:
+                local, rejections = _publish_zsets(delta)
+                feed = self._capture_feed()
+                try:
+                    with self.db.defer_maintenance():
+                        deletion_report, unreject_report, insert_report = (
+                            self._maintainer.apply(local, rejections)
+                        )
+                finally:
+                    self._capture_from_feed(feed)
+                report = ExchangeReport(
+                    strategy=strategy,
+                    inserted=insert_report.total_derived
+                    + unreject_report.total_derived,
+                    deleted=deletion_report.total_deleted,
+                    details={
+                        "deletion": deletion_report,
+                        "insertion": insert_report,
+                    },
+                )
+                report.details["evaluation"] = (
+                    EvaluationResult.counters_delta(
+                        stats_before, self.engine.stats.counters()
                     )
-            finally:
-                self._capture_from_feed(feed)
-            report = ExchangeReport(
-                strategy=strategy,
-                inserted=insert_report.total_derived
-                + unreject_report.total_derived,
-                deleted=deletion_report.total_deleted,
-                details={
-                    "deletion": deletion_report,
-                    "insertion": insert_report,
-                },
-            )
-            report.details["evaluation"] = EvaluationResult.counters_delta(
-                stats_before, self.engine.stats.counters()
-            )
+                )
+        except BaseException:
+            if span is not None:
+                _tracing.finish(span)
+            raise
+        evaluation = report.details.get("evaluation", {})
+        merge_after = self._merge_clock()
+        settle_after = self._settle_clock()
+        report.phases = {
+            "evaluate": {
+                "wall_seconds": evaluation.get("eval_wall_seconds", 0.0),
+                "cpu_seconds": evaluation.get("eval_cpu_seconds", 0.0),
+            },
+            "merge": {
+                "wall_seconds": merge_after[0] - merge_before[0],
+                "cpu_seconds": merge_after[1] - merge_before[1],
+            },
+            "index_settle": {
+                "wall_seconds": settle_after[0] - settle_before[0],
+                "cpu_seconds": settle_after[1] - settle_before[1],
+            },
+        }
+        if span is not None:
+            span.rows = report.inserted + report.deleted
+            _tracing.finish(span)
+        self.publishes += 1
         report.seconds = time.perf_counter() - start
+        report.cpu_seconds = time.process_time() - cpu_start
         return report
+
+    def _merge_clock(self) -> tuple[float, float]:
+        """Cumulative (wall, cpu) seconds of parallel result merging."""
+        executor = self.engine._parallel
+        if executor is None:
+            return (0.0, 0.0)
+        return (executor.merge_wall_seconds, executor.merge_cpu_seconds)
+
+    def _settle_clock(self) -> tuple[float, float]:
+        """Cumulative (wall, cpu) seconds of deferred index settling."""
+        stats = self.db.index_stats()
+        return (
+            stats["settle_wall_seconds"],
+            stats["settle_cpu_seconds"],
+        )
 
     def _apply_by_recompute(self, delta: PublishDelta) -> ExchangeReport:
         with self.db.defer_maintenance():

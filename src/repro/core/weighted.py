@@ -49,6 +49,7 @@ from typing import Mapping
 
 from ..datalog.ast import Atom, DatalogError, Program, Rule
 from ..datalog.engine import SemiNaiveEngine
+from ..obs import tracing as _tracing
 from ..datalog.plan import run_plan
 from ..provenance.relations import ProvenanceEncoding, ProvenanceTable
 from ..provenance.semiring import Token
@@ -165,16 +166,19 @@ class WeightedMaintainer:
         and re-published in the same batch lands in its final state, then
         re-admissions and insertions share the insertion fast path.
         """
-        deletion = self.propagate_deletions(
-            {name: z.negative() for name, z in local.items()},
-            {name: z.positive() for name, z in rejections.items()},
-        )
-        unrejected = self.apply_unrejections(
-            {name: z.negative() for name, z in rejections.items()}
-        )
-        inserted = self.apply_insertions(
-            {name: z.positive() for name, z in local.items()}
-        )
+        with _tracing.span("retraction"):
+            deletion = self.propagate_deletions(
+                {name: z.negative() for name, z in local.items()},
+                {name: z.positive() for name, z in rejections.items()},
+            )
+        with _tracing.span("unrejection"):
+            unrejected = self.apply_unrejections(
+                {name: z.negative() for name, z in rejections.items()}
+            )
+        with _tracing.span("insertion"):
+            inserted = self.apply_insertions(
+                {name: z.positive() for name, z in local.items()}
+            )
         return deletion, unrejected, inserted
 
     # -- shared helpers ------------------------------------------------------

@@ -26,9 +26,12 @@ Tukwila-style prepared plans) differ.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..storage.database import Database
 from ..storage.instance import Instance
 from .ast import Atom, DatalogError, Program, Rule
@@ -69,6 +72,10 @@ class EvaluationResult:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     parallel_rounds: int = 0
+    # Always-on stratum-evaluation clocks (cheap: two perf_counter and
+    # two process_time calls per stratum, not per round or rule).
+    eval_wall_seconds: float = 0.0
+    eval_cpu_seconds: float = 0.0
 
     @property
     def total_inserted(self) -> int:
@@ -86,9 +93,12 @@ class EvaluationResult:
         return {
             "rounds": self.rounds,
             "rule_applications": self.rule_applications,
+            "tuples_inserted": self.total_inserted,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "parallel_rounds": self.parallel_rounds,
+            "eval_wall_seconds": self.eval_wall_seconds,
+            "eval_cpu_seconds": self.eval_cpu_seconds,
         }
 
     @staticmethod
@@ -117,6 +127,8 @@ class EvaluationResult:
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.parallel_rounds += other.parallel_rounds
+        self.eval_wall_seconds += other.eval_wall_seconds
+        self.eval_cpu_seconds += other.eval_cpu_seconds
         for predicate, count in other.inserted.items():
             self._record(predicate, count)
 
@@ -139,6 +151,61 @@ def _check_head_arities(program: Program) -> None:
                     f"predicate {atom.predicate!r} used with arities "
                     f"{known} and {atom.arity}"
                 )
+
+
+def _engine_samples(engine: "SemiNaiveEngine"):
+    """Metrics collector: surface an engine's cumulative counters.
+
+    Registered per engine via weakref (see :mod:`repro.obs.metrics`);
+    samples from every live engine in the process are summed into one
+    series per counter at scrape time.
+    """
+    stats = engine.stats
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    yield sample("repro_engine_rounds_total", kind, "", (), stats.rounds)
+    yield sample(
+        "repro_engine_rule_applications_total",
+        kind,
+        "",
+        (),
+        stats.rule_applications,
+    )
+    yield sample(
+        "repro_engine_tuples_inserted_total",
+        kind,
+        "",
+        (),
+        stats.total_inserted,
+    )
+    yield sample(
+        "repro_engine_plan_cache_hits_total",
+        kind,
+        "",
+        (),
+        stats.plan_cache_hits,
+    )
+    yield sample(
+        "repro_engine_plan_cache_misses_total",
+        kind,
+        "",
+        (),
+        stats.plan_cache_misses,
+    )
+    yield sample(
+        "repro_engine_parallel_rounds_total",
+        kind,
+        "",
+        (),
+        stats.parallel_rounds,
+    )
+    yield sample(
+        "repro_engine_eval_seconds_total",
+        kind,
+        "",
+        (),
+        stats.eval_wall_seconds,
+    )
 
 
 class DeltaPool:
@@ -214,6 +281,7 @@ class SemiNaiveEngine:
         self.stats = EvaluationResult()
         #: The :class:`EvaluationResult` of the most recent run.
         self.last_result: EvaluationResult | None = None
+        _metrics.REGISTRY.register(self, _engine_samples)
 
     # -- helpers -----------------------------------------------------------
 
@@ -351,7 +419,17 @@ class SemiNaiveEngine:
                 return db[atom.predicate]
             return _EMPTY_SOURCE
 
-        return run_plan(plan, resolve, self._filter_for(rule))
+        if not _tracing.ENABLED:
+            return run_plan(plan, resolve, self._filter_for(rule))
+        span = _tracing.start(
+            "rule-evaluation",
+            head=rule.head.predicate,
+            delta_index=delta_index,
+        )
+        rows = run_plan(plan, resolve, self._filter_for(rule))
+        span.rows = len(rows)
+        _tracing.finish(span)
+        return rows
 
     # -- full evaluation -----------------------------------------------------
 
@@ -468,10 +546,26 @@ class SemiNaiveEngine:
         batched passes, and the scope exit is the flush barrier — so the
         database leaves every stratum with fully synchronized indexes.
         """
-        with db.defer_maintenance():
-            return self._run_stratum_deferred(
-                rules, db, result, seed, relevant
-            )
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        span = (
+            _tracing.start("stratum", rules=len(rules))
+            if _tracing.ENABLED
+            else None
+        )
+        try:
+            with db.defer_maintenance():
+                new_total = self._run_stratum_deferred(
+                    rules, db, result, seed, relevant
+                )
+            if span is not None:
+                span.rows = sum(len(rows) for rows in new_total.values())
+            return new_total
+        finally:
+            if span is not None:
+                _tracing.finish(span)
+            result.eval_wall_seconds += time.perf_counter() - wall0
+            result.eval_cpu_seconds += time.process_time() - cpu0
 
     def _run_stratum_deferred(
         self,
@@ -519,6 +613,11 @@ class SemiNaiveEngine:
 
         while delta_sets:
             rounds += 1
+            round_span = (
+                _tracing.start("round", number=rounds)
+                if _tracing.ENABLED
+                else None
+            )
             next_deltas: dict[str, set[Row]] | None = None
             if self.workers > 1:
                 next_deltas = self._run_parallel_round(
@@ -528,6 +627,11 @@ class SemiNaiveEngine:
                 next_deltas = self._run_sequential_round(
                     rules, db, delta_sets, result
                 )
+            if round_span is not None:
+                round_span.rows = sum(
+                    len(rows) for rows in next_deltas.values()
+                )
+                _tracing.finish(round_span)
             for pred, rows in next_deltas.items():
                 new_total.setdefault(pred, set()).update(rows)
             delta_sets = stratum_relevant(next_deltas)

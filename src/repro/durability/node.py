@@ -47,6 +47,7 @@ from typing import Iterable
 
 from ..api.spec import SystemSpec
 from ..core.cdss import CDSS
+from ..obs import metrics as _metrics
 from ..core.editlog import EditLog, PublishDelta, Update
 from ..core.editlog import publish as publish_log
 from ..core.exchange import ExchangeReport
@@ -99,6 +100,29 @@ def _decode_delta(document: dict) -> PublishDelta:
     return delta
 
 
+def _node_samples(node: "DurableNode"):
+    """Metrics collector: checkpoint + recovery counters of one node."""
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    yield sample(
+        "repro_durability_checkpoints_total", kind, "", (), node.checkpoints
+    )
+    yield sample(
+        "repro_durability_replayed_records_total",
+        kind,
+        "",
+        (("kind", "edit"),),
+        node.replayed_edit_records,
+    )
+    yield sample(
+        "repro_durability_replayed_records_total",
+        kind,
+        "",
+        (("kind", "publish"),),
+        node.replayed_publish_records,
+    )
+
+
 class DurableNode:
     """A CDSS whose state survives process death.
 
@@ -127,6 +151,7 @@ class DurableNode:
         self._publishes_since_checkpoint = 0
         self._observed: list[EditLog] = []
         self._closed = False
+        _metrics.REGISTRY.register(self, _node_samples)
 
     # -- construction ------------------------------------------------------
 

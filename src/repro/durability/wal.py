@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..storage.instance import StorageError
 
 FSYNC_ALWAYS = "always"
@@ -122,6 +124,14 @@ def read_segment(path: Path) -> list[WalRecord]:
     return records
 
 
+def _wal_samples(wal: "WriteAheadLog"):
+    """Metrics collector: append/fsync counters of one live WAL."""
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    yield sample("repro_wal_appends_total", kind, "", (), wal.appended)
+    yield sample("repro_wal_fsyncs_total", kind, "", (), wal.fsyncs)
+
+
 class WriteAheadLog:
     """An append-only, segmented redo log in ``directory``."""
 
@@ -135,6 +145,8 @@ class WriteAheadLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.appended = 0
+        self.fsyncs = 0
+        _metrics.REGISTRY.register(self, _wal_samples)
         existing = self.segments()
         last_index = 0
         self._last_seq = 0
@@ -190,14 +202,22 @@ class WriteAheadLog:
         callers apply the logged effect to in-memory state only *after*
         this returns, which is the whole redo-log contract.
         """
+        span = (
+            _tracing.start("wal-append", kind=kind)
+            if _tracing.ENABLED
+            else None
+        )
         seq = self._last_seq + 1
         handle = self._open_handle()
         handle.write(_frame(WalRecord(seq, kind, body)))
         handle.flush()
         if self.fsync == FSYNC_ALWAYS:
             os.fsync(handle.fileno())
+            self.fsyncs += 1
         self._last_seq = seq
         self.appended += 1
+        if span is not None:
+            _tracing.finish(span)
         return seq
 
     def sync(self) -> None:
@@ -205,6 +225,7 @@ class WriteAheadLog:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            self.fsyncs += 1
 
     def rotate(self, retain_after_seq: int) -> int:
         """Start a new segment and prune segments a checkpoint covers.
@@ -217,6 +238,7 @@ class WriteAheadLog:
             self._handle.flush()
             if self.fsync == FSYNC_ALWAYS:
                 os.fsync(self._handle.fileno())
+                self.fsyncs += 1
             self._handle.close()
             self._handle = None
         self._segment_index += 1
@@ -236,6 +258,7 @@ class WriteAheadLog:
             self._handle.flush()
             if self.fsync == FSYNC_ALWAYS:
                 os.fsync(self._handle.fileno())
+                self.fsyncs += 1
             self._handle.close()
             self._handle = None
 

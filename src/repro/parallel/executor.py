@@ -37,9 +37,11 @@ sequential re-run would be wrong.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..obs import tracing as _tracing
 from .merge import Merger
 from .pool import WorkerPool
 from .shard import ShardPlanner
@@ -70,6 +72,11 @@ class ParallelExecutor:
         self.available = True
         #: Rounds successfully evaluated through the pool (diagnostics).
         self.rounds = 0
+        #: Always-on merge-phase clocks: cumulative time spent filtering
+        #: and applying worker-produced rows (the exchange report's
+        #: "merge" phase reads their movement).
+        self.merge_wall_seconds = 0.0
+        self.merge_cpu_seconds = 0.0
 
     # -- round drivers -----------------------------------------------------
 
@@ -224,6 +231,32 @@ class ParallelExecutor:
         task's filter (a row accepted by any same-head task is present,
         so its producer must not skip it).
         """
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        span = (
+            _tracing.start("merge", tasks=len(tasks))
+            if _tracing.ENABLED
+            else None
+        )
+        try:
+            return self._apply_insertions_inner(
+                db, session, token, retain, tasks, masks
+            )
+        finally:
+            if span is not None:
+                _tracing.finish(span)
+            self.merge_wall_seconds += time.perf_counter() - wall0
+            self.merge_cpu_seconds += time.process_time() - cpu0
+
+    def _apply_insertions_inner(
+        self,
+        db: "Database",
+        session,
+        token: int,
+        retain: bool,
+        tasks: "Sequence[Task]",
+        masks: "Sequence[dict[Row, int]]",
+    ) -> "dict[str, set[Row]]":
         next_deltas: "dict[str, set[Row]]" = {}
         produced: "dict[str, dict[Row, int]]" = {}
         survivors: "dict[str, set[Row]]" = {}
@@ -277,7 +310,12 @@ class ParallelExecutor:
 
     def stats(self) -> dict:
         """Executor + pool + transport counters (see ``WorkerPool.stats``)."""
-        data = {"available": self.available, "rounds": self.rounds}
+        data = {
+            "available": self.available,
+            "rounds": self.rounds,
+            "merge_wall_seconds": self.merge_wall_seconds,
+            "merge_cpu_seconds": self.merge_cpu_seconds,
+        }
         data.update(self.pool.stats())
         return data
 

@@ -41,6 +41,7 @@ import os
 import weakref
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs import metrics as _metrics
 from ..storage.replication import (
     OP_CREATE,
     OP_DELETE,
@@ -138,6 +139,52 @@ class _Session:
         self.stale: set[str] = set()
 
 
+_REPL_METRIC_KEYS = (
+    ("repro_parallel_syncs_total", "syncs"),
+    ("repro_parallel_rows_shipped_total", "rows_shipped"),
+    ("repro_parallel_rows_retained_total", "rows_retained"),
+)
+
+#: (direction label, frames key, bytes key, seconds key) per transport
+#: direction, matched to the bootstrap families in ``repro.obs``.
+_TRANSPORT_DIRECTIONS = (
+    ("out", "frames_out", "bytes_out", "pickle_s"),
+    ("in", "frames_in", "bytes_in", "unpickle_s"),
+)
+
+
+def _pool_samples(pool: "WorkerPool"):
+    """Metrics collector: replication-volume counters plus the
+    transport's total frame/byte/pickle rollup (weakref-registered,
+    summed across live pools at scrape time)."""
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    repl = pool.repl_stats
+    for name, key in _REPL_METRIC_KEYS:
+        yield sample(name, kind, "", (), repl[key])
+    transport = pool.transport
+    if transport is None:
+        return
+    total = transport.stats()["total"]
+    for direction, frames_key, bytes_key, seconds_key in (
+        _TRANSPORT_DIRECTIONS
+    ):
+        labels = (("direction", direction),)
+        yield sample(
+            "repro_parallel_frames_total", kind, "", labels, total[frames_key]
+        )
+        yield sample(
+            "repro_parallel_bytes_total", kind, "", labels, total[bytes_key]
+        )
+        yield sample(
+            "repro_parallel_pickle_seconds_total",
+            kind,
+            "",
+            labels,
+            total[seconds_key],
+        )
+
+
 class WorkerPool:
     """N persistent evaluation workers holding replicated databases."""
 
@@ -168,6 +215,7 @@ class WorkerPool:
             "snapshot_rows": 0,
         }
         self._started = False
+        _metrics.REGISTRY.register(self, _pool_samples)
         self._conns: list = []
         self._procs: list = []
         self._sessions: dict[int, _Session] = {}

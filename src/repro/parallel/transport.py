@@ -120,13 +120,21 @@ class MessageTransport:
     # -- diagnostics -------------------------------------------------------
 
     def stats(self) -> dict[str, dict[str, float]]:
-        """Per-tag counter snapshot plus a ``total`` rollup."""
+        """Per-tag counter snapshot plus a ``total`` rollup.
+
+        Each block carries the documented ``pickle_seconds`` /
+        ``unpickle_seconds`` names alongside the legacy ``pickle_s`` /
+        ``unpickle_s`` spellings (deprecation shims — see
+        ``repro.obs.schema``)."""
         snapshot = {tag: dict(counters) for tag, counters in self._by_tag.items()}
         total = dict.fromkeys(_COUNTER_KEYS, 0)
         for counters in self._by_tag.values():
             for key in _COUNTER_KEYS:
                 total[key] += counters[key]
         snapshot["total"] = total
+        for counters in snapshot.values():
+            counters["pickle_seconds"] = counters["pickle_s"]
+            counters["unpickle_seconds"] = counters["unpickle_s"]
         return snapshot
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 from contextlib import asynccontextmanager
 
+from ..obs import metrics as _metrics
 from .protocol import ServeError
 
 
@@ -40,6 +41,33 @@ class QueueFullError(ServeError):
             status=503,
             code="saturated",
         )
+
+
+def _admission_samples(controller: "AdmissionController"):
+    """Metrics collector: admission outcome counters + live gauges."""
+    sample = _metrics.Sample
+    counter = _metrics.KIND_COUNTER
+    gauge = _metrics.KIND_GAUGE
+    yield sample(
+        "repro_admission_admitted_total", counter, "", (), controller.admitted
+    )
+    yield sample(
+        "repro_admission_rejected_total", counter, "", (), controller.rejected
+    )
+    yield sample(
+        "repro_admission_timeouts_total", counter, "", (), controller.timeouts
+    )
+    yield sample(
+        "repro_admission_completed_total",
+        counter,
+        "",
+        (),
+        controller.completed,
+    )
+    yield sample(
+        "repro_admission_in_flight", gauge, "", (), controller.in_flight
+    )
+    yield sample("repro_admission_waiting", gauge, "", (), controller.waiting)
 
 
 class AdmissionController:
@@ -71,6 +99,7 @@ class AdmissionController:
         self.rejected = 0
         self.timeouts = 0
         self.completed = 0
+        _metrics.REGISTRY.register(self, _admission_samples)
 
     @asynccontextmanager
     async def slot(self):
@@ -105,10 +134,13 @@ class AdmissionController:
         self.timeouts += 1
 
     def stats(self) -> dict:
+        # ``timeout`` is the legacy spelling of ``timeout_seconds``
+        # (kept as a deprecation shim — see repro.obs.schema).
         return {
             "max_inflight": self.max_inflight,
             "max_queue": self.max_queue,
             "timeout": self.timeout,
+            "timeout_seconds": self.timeout,
             "admitted": self.admitted,
             "rejected": self.rejected,
             "timeouts": self.timeouts,

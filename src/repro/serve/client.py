@@ -88,6 +88,27 @@ class ServeClient:
             raise ServeHTTPError(response.status, decoded)
         return decoded
 
+    def request_text(self, method: str, path: str) -> str:
+        """Like :meth:`request` but for text/plain routes (``/metrics``)."""
+        headers = {"Connection": "keep-alive"}
+        try:
+            self._conn.request(method, path, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self._conn.close()
+            self._conn.request(method, path, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        text = raw.decode("utf-8", errors="replace")
+        if response.status >= 300:
+            try:
+                payload: object = json.loads(text)
+            except ValueError:
+                payload = {"error": "error", "message": text}
+            raise ServeHTTPError(response.status, payload)
+        return text
+
     # -- API surface -------------------------------------------------------
 
     def health(self) -> dict:
@@ -95,6 +116,10 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition from ``GET /metrics``, verbatim."""
+        return self.request_text("GET", "/metrics")
 
     def statements(self) -> list[dict]:
         return self.request("GET", "/statements")["statements"]

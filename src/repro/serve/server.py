@@ -47,10 +47,14 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Mapping
 
+from ..obs import bootstrap_default_metrics
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .admission import AdmissionController
 from .protocol import (
     KIND_QUERY,
@@ -74,6 +78,61 @@ _STREAM_LIMIT = 1 * 1024 * 1024
 #: to wait longer re-issue the request; an unbounded wait would pin a
 #: connection (and its handler task) forever.
 MAX_CHANGES_WAIT = 60.0
+
+# Ensure every documented metric family renders on /metrics even before
+# the layer that feeds it has constructed (see repro.obs).
+bootstrap_default_metrics()
+
+#: Known routes for the per-route latency histogram; anything else is
+#: recorded under "other" so label cardinality stays fixed.
+_ROUTES = frozenset(
+    (
+        "/health",
+        "/stats",
+        "/statements",
+        "/changes",
+        "/metrics",
+        "/prepare",
+        "/execute",
+        "/query",
+        "/edit",
+        "/publish",
+        "/shutdown",
+    )
+)
+
+#: Cap on distinct per-statement histogram series; later statements
+#: aggregate under the "other" label.
+_MAX_STATEMENT_SERIES = 64
+
+_REQUEST_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "HTTP request latency by route",
+    labels=("route",),
+)
+_STATEMENT_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_serve_statement_seconds",
+    "Prepared-statement execution latency by statement id",
+    labels=("statement",),
+)
+
+#: Prometheus text exposition content type.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _PlainText(str):
+    """Marker type: ``_respond`` sends these verbatim as text/plain."""
+
+
+def _server_samples(server: "ReproServer"):
+    """Metrics collector: request/error/publish counters of one node."""
+    sample = _metrics.Sample
+    kind = _metrics.KIND_COUNTER
+    yield sample("repro_serve_requests_total", kind, "", (), server.requests)
+    yield sample("repro_serve_errors_total", kind, "", (), server.errors)
+    yield sample(
+        "repro_serve_publishes_total", kind, "", (), server.publishes
+    )
 
 
 class ReproServer:
@@ -126,6 +185,9 @@ class ReproServer:
         self.requests = 0
         self.errors = 0
         self.publishes = 0
+        self._started_at = time.time()
+        self._statement_series: set[str] = set()
+        _metrics.REGISTRY.register(self, _server_samples)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -248,13 +310,18 @@ class ReproServer:
         payload: object,
         close: bool,
     ) -> None:
-        body = json.dumps(payload, separators=(",", ":")).encode()
+        if isinstance(payload, _PlainText):
+            body = str(payload).encode()
+            content_type = _METRICS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode()
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
             status, "Status"
         )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
@@ -270,6 +337,7 @@ class ReproServer:
         body_bytes: bytes,
     ) -> tuple[int, object]:
         self.requests += 1
+        started = time.perf_counter()
         try:
             if body_bytes:
                 try:
@@ -294,6 +362,11 @@ class ReproServer:
                 "error": "internal",
                 "message": f"{type(exc).__name__}: {exc}",
             }
+        finally:
+            route = path if path in _ROUTES else "other"
+            _REQUEST_SECONDS.labels(route).observe(
+                time.perf_counter() - started
+            )
 
     # -- routing -----------------------------------------------------------
 
@@ -317,6 +390,8 @@ class ReproServer:
                 return {"statements": self.registry.describe()}
             if path == "/changes":
                 return await self._do_changes(query)
+            if path == "/metrics":
+                return _PlainText(_metrics.REGISTRY.render())
             raise ServeError(f"unknown path {path!r}", 404, "not_found")
         if method != "POST":
             raise ServeError(
@@ -340,25 +415,45 @@ class ReproServer:
         raise ServeError(f"unknown path {path!r}", 404, "not_found")
 
     def _stats(self) -> dict:
+        # Legacy top-level request counters are kept as-is; the "server"
+        # block is the normalized spelling (see repro.obs.schema).
         stats = {
             "requests": self.requests,
             "errors": self.errors,
             "publishes": self.publishes,
             "pending_edits": self.cdss.pending_edits(),
             "statements": len(self.registry),
+            "server": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "publishes": self.publishes,
+                "pending_edits": self.cdss.pending_edits(),
+                "uptime_seconds": time.time() - self._started_at,
+            },
             "admission": self.admission.stats(),
             "snapshot": self.snapshots.stats(),
         }
         system_fn = getattr(self.cdss, "system", None)
         if system_fn is not None:
-            parallel_fn = getattr(system_fn(), "parallel_stats", None)
+            system = system_fn()
+            parallel_fn = getattr(system, "parallel_stats", None)
             parallel = parallel_fn() if parallel_fn is not None else None
             if parallel is not None:
                 stats["parallel"] = parallel
+            engine = getattr(system, "engine", None)
+            if engine is not None:
+                stats["engine"] = engine.stats.counters()
+            db = getattr(system, "db", None)
+            if db is not None and hasattr(db, "index_stats"):
+                stats["indexes"] = db.index_stats()
         if self.node is not None:
             stats["durability"] = {
                 "data_dir": str(self.node.data_dir),
+                # "wal_seq" is the legacy spelling of "wal_last_seq".
                 "wal_seq": self.node.wal.last_seq,
+                "wal_last_seq": self.node.wal.last_seq,
+                "wal_appends": self.node.wal.appended,
+                "wal_fsyncs": self.node.wal.fsyncs,
                 "checkpoints": self.node.checkpoints,
                 "recovered": self.node.recovered,
                 "replayed_edit_records": self.node.replayed_edit_records,
@@ -466,7 +561,25 @@ class ReproServer:
             lambda: self.registry.prepare(kind, text, params, answer).describe()
         )
 
+    def _observe_statement(self, statement_id: str, seconds: float) -> None:
+        """Record per-statement latency with bounded label cardinality."""
+        if statement_id not in self._statement_series:
+            if len(self._statement_series) >= _MAX_STATEMENT_SERIES:
+                statement_id = "other"
+            else:
+                self._statement_series.add(statement_id)
+        _STATEMENT_SECONDS.labels(statement_id).observe(seconds)
+
     async def _do_execute(self, body, statement) -> dict:
+        started = time.perf_counter()
+        try:
+            return await self._do_execute_inner(body, statement)
+        finally:
+            self._observe_statement(
+                statement.id, time.perf_counter() - started
+            )
+
+    async def _do_execute_inner(self, body, statement) -> dict:
         args = parse_execute_args(body)
         run = partial(
             statement.run,
@@ -556,17 +669,32 @@ class ReproServer:
             raise ServeError("strategy must be a string")
 
         def publish() -> dict:
-            if self.node is not None:
-                # Durable path: WAL-logged before applied, and checkpointed
-                # on the node's configured cadence.
-                report = self.node.publish(peers=peers, strategy=strategy)
-            else:
-                report = self.cdss.update_exchange(
-                    peers=peers, strategy=strategy
-                )
-            # Copy-on-publish: pin the new fixpoint while the exchange
-            # lock is still held, so no later write can tear the copy.
-            snapshot = self.snapshots.refresh()
+            # Root "publish" span: the nested wal-append / exchange /
+            # snapshot-refresh spans all land in one trace.
+            span = (
+                _tracing.start("publish", durable=self.node is not None)
+                if _tracing.ENABLED
+                else None
+            )
+            try:
+                if self.node is not None:
+                    # Durable path: WAL-logged before applied, and
+                    # checkpointed on the node's configured cadence.
+                    report = self.node.publish(peers=peers, strategy=strategy)
+                else:
+                    report = self.cdss.update_exchange(
+                        peers=peers, strategy=strategy
+                    )
+                # Copy-on-publish: pin the new fixpoint while the exchange
+                # lock is still held, so no later write can tear the copy.
+                snapshot = self.snapshots.refresh()
+            except BaseException:
+                if span is not None:
+                    _tracing.finish(span)
+                raise
+            if span is not None:
+                span.rows = report.inserted + report.deleted
+                _tracing.finish(span)
             return {
                 "ok": True,
                 "strategy": report.strategy,

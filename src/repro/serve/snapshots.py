@@ -19,11 +19,31 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..schema.internal import output_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.cdss import CDSS
     from ..storage.snapshot import DatabaseSnapshot
+
+
+def _snapshot_samples(manager: "SnapshotManager"):
+    """Metrics collector: refresh count + current snapshot version."""
+    yield _metrics.Sample(
+        "repro_snapshot_refreshes_total",
+        _metrics.KIND_COUNTER,
+        "",
+        (),
+        manager.refreshes,
+    )
+    yield _metrics.Sample(
+        "repro_snapshot_version",
+        _metrics.KIND_GAUGE,
+        "Database version of the currently served snapshot",
+        (),
+        manager.current.version,
+    )
 
 
 class SnapshotManager:
@@ -40,6 +60,7 @@ class SnapshotManager:
         self._cdss = cdss
         self.refreshes = 0
         self.current: "DatabaseSnapshot" = self._pin()
+        _metrics.REGISTRY.register(self, _snapshot_samples)
 
     def _pin(self) -> "DatabaseSnapshot":
         system = self._cdss.system()
@@ -51,10 +72,11 @@ class SnapshotManager:
 
     def refresh(self) -> "DatabaseSnapshot":
         """Pin the current fixpoint and publish it to readers."""
-        snapshot = self._pin()
-        self.current = snapshot
-        self.refreshes += 1
-        return snapshot
+        with _tracing.span("snapshot-refresh"):
+            snapshot = self._pin()
+            self.current = snapshot
+            self.refreshes += 1
+            return snapshot
 
     def stats(self) -> dict:
         snapshot = self.current

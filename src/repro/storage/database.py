@@ -194,6 +194,36 @@ class Database:
             for instance in self._relations.values()
         )
 
+    def index_stats(self) -> dict[str, object]:
+        """Index-maintenance counters summed across every relation.
+
+        Per-relation breakdowns stay on :meth:`Instance.index_stats`;
+        this aggregate is what ``/stats``, ``/metrics``, and the
+        exchange report's index-settle phase read.
+        """
+        totals: dict[str, object] = {
+            "relations": len(self._relations),
+            "indexes": 0,
+            "pending_ops": 0,
+            "applied_runs": 0,
+            "rebuilds": 0,
+            "retired": 0,
+            "hot_settled": 0,
+            "spills": 0,
+            "settle_wall_seconds": 0.0,
+            "settle_cpu_seconds": 0.0,
+        }
+        policy = None
+        for instance in self._relations.values():
+            stats = instance.index_stats()
+            policy = stats.get("policy", policy)
+            for key in totals:
+                value = stats.get(key)
+                if value is not None and key != "relations":
+                    totals[key] += value
+        totals["policy"] = policy if policy is not None else self.index_policy
+        return totals
+
     # -- replication ---------------------------------------------------------
 
     def changefeed(self):

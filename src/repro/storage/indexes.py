@@ -33,7 +33,10 @@ done, never *what* a probe returns.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Sequence
+
+from ..obs import tracing as _tracing
 
 Row = tuple[object, ...]
 
@@ -293,6 +296,8 @@ class DeferredIndexSet(IndexSet):
         "retired",
         "hot_settled",
         "spills",
+        "settle_wall_seconds",
+        "settle_cpu_seconds",
     )
 
     def __init__(self, rows: set[Row]) -> None:
@@ -309,6 +314,10 @@ class DeferredIndexSet(IndexSet):
         self.retired = 0
         self.hot_settled = 0
         self.spills = 0
+        # Always-on settle clocks (timed per catch-up pass, not per row):
+        # the ExchangeReport "index_settle" phase reads their movement.
+        self.settle_wall_seconds = 0.0
+        self.settle_cpu_seconds = 0.0
 
     # -- introspection -----------------------------------------------------
 
@@ -386,6 +395,8 @@ class DeferredIndexSet(IndexSet):
             "retired": self.retired,
             "hot_settled": self.hot_settled,
             "spills": self.spills,
+            "settle_wall_seconds": self.settle_wall_seconds,
+            "settle_cpu_seconds": self.settle_cpu_seconds,
             "probe_counts": dict(self._probes),
         }
 
@@ -526,8 +537,19 @@ class DeferredIndexSet(IndexSet):
 
     def _sync_one(self, cols: tuple[int, ...]) -> None:
         """Catch one index up with the log suffix past its cursor."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        span = (
+            _tracing.start("index-settle", pending=len(self._log))
+            if _tracing.ENABLED
+            else None
+        )
         self._apply_suffix(cols)
         self._maybe_truncate()
+        if span is not None:
+            _tracing.finish(span)
+        self.settle_wall_seconds += time.perf_counter() - wall0
+        self.settle_cpu_seconds += time.process_time() - cpu0
 
     def _apply_suffix(self, cols: tuple[int, ...]) -> None:
         start = self._cursor[cols]
